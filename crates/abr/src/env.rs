@@ -1,0 +1,188 @@
+//! The RL environment used to *train* Pensieve over a trace corpus.
+//!
+//! Each episode streams one full video over a trace sampled uniformly from
+//! the corpus (with a random start offset, as the Pensieve simulator does);
+//! each step downloads one chunk at the chosen quality and is rewarded with
+//! the chunk's linear QoE. This is stage (1) of the paper's §2.3 pipeline;
+//! stage (4) re-runs it with adversarial traces mixed into the corpus.
+
+use crate::player::{Player, TraceNetwork};
+use crate::protocols::pensieve::{pensieve_features, PENSIEVE_OBS_DIM};
+use crate::qoe::QoeParams;
+use crate::video::Video;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rl::{Action, ActionSpace, Env, Step};
+use traces::Trace;
+
+/// Pensieve training environment over a corpus of traces.
+pub struct AbrTrainEnv {
+    corpus: Vec<Trace>,
+    video: Video,
+    qoe: QoeParams,
+    /// Scale factor applied to chunk QoE rewards (QoE per chunk is already
+    /// O(1), so the default is 1.0).
+    pub reward_scale: f64,
+    player: Option<Player>,
+    net: Option<TraceNetwork>,
+}
+
+impl AbrTrainEnv {
+    /// Panics on an empty corpus.
+    pub fn new(corpus: Vec<Trace>, video: Video, qoe: QoeParams) -> Self {
+        assert!(!corpus.is_empty(), "training corpus must not be empty");
+        for t in &corpus {
+            t.validate();
+        }
+        AbrTrainEnv { corpus, video, qoe, reward_scale: 1.0, player: None, net: None }
+    }
+
+    /// Replace the corpus (used by the adversarial-training pipeline when
+    /// it injects adversarial traces mid-run).
+    pub fn set_corpus(&mut self, corpus: Vec<Trace>) {
+        assert!(!corpus.is_empty(), "training corpus must not be empty");
+        self.corpus = corpus;
+    }
+
+    /// Current corpus (read-only).
+    pub fn corpus(&self) -> &[Trace] {
+        &self.corpus
+    }
+
+    pub fn video(&self) -> &Video {
+        &self.video
+    }
+
+    fn observation(&self) -> Vec<f64> {
+        let player = self.player.as_ref().expect("reset() before observation");
+        let net = self.net.as_ref().expect("reset() before observation");
+        pensieve_features(&player.observation(net))
+    }
+}
+
+impl Env for AbrTrainEnv {
+    fn obs_dim(&self) -> usize {
+        PENSIEVE_OBS_DIM
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::Discrete { n: self.video.n_qualities() }
+    }
+
+    fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        let trace = &self.corpus[rng.gen_range(0..self.corpus.len())];
+        let offset = rng.gen_range(0.0..trace.duration_s());
+        self.net = Some(TraceNetwork::starting_at(trace, offset));
+        self.player = Some(Player::new(&self.video, self.qoe.clone()));
+        self.observation()
+    }
+
+    fn step(&mut self, action: &Action, _rng: &mut StdRng) -> Step {
+        let player = self.player.as_mut().expect("reset() before step");
+        let net = self.net.as_mut().expect("reset() before step");
+        let quality = action.index().min(self.video.n_qualities() - 1);
+        let outcome = player.step(quality, net);
+        let done = player.finished();
+        let obs = {
+            let player = self.player.as_ref().unwrap();
+            let net = self.net.as_ref().unwrap();
+            pensieve_features(&player.observation(net))
+        };
+        Step { obs, reward: outcome.qoe * self.reward_scale, done }
+    }
+}
+
+/// Train a Pensieve policy on `corpus` for `steps` environment steps;
+/// returns the protocol wrapper plus the trainer (so training can be
+/// *continued*, as the §2.3 pipeline requires).
+pub fn train_pensieve(
+    corpus: Vec<Trace>,
+    video: Video,
+    qoe: QoeParams,
+    steps: usize,
+    cfg: rl::PpoConfig,
+) -> (crate::protocols::Pensieve, rl::Ppo, AbrTrainEnv) {
+    let mut env = AbrTrainEnv::new(corpus, video, qoe);
+    let mut ppo = rl::Ppo::new_categorical(PENSIEVE_OBS_DIM, 6, &[64, 32], cfg);
+    ppo.train(&mut env, steps);
+    let pensieve =
+        crate::protocols::Pensieve::new(ppo.policy.clone(), ppo.obs_norm.clone());
+    (pensieve, ppo, env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use traces::{Segment, Trace};
+
+    fn tiny_corpus() -> Vec<Trace> {
+        vec![
+            Trace::new("a", vec![Segment::bw(300.0, 2.0, 40.0)]),
+            Trace::new("b", vec![Segment::bw(300.0, 1.0, 40.0)]),
+        ]
+    }
+
+    #[test]
+    fn episode_lasts_one_video() {
+        let mut env = AbrTrainEnv::new(tiny_corpus(), Video::cbr(), QoeParams::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let obs = env.reset(&mut rng);
+        assert_eq!(obs.len(), PENSIEVE_OBS_DIM);
+        let mut steps = 0;
+        loop {
+            let s = env.step(&Action::Discrete(1), &mut rng);
+            steps += 1;
+            if s.done {
+                break;
+            }
+            assert!(steps < 100, "episode did not terminate");
+        }
+        assert_eq!(steps, 48);
+    }
+
+    #[test]
+    fn rewards_are_chunk_qoe() {
+        let mut env = AbrTrainEnv::new(
+            vec![Trace::new("c", vec![Segment::bw(300.0, 10.0, 0.0)])],
+            Video::cbr(),
+            QoeParams::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        env.reset(&mut rng);
+        env.step(&Action::Discrete(2), &mut rng);
+        let s = env.step(&Action::Discrete(2), &mut rng);
+        // steady 1.2 Mbit/s on a fat pipe: QoE = bitrate, no penalties
+        assert!((s.reward - 1.2).abs() < 0.05, "reward {}", s.reward);
+    }
+
+    #[test]
+    fn short_training_improves_reward() {
+        let corpus: Vec<Trace> = (0..8)
+            .map(|i| traces::random_abr_trace(i, 80, 4.0, 40.0))
+            .collect();
+        let cfg = rl::PpoConfig {
+            n_steps: 480,
+            minibatch_size: 96,
+            epochs: 4,
+            lr: 1e-3,
+            seed: 7,
+            ..rl::PpoConfig::default()
+        };
+        let mut env = AbrTrainEnv::new(corpus, Video::cbr(), QoeParams::default());
+        let mut ppo = rl::Ppo::new_categorical(PENSIEVE_OBS_DIM, 6, &[32, 16], cfg);
+        let reports = ppo.train(&mut env, 12_000);
+        let early = reports[0].mean_step_reward;
+        let late = reports.last().unwrap().mean_step_reward;
+        assert!(
+            late > early,
+            "training should improve QoE: {early} -> {late}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_corpus_rejected() {
+        AbrTrainEnv::new(vec![], Video::cbr(), QoeParams::default());
+    }
+}

@@ -1,0 +1,370 @@
+//! The streaming client: buffer dynamics, rebuffering, and chunk accounting.
+//!
+//! The state-transition equations are those of the Pensieve simulator:
+//!
+//! ```text
+//! download_time = latency + size / bandwidth          (integrated over the trace)
+//! rebuffer      = max(0, download_time − buffer)
+//! buffer        = max(buffer − download_time, 0) + chunk_seconds
+//! if buffer > BUFFER_CAP: sleep buffer − BUFFER_CAP (network idles, trace advances)
+//! ```
+
+use crate::obs::{AbrObservation, HISTORY_LEN};
+use crate::qoe::{qoe_chunk, QoeParams};
+use crate::video::Video;
+use serde::{Deserialize, Serialize};
+use traces::TraceCursor;
+
+/// Maximum client buffer in seconds (Pensieve's 60 s cap).
+pub const BUFFER_CAP_S: f64 = 60.0;
+
+/// The network as the player sees it: byte downloads that take time, plus
+/// idle waiting.
+pub trait Network {
+    /// Download `bytes` starting now; returns elapsed seconds (excluding
+    /// the request latency, which the caller adds via [`Network::latency_s`]).
+    fn download(&mut self, bytes: f64) -> f64;
+    /// One-way request latency in seconds.
+    fn latency_s(&self) -> f64;
+    /// Let `dt` seconds of wall-clock pass without transferring (buffer-full
+    /// sleeps).
+    fn advance(&mut self, dt: f64);
+}
+
+/// Replay of a recorded [`traces::Trace`].
+pub struct TraceNetwork {
+    cursor: TraceCursor,
+}
+
+impl TraceNetwork {
+    pub fn new(trace: &traces::Trace) -> Self {
+        TraceNetwork { cursor: TraceCursor::new(trace.clone()) }
+    }
+
+    /// Start `offset_s` seconds into the trace (Pensieve randomizes this
+    /// per training episode).
+    pub fn starting_at(trace: &traces::Trace, offset_s: f64) -> Self {
+        TraceNetwork { cursor: TraceCursor::starting_at(trace.clone(), offset_s) }
+    }
+
+    pub fn elapsed_s(&self) -> f64 {
+        self.cursor.elapsed_s()
+    }
+
+    /// Bandwidth at the current cursor position (Mbit/s).
+    pub fn current_bandwidth_mbps(&self) -> f64 {
+        self.cursor.bandwidth_mbps()
+    }
+}
+
+impl Network for TraceNetwork {
+    fn download(&mut self, bytes: f64) -> f64 {
+        self.cursor.download(bytes)
+    }
+
+    fn latency_s(&self) -> f64 {
+        self.cursor.latency_ms() / 1000.0
+    }
+
+    fn advance(&mut self, dt: f64) {
+        self.cursor.advance_time(dt);
+    }
+}
+
+/// Constant conditions until changed — the adversary's per-chunk knob: it
+/// sets the bandwidth before each chunk request (§3: "each action of the
+/// adversary is a choice of bandwidth in the range of 0.8–4.8 Mbps").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FixedConditions {
+    pub bandwidth_mbps: f64,
+    pub latency_ms: f64,
+}
+
+impl FixedConditions {
+    pub fn new(bandwidth_mbps: f64, latency_ms: f64) -> Self {
+        assert!(bandwidth_mbps > 0.0, "bandwidth must be positive");
+        FixedConditions { bandwidth_mbps, latency_ms }
+    }
+}
+
+impl Network for FixedConditions {
+    fn download(&mut self, bytes: f64) -> f64 {
+        bytes * 8.0 / (self.bandwidth_mbps * 1e6)
+    }
+
+    fn latency_s(&self) -> f64 {
+        self.latency_ms / 1000.0
+    }
+
+    fn advance(&mut self, _dt: f64) {}
+}
+
+/// What happened while fetching one chunk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChunkOutcome {
+    pub chunk_index: usize,
+    pub quality: usize,
+    pub bitrate_mbps: f64,
+    pub size_bytes: f64,
+    /// Total fetch time including latency, seconds.
+    pub download_s: f64,
+    /// Stall caused by this chunk, seconds.
+    pub rebuffer_s: f64,
+    /// Buffer-full idle time after this chunk, seconds.
+    pub sleep_s: f64,
+    /// Measured goodput `size / download_time` in Mbit/s.
+    pub throughput_mbps: f64,
+    /// Buffer level after the chunk was added, seconds.
+    pub buffer_after_s: f64,
+    /// QoE contribution of this chunk.
+    pub qoe: f64,
+}
+
+/// A streaming session in progress. Owns a copy of the video model so the
+/// session can live inside long-lived training environments.
+pub struct Player {
+    video: Video,
+    qoe_params: QoeParams,
+    next_chunk: usize,
+    buffer_s: f64,
+    last_quality: Option<usize>,
+    /// Wall-clock seconds since the session started.
+    time_s: f64,
+    total_rebuffer_s: f64,
+    throughput_hist: Vec<f64>,
+    download_hist: Vec<f64>,
+}
+
+impl Player {
+    pub fn new(video: &Video, qoe_params: QoeParams) -> Self {
+        Player {
+            video: video.clone(),
+            qoe_params,
+            next_chunk: 0,
+            buffer_s: 0.0,
+            last_quality: None,
+            time_s: 0.0,
+            total_rebuffer_s: 0.0,
+            throughput_hist: Vec::new(),
+            download_hist: Vec::new(),
+        }
+    }
+
+    pub fn finished(&self) -> bool {
+        self.next_chunk >= self.video.n_chunks()
+    }
+
+    pub fn buffer_s(&self) -> f64 {
+        self.buffer_s
+    }
+
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    pub fn total_rebuffer_s(&self) -> f64 {
+        self.total_rebuffer_s
+    }
+
+    pub fn next_chunk(&self) -> usize {
+        self.next_chunk
+    }
+
+    pub fn last_quality(&self) -> Option<usize> {
+        self.last_quality
+    }
+
+    pub fn video(&self) -> &Video {
+        &self.video
+    }
+
+    /// The observation a protocol conditions on before choosing the next
+    /// chunk's quality.
+    pub fn observation(&self, _net: &dyn Network) -> AbrObservation {
+        let hist_from = self.throughput_hist.len().saturating_sub(HISTORY_LEN);
+        AbrObservation {
+            last_quality: self.last_quality,
+            buffer_s: self.buffer_s,
+            throughput_mbps: self.throughput_hist[hist_from..].to_vec(),
+            download_s: self.download_hist
+                [self.download_hist.len().saturating_sub(HISTORY_LEN)..]
+                .to_vec(),
+            next_sizes: if self.finished() {
+                vec![0.0; self.video.n_qualities()]
+            } else {
+                self.video.sizes_of(self.next_chunk).to_vec()
+            },
+            chunk_index: self.next_chunk,
+            chunks_remaining: self.video.n_chunks() - self.next_chunk,
+            total_chunks: self.video.n_chunks(),
+            n_qualities: self.video.n_qualities(),
+            bitrates_mbps: (0..self.video.n_qualities())
+                .map(|q| self.video.bitrate_mbps(q))
+                .collect(),
+        }
+    }
+
+    /// Fetch the next chunk at `quality` over `net`.
+    ///
+    /// Panics if the session is finished or `quality` is out of range.
+    pub fn step(&mut self, quality: usize, net: &mut dyn Network) -> ChunkOutcome {
+        assert!(!self.finished(), "session already finished");
+        assert!(quality < self.video.n_qualities(), "quality {quality} out of range");
+        let chunk = self.next_chunk;
+        let size = self.video.size_bytes(chunk, quality);
+        let latency = net.latency_s();
+        net.advance(latency);
+        let transfer = net.download(size);
+        let dl = latency + transfer;
+
+        let rebuffer = (dl - self.buffer_s).max(0.0);
+        self.buffer_s = (self.buffer_s - dl).max(0.0) + self.video.chunk_seconds();
+        let mut sleep = 0.0;
+        if self.buffer_s > BUFFER_CAP_S {
+            sleep = self.buffer_s - BUFFER_CAP_S;
+            net.advance(sleep);
+            self.buffer_s = BUFFER_CAP_S;
+        }
+        self.time_s += dl + sleep;
+        self.total_rebuffer_s += rebuffer;
+
+        let bitrate = self.video.bitrate_mbps(quality);
+        let prev_bitrate = self.last_quality.map(|q| self.video.bitrate_mbps(q));
+        let qoe = qoe_chunk(&self.qoe_params, bitrate, prev_bitrate, rebuffer);
+
+        let throughput = size * 8.0 / dl.max(1e-9) / 1e6;
+        self.throughput_hist.push(throughput);
+        self.download_hist.push(dl);
+        self.last_quality = Some(quality);
+        self.next_chunk += 1;
+
+        ChunkOutcome {
+            chunk_index: chunk,
+            quality,
+            bitrate_mbps: bitrate,
+            size_bytes: size,
+            download_s: dl,
+            rebuffer_s: rebuffer,
+            sleep_s: sleep,
+            throughput_mbps: throughput,
+            buffer_after_s: self.buffer_s,
+            qoe,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traces::{Segment, Trace};
+
+    fn video() -> Video {
+        Video::cbr()
+    }
+
+    #[test]
+    fn fast_network_fills_buffer() {
+        let v = video();
+        let mut net = FixedConditions::new(100.0, 0.0);
+        let mut p = Player::new(&v, QoeParams::default());
+        let o = p.step(0, &mut net);
+        // 150 kB over 100 Mbit/s ≈ 12 ms — no rebuffering after chunk 1
+        assert!(o.download_s < 0.1);
+        assert!((o.rebuffer_s - o.download_s).abs() < 1e-12, "first chunk always stalls by dl time");
+        assert!((p.buffer_s() - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn slow_network_rebuffers() {
+        let v = video();
+        let mut net = FixedConditions::new(0.3, 0.0);
+        let mut p = Player::new(&v, QoeParams::default());
+        p.step(0, &mut net); // 300 kbit/s chunk at 0.3 Mbit/s: dl = 4 s
+        let o = p.step(5, &mut net); // 4.3 Mbit/s chunk: dl ≈ 57 s ≫ buffer 4 s
+        assert!(o.rebuffer_s > 50.0, "rebuffer {}", o.rebuffer_s);
+        assert!(o.qoe < -200.0, "heavy stall must crater QoE, got {}", o.qoe);
+    }
+
+    #[test]
+    fn buffer_caps_and_sleeps() {
+        let v = video();
+        let mut net = FixedConditions::new(1000.0, 0.0);
+        let mut p = Player::new(&v, QoeParams::default());
+        let mut slept = 0.0;
+        for _ in 0..20 {
+            slept += p.step(0, &mut net).sleep_s;
+        }
+        assert!(p.buffer_s() <= BUFFER_CAP_S + 1e-9);
+        assert!(slept > 0.0, "a fast network must hit the buffer cap and sleep");
+    }
+
+    #[test]
+    fn throughput_measured_correctly() {
+        let v = video();
+        let mut net = FixedConditions::new(2.0, 0.0);
+        let mut p = Player::new(&v, QoeParams::default());
+        let o = p.step(2, &mut net); // 1.2 Mbit/s × 4 s = 600 kB at 2 Mbit/s -> 2.4 s
+        assert!((o.download_s - 2.4).abs() < 1e-9);
+        assert!((o.throughput_mbps - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_adds_to_download_time() {
+        let v = video();
+        let mut no_lat = FixedConditions::new(2.0, 0.0);
+        let mut with_lat = FixedConditions::new(2.0, 500.0);
+        let mut p1 = Player::new(&v, QoeParams::default());
+        let mut p2 = Player::new(&v, QoeParams::default());
+        let a = p1.step(0, &mut no_lat);
+        let b = p2.step(0, &mut with_lat);
+        assert!((b.download_s - a.download_s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn session_runs_to_completion() {
+        let v = video();
+        let t = Trace::new("t", vec![Segment::bw(10.0, 3.0, 40.0)]);
+        let mut net = TraceNetwork::new(&t);
+        let mut p = Player::new(&v, QoeParams::default());
+        let mut n = 0;
+        while !p.finished() {
+            p.step(2, &mut net);
+            n += 1;
+        }
+        assert_eq!(n, 48);
+    }
+
+    #[test]
+    fn observation_reflects_history() {
+        let v = video();
+        let mut net = FixedConditions::new(2.0, 0.0);
+        let mut p = Player::new(&v, QoeParams::default());
+        for _ in 0..12 {
+            p.step(1, &mut net);
+        }
+        let o = p.observation(&net);
+        assert_eq!(o.throughput_mbps.len(), HISTORY_LEN);
+        assert_eq!(o.download_s.len(), HISTORY_LEN);
+        assert_eq!(o.chunk_index, 12);
+        assert_eq!(o.chunks_remaining, 36);
+        assert_eq!(o.last_quality, Some(1));
+        assert_eq!(o.next_sizes.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "quality 9 out of range")]
+    fn invalid_quality_rejected() {
+        let v = video();
+        let mut net = FixedConditions::new(2.0, 0.0);
+        let mut p = Player::new(&v, QoeParams::default());
+        p.step(9, &mut net);
+    }
+
+    #[test]
+    fn trace_network_time_advances_during_sleep() {
+        let t = Trace::new("t", vec![Segment::bw(5.0, 8.0, 0.0), Segment::bw(5.0, 1.0, 0.0)]);
+        let mut net = TraceNetwork::new(&t);
+        net.advance(6.0);
+        assert_eq!(net.current_bandwidth_mbps(), 1.0);
+    }
+}

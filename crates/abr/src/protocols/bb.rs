@@ -1,0 +1,125 @@
+//! Buffer-Based rate adaptation (BBA-0, Huang et al., SIGCOMM '14).
+//!
+//! The protocol looks only at the playback buffer: below a *reservoir* it
+//! plays the lowest bitrate, above *reservoir + cushion* the highest, and in
+//! between it maps the buffer linearly onto the bitrate range. The paper's
+//! §3.2 observes exactly this structure from the outside: "BB tries to
+//! maintain a playback buffer of size at least 10 seconds, and changes its
+//! rate when the buffer size is in the range of 10–15 seconds" — which is
+//! what its adversary then exploits by parking the buffer inside the
+//! switching band.
+
+use super::AbrPolicy;
+use crate::obs::AbrObservation;
+
+/// Buffer-based ABR.
+#[derive(Debug, Clone)]
+pub struct BufferBased {
+    /// Buffer level below which the lowest bitrate is used, seconds.
+    pub reservoir_s: f64,
+    /// Width of the linear mapping region, seconds.
+    pub cushion_s: f64,
+}
+
+impl BufferBased {
+    /// The configuration the paper's experiments observe: switching band
+    /// 10–15 s.
+    pub fn pensieve_defaults() -> Self {
+        BufferBased { reservoir_s: 10.0, cushion_s: 5.0 }
+    }
+
+    /// The rate (Mbit/s) the linear map allows at `buffer_s`.
+    fn allowed_rate(&self, buffer_s: f64, min_rate: f64, max_rate: f64) -> f64 {
+        if buffer_s <= self.reservoir_s {
+            min_rate
+        } else if buffer_s >= self.reservoir_s + self.cushion_s {
+            max_rate
+        } else {
+            let frac = (buffer_s - self.reservoir_s) / self.cushion_s;
+            min_rate + frac * (max_rate - min_rate)
+        }
+    }
+}
+
+impl Default for BufferBased {
+    fn default() -> Self {
+        Self::pensieve_defaults()
+    }
+}
+
+impl AbrPolicy for BufferBased {
+    fn name(&self) -> &str {
+        "bb"
+    }
+
+    fn select(&mut self, obs: &AbrObservation) -> usize {
+        let min_rate = obs.bitrates_mbps[0];
+        let max_rate = *obs.bitrates_mbps.last().expect("non-empty ladder");
+        let allowed = self.allowed_rate(obs.buffer_s, min_rate, max_rate);
+        // highest quality whose bitrate does not exceed the allowed rate
+        obs.bitrates_mbps
+            .iter()
+            .rposition(|&r| r <= allowed)
+            .unwrap_or(0)
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(buffer_s: f64) -> AbrObservation {
+        AbrObservation {
+            last_quality: None,
+            buffer_s,
+            throughput_mbps: vec![],
+            download_s: vec![],
+            next_sizes: vec![0.0; 6],
+            chunk_index: 0,
+            chunks_remaining: 48,
+            total_chunks: 48,
+            n_qualities: 6,
+            bitrates_mbps: vec![0.3, 0.75, 1.2, 1.85, 2.85, 4.3],
+        }
+    }
+
+    #[test]
+    fn below_reservoir_picks_lowest() {
+        let mut bb = BufferBased::pensieve_defaults();
+        assert_eq!(bb.select(&obs(0.0)), 0);
+        assert_eq!(bb.select(&obs(9.9)), 0);
+    }
+
+    #[test]
+    fn above_cushion_picks_highest() {
+        let mut bb = BufferBased::pensieve_defaults();
+        assert_eq!(bb.select(&obs(15.0)), 5);
+        assert_eq!(bb.select(&obs(60.0)), 5);
+    }
+
+    #[test]
+    fn switching_band_is_monotone() {
+        let mut bb = BufferBased::pensieve_defaults();
+        let mut prev = 0;
+        for b in [10.5, 11.5, 12.5, 13.5, 14.5] {
+            let q = bb.select(&obs(b));
+            assert!(q >= prev, "quality must not decrease as buffer grows");
+            prev = q;
+        }
+        // mid-band must pick something strictly between the extremes
+        let mid = bb.select(&obs(13.0));
+        assert!(mid > 0 && mid < 5, "mid-band quality = {mid}");
+    }
+
+    #[test]
+    fn band_boundaries_match_paper_observation() {
+        // the adversary's finding: rate changes happen only inside 10–15 s
+        let mut bb = BufferBased::pensieve_defaults();
+        let q10 = bb.select(&obs(10.0));
+        let q15 = bb.select(&obs(15.0));
+        assert_eq!(q10, 0);
+        assert_eq!(q15, 5);
+    }
+}

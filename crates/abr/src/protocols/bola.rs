@@ -1,0 +1,149 @@
+//! BOLA (Spiteri, Urgaonkar, Sitaraman, INFOCOM '16): Lyapunov-based
+//! buffer-only rate adaptation — the algorithm behind dash.js's default
+//! ABR. Included beyond the paper's three protocols so the adversarial
+//! framework has a second buffer-driven target with a *different* control
+//! law than BBA (useful for checking that adversarial traces are really
+//! protocol-specific and not just "anti-buffer-based").
+//!
+//! BOLA-BASIC: for buffer level `Q` (in chunks), pick the quality
+//! maximizing `(V·(u_q + γp) − Q) / s_q`, where `u_q = ln(s_q/s_0)` is the
+//! utility of quality `q`, `s_q` its (relative) chunk size, and `V`, `γp`
+//! derive from the buffer target.
+
+use super::AbrPolicy;
+use crate::obs::AbrObservation;
+
+/// BOLA-BASIC.
+#[derive(Debug, Clone)]
+pub struct Bola {
+    /// Lyapunov trade-off weight; larger favors utility over buffer risk.
+    pub v: f64,
+    /// The γp term (rebuffering aversion).
+    pub gp: f64,
+    /// Buffer target in chunks used to derive the defaults.
+    pub buffer_target_chunks: f64,
+}
+
+impl Bola {
+    /// Defaults calibrated for the Pensieve setting (4 s chunks, 6 rungs):
+    /// reach the top quality when ~25 s (≈6 chunks) are buffered.
+    pub fn dash_defaults() -> Self {
+        // u_max for the Pensieve ladder: ln(4300/300) ≈ 2.66
+        let u_max = (4300.0_f64 / 300.0).ln();
+        let gp = 1.0;
+        let target = 6.0;
+        // V chosen so the top rung's score turns positive at the target:
+        // V·(u_max + gp) = target  ⇒  V = target / (u_max + gp)
+        let v = target / (u_max + gp);
+        Bola { v, gp, buffer_target_chunks: target }
+    }
+
+    fn utilities(&self, obs: &AbrObservation) -> Vec<f64> {
+        let s0 = obs.bitrates_mbps[0];
+        obs.bitrates_mbps.iter().map(|s| (s / s0).ln()).collect()
+    }
+}
+
+impl Default for Bola {
+    fn default() -> Self {
+        Self::dash_defaults()
+    }
+}
+
+impl AbrPolicy for Bola {
+    fn name(&self) -> &str {
+        "bola"
+    }
+
+    fn select(&mut self, obs: &AbrObservation) -> usize {
+        let q_chunks = obs.buffer_s / 4.0; // chunk duration of the ladder
+        let utils = self.utilities(obs);
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (q, &u) in utils.iter().enumerate() {
+            // relative size: proportional to bitrate
+            let s_q = obs.bitrates_mbps[q] / obs.bitrates_mbps[0];
+            let score = (self.v * (u + self.gp) - q_chunks) / s_q;
+            if score > best_score {
+                best_score = score;
+                best = q;
+            }
+        }
+        best
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(buffer_s: f64) -> AbrObservation {
+        AbrObservation {
+            last_quality: None,
+            buffer_s,
+            throughput_mbps: vec![],
+            download_s: vec![],
+            next_sizes: vec![0.0; 6],
+            chunk_index: 0,
+            chunks_remaining: 48,
+            total_chunks: 48,
+            n_qualities: 6,
+            bitrates_mbps: vec![0.3, 0.75, 1.2, 1.85, 2.85, 4.3],
+        }
+    }
+
+    #[test]
+    fn empty_buffer_plays_safe() {
+        let mut b = Bola::dash_defaults();
+        assert_eq!(b.select(&obs(0.0)), 0);
+    }
+
+    #[test]
+    fn full_buffer_plays_top() {
+        let mut b = Bola::dash_defaults();
+        assert_eq!(b.select(&obs(50.0)), 5);
+    }
+
+    #[test]
+    fn quality_is_monotone_in_buffer() {
+        let mut b = Bola::dash_defaults();
+        let mut prev = 0;
+        for buf in [0.0, 4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 30.0] {
+            let q = b.select(&obs(buf));
+            assert!(q >= prev, "BOLA must not drop quality as the buffer grows");
+            prev = q;
+        }
+        assert_eq!(prev, 5, "eventually reaches the top rung");
+    }
+
+    #[test]
+    fn switching_band_differs_from_bba() {
+        // the point of including BOLA: its decision thresholds are in
+        // different places than BBA's linear 10-15 s map
+        let mut bola = Bola::dash_defaults();
+        let mut bba = super::super::BufferBased::pensieve_defaults();
+        let mut differs = 0;
+        for buf in [2.0, 6.0, 9.0, 11.0, 13.0, 16.0, 20.0] {
+            if bola.select(&obs(buf)) != bba.select(&obs(buf)) {
+                differs += 1;
+            }
+        }
+        assert!(differs >= 3, "BOLA and BBA should disagree across the range: {differs}");
+    }
+
+    #[test]
+    fn completes_a_session() {
+        use crate::player::FixedConditions;
+        use crate::qoe::QoeParams;
+        use crate::video::Video;
+        let video = Video::cbr();
+        let mut net = FixedConditions::new(3.0, 80.0);
+        let outcomes =
+            crate::run_session(&video, &mut Bola::dash_defaults(), &mut net, &QoeParams::default());
+        assert_eq!(outcomes.len(), 48);
+        let q = crate::mean_qoe(&outcomes);
+        assert!(q > 0.3, "BOLA on a decent network: {q}");
+    }
+}

@@ -1,0 +1,107 @@
+//! ABR protocols: the targets of the adversarial framework.
+//!
+//! * [`BufferBased`] — the buffer-based (BBA) approach of Huang et al.
+//! * [`Bola`] — Lyapunov buffer-based control (dash.js's default).
+//! * [`RateBased`] — pick the highest bitrate under predicted throughput.
+//! * [`Mpc`] — robust model-predictive control (Yin et al.).
+//! * [`Pensieve`] — an RL policy with Pensieve's state features, trained
+//!   with this workspace's PPO.
+
+mod bb;
+mod bola;
+mod mpc;
+pub mod pensieve;
+mod rate;
+
+pub use bb::BufferBased;
+pub use bola::Bola;
+pub use mpc::Mpc;
+pub use pensieve::Pensieve;
+pub use rate::RateBased;
+
+use crate::obs::AbrObservation;
+
+/// An adaptive-bitrate protocol: maps observations to quality indices.
+///
+/// Implementations must be deterministic — the paper evaluates protocols by
+/// replaying fixed traces, and determinism is what makes an adversarial
+/// trace a *reproducible* test case.
+pub trait AbrPolicy {
+    /// Human-readable protocol name (used in reports: "bb", "mpc",
+    /// "pensieve").
+    fn name(&self) -> &str;
+
+    /// Choose the quality for the next chunk.
+    fn select(&mut self, obs: &AbrObservation) -> usize;
+
+    /// Clear any per-session state before a new video.
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::player::FixedConditions;
+    use crate::qoe::QoeParams;
+    use crate::video::Video;
+    use crate::{mean_qoe, run_session};
+
+    /// Every built-in protocol must complete a session on a benign network
+    /// with a sane positive QoE.
+    #[test]
+    fn all_protocols_complete_a_benign_session() {
+        let video = Video::cbr();
+        let qoe = QoeParams::default();
+        let protos: Vec<Box<dyn AbrPolicy>> = vec![
+            Box::new(BufferBased::pensieve_defaults()),
+            Box::new(RateBased::default()),
+            Box::new(Mpc::default()),
+        ];
+        for mut p in protos {
+            let mut net = FixedConditions::new(3.0, 40.0);
+            let outcomes = run_session(&video, p.as_mut(), &mut net, &qoe);
+            assert_eq!(outcomes.len(), 48, "{}", p.name());
+            let q = mean_qoe(&outcomes);
+            assert!(q > 0.5, "{} QoE on easy network = {q}", p.name());
+        }
+    }
+
+    /// On a generous constant network, every protocol should converge to
+    /// (near) the top bitrate.
+    #[test]
+    fn protocols_reach_high_bitrate_on_fat_pipe() {
+        let video = Video::cbr();
+        let qoe = QoeParams::default();
+        let protos: Vec<Box<dyn AbrPolicy>> = vec![
+            Box::new(BufferBased::pensieve_defaults()),
+            Box::new(RateBased::default()),
+            Box::new(Mpc::default()),
+        ];
+        for mut p in protos {
+            let mut net = FixedConditions::new(20.0, 10.0);
+            let outcomes = run_session(&video, p.as_mut(), &mut net, &qoe);
+            let tail_quality: f64 = outcomes[24..].iter().map(|o| o.quality as f64).sum::<f64>()
+                / 24.0;
+            assert!(tail_quality > 4.0, "{} mean tail quality = {tail_quality}", p.name());
+        }
+    }
+
+    /// On a starved network, every protocol must fall to low bitrates.
+    #[test]
+    fn protocols_fall_back_on_thin_pipe() {
+        let video = Video::cbr();
+        let qoe = QoeParams::default();
+        let protos: Vec<Box<dyn AbrPolicy>> = vec![
+            Box::new(BufferBased::pensieve_defaults()),
+            Box::new(RateBased::default()),
+            Box::new(Mpc::default()),
+        ];
+        for mut p in protos {
+            let mut net = FixedConditions::new(0.4, 40.0);
+            let outcomes = run_session(&video, p.as_mut(), &mut net, &qoe);
+            let tail_quality: f64 = outcomes[24..].iter().map(|o| o.quality as f64).sum::<f64>()
+                / 24.0;
+            assert!(tail_quality < 1.5, "{} mean tail quality = {tail_quality}", p.name());
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Pensieve (Mao et al., SIGCOMM '17): RL-driven ABR.
+//!
+//! The policy consumes Pensieve's state features — last bitrate, buffer,
+//! throughput and download-time histories, next-chunk sizes, chunks
+//! remaining — and emits a distribution over the six bitrates. The paper's
+//! pre-trained A3C model is substituted by a policy with the same features
+//! trained with this workspace's PPO (see DESIGN.md §5); training lives in
+//! [`crate::env::AbrTrainEnv`].
+
+use super::AbrPolicy;
+use crate::obs::{AbrObservation, HISTORY_LEN};
+use rl::{PolicyKind, RunningMeanStd};
+use serde::{Deserialize, Serialize};
+
+/// Dimension of the flattened Pensieve feature vector:
+/// 1 (last bitrate) + 1 (buffer) + 8 (throughput) + 8 (download time)
+/// + 6 (next sizes) + 1 (chunks remaining).
+pub const PENSIEVE_OBS_DIM: usize = 1 + 1 + HISTORY_LEN + HISTORY_LEN + 6 + 1;
+
+/// Flatten an [`AbrObservation`] into Pensieve's normalized feature vector.
+///
+/// Normalizations follow the Pensieve reference implementation: bitrate by
+/// the max bitrate, buffer by 10 s, throughput in Mbit/s, download time by
+/// 10 s, sizes in MB, remaining chunks by the total.
+pub fn pensieve_features(obs: &AbrObservation) -> Vec<f64> {
+    let max_rate = *obs.bitrates_mbps.last().expect("non-empty ladder");
+    let mut f = Vec::with_capacity(PENSIEVE_OBS_DIM);
+    f.push(match obs.last_quality {
+        Some(q) => obs.bitrates_mbps[q] / max_rate,
+        None => 0.0,
+    });
+    f.push(obs.buffer_s / 10.0);
+    // histories are padded with zeros on the left (older-than-known)
+    let mut tp = vec![0.0; HISTORY_LEN - obs.throughput_mbps.len().min(HISTORY_LEN)];
+    tp.extend(obs.throughput_mbps.iter().rev().take(HISTORY_LEN).rev());
+    f.extend(tp);
+    let mut dl = vec![0.0; HISTORY_LEN - obs.download_s.len().min(HISTORY_LEN)];
+    dl.extend(obs.download_s.iter().rev().take(HISTORY_LEN).rev().map(|d| d / 10.0));
+    f.extend(dl);
+    // next-chunk sizes in MB; ladders other than 6 levels are padded/truncated
+    let mut sizes: Vec<f64> = obs.next_sizes.iter().map(|s| s / 1e6).collect();
+    sizes.resize(6, 0.0);
+    f.extend_from_slice(&sizes[..6]);
+    f.push(obs.chunks_remaining as f64 / obs.total_chunks.max(1) as f64);
+    debug_assert_eq!(f.len(), PENSIEVE_OBS_DIM);
+    f
+}
+
+/// A trained Pensieve model acting as a deterministic ABR protocol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pensieve {
+    /// The trained policy (categorical over bitrates).
+    pub policy: PolicyKind,
+    /// Frozen observation statistics from training, if any.
+    pub obs_norm: Option<RunningMeanStd>,
+}
+
+impl Pensieve {
+    /// Wrap a policy trained by [`crate::env::AbrTrainEnv`] + PPO.
+    ///
+    /// `obs_norm` must be the trainer's statistics (they are frozen here so
+    /// evaluation does not drift them).
+    pub fn new(policy: PolicyKind, mut obs_norm: Option<RunningMeanStd>) -> Self {
+        if let Some(n) = &mut obs_norm {
+            n.updating = false;
+        }
+        Pensieve { policy, obs_norm }
+    }
+}
+
+impl AbrPolicy for Pensieve {
+    fn name(&self) -> &str {
+        "pensieve"
+    }
+
+    fn select(&mut self, obs: &AbrObservation) -> usize {
+        let raw = pensieve_features(obs);
+        let feat = match &self.obs_norm {
+            Some(n) => n.normalize(&raw),
+            None => raw,
+        };
+        self.policy.mode(&feat).index().min(obs.n_qualities - 1)
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rl::CategoricalPolicy;
+
+    fn obs() -> AbrObservation {
+        AbrObservation {
+            last_quality: Some(2),
+            buffer_s: 20.0,
+            throughput_mbps: vec![1.0, 2.0, 3.0],
+            download_s: vec![4.0, 2.0, 1.0],
+            next_sizes: vec![150_000.0, 375_000.0, 600_000.0, 925_000.0, 1_425_000.0, 2_150_000.0],
+            chunk_index: 3,
+            chunks_remaining: 45,
+            total_chunks: 48,
+            n_qualities: 6,
+            bitrates_mbps: vec![0.3, 0.75, 1.2, 1.85, 2.85, 4.3],
+        }
+    }
+
+    #[test]
+    fn feature_vector_shape_and_padding() {
+        let f = pensieve_features(&obs());
+        assert_eq!(f.len(), PENSIEVE_OBS_DIM);
+        // last bitrate normalized
+        assert!((f[0] - 1.2 / 4.3).abs() < 1e-12);
+        // buffer / 10
+        assert!((f[1] - 2.0).abs() < 1e-12);
+        // throughput history: 5 zero-pads then 1,2,3
+        assert_eq!(&f[2..10], &[0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 3.0]);
+        // download history scaled by 10
+        assert_eq!(&f[10..18], &[0.0, 0.0, 0.0, 0.0, 0.0, 0.4, 0.2, 0.1]);
+        // sizes in MB
+        assert!((f[18] - 0.15).abs() < 1e-12);
+        // remaining fraction
+        assert!((f[24] - 45.0 / 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_chunk_features() {
+        let mut o = obs();
+        o.last_quality = None;
+        o.throughput_mbps.clear();
+        o.download_s.clear();
+        let f = pensieve_features(&o);
+        assert_eq!(f[0], 0.0);
+        assert!(f[2..18].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn pensieve_protocol_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let policy =
+            PolicyKind::Categorical(CategoricalPolicy::new(&[PENSIEVE_OBS_DIM, 16, 6], &mut rng));
+        let mut p = Pensieve::new(policy, None);
+        let a = p.select(&obs());
+        let b = p.select(&obs());
+        assert_eq!(a, b);
+        assert!(a < 6);
+    }
+
+    #[test]
+    fn obs_norm_is_frozen() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let policy =
+            PolicyKind::Categorical(CategoricalPolicy::new(&[PENSIEVE_OBS_DIM, 16, 6], &mut rng));
+        let mut norm = RunningMeanStd::new(PENSIEVE_OBS_DIM);
+        norm.observe(&vec![1.0; PENSIEVE_OBS_DIM]);
+        norm.observe(&vec![-1.0; PENSIEVE_OBS_DIM]);
+        let p = Pensieve::new(policy, Some(norm));
+        assert!(!p.obs_norm.as_ref().unwrap().updating);
+    }
+}

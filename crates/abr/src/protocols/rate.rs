@@ -1,0 +1,83 @@
+//! Rate-based ABR: pick the highest bitrate below predicted throughput.
+
+use super::AbrPolicy;
+use crate::obs::AbrObservation;
+
+/// Throughput-predicting ABR using the harmonic mean of recent samples,
+/// optionally discounted by a safety factor.
+#[derive(Debug, Clone)]
+pub struct RateBased {
+    /// How many past chunks feed the harmonic-mean predictor.
+    pub window: usize,
+    /// Multiplicative safety margin on the prediction (≤ 1.0).
+    pub safety: f64,
+}
+
+impl Default for RateBased {
+    fn default() -> Self {
+        RateBased { window: 5, safety: 1.0 }
+    }
+}
+
+impl AbrPolicy for RateBased {
+    fn name(&self) -> &str {
+        "rate"
+    }
+
+    fn select(&mut self, obs: &AbrObservation) -> usize {
+        let predicted = match obs.harmonic_mean_throughput(self.window) {
+            Some(p) => p * self.safety,
+            None => return 0, // nothing known yet: start safe
+        };
+        obs.bitrates_mbps.iter().rposition(|&r| r <= predicted).unwrap_or(0)
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(tps: Vec<f64>) -> AbrObservation {
+        AbrObservation {
+            last_quality: None,
+            buffer_s: 10.0,
+            throughput_mbps: tps,
+            download_s: vec![],
+            next_sizes: vec![0.0; 6],
+            chunk_index: 0,
+            chunks_remaining: 48,
+            total_chunks: 48,
+            n_qualities: 6,
+            bitrates_mbps: vec![0.3, 0.75, 1.2, 1.85, 2.85, 4.3],
+        }
+    }
+
+    #[test]
+    fn starts_at_lowest_quality() {
+        let mut p = RateBased::default();
+        assert_eq!(p.select(&obs(vec![])), 0);
+    }
+
+    #[test]
+    fn picks_rate_below_prediction() {
+        let mut p = RateBased::default();
+        assert_eq!(p.select(&obs(vec![2.0, 2.0, 2.0])), 3); // 1.85 ≤ 2.0 < 2.85
+        assert_eq!(p.select(&obs(vec![10.0, 10.0])), 5);
+        assert_eq!(p.select(&obs(vec![0.1])), 0);
+    }
+
+    #[test]
+    fn safety_factor_is_conservative() {
+        let mut p = RateBased { window: 5, safety: 0.5 };
+        assert_eq!(p.select(&obs(vec![2.0, 2.0, 2.0])), 1); // 0.75 ≤ 1.0 < 1.2
+    }
+
+    #[test]
+    fn harmonic_mean_punishes_dips() {
+        let mut p = RateBased::default();
+        // arithmetic mean of (4.0, 0.4) is 2.2, harmonic is ~0.73
+        assert_eq!(p.select(&obs(vec![4.0, 0.4])), 0);
+    }
+}

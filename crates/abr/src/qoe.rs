@@ -1,0 +1,85 @@
+//! The linear QoE metric of MPC (Yin et al., SIGCOMM '15), as used by the
+//! paper: `QoE_lin = Σ R_i − 4.3 Σ T_i − Σ |R_i − R_{i+1}|` where `R_i` is
+//! the chunk bitrate in Mbit/s and `T_i` the rebuffering time it caused.
+
+use serde::{Deserialize, Serialize};
+
+/// QoE coefficients. The defaults are the paper's `QoE_lin`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QoeParams {
+    /// Weight on the chunk bitrate (Mbit/s). 1.0 in `QoE_lin`.
+    pub quality_weight: f64,
+    /// Penalty per second of rebuffering. 4.3 in `QoE_lin` (the maximum
+    /// bitrate, so one second of stall cancels one top-quality chunk).
+    pub rebuffer_penalty: f64,
+    /// Penalty per Mbit/s of bitrate change between consecutive chunks.
+    pub smoothness_penalty: f64,
+}
+
+impl Default for QoeParams {
+    fn default() -> Self {
+        QoeParams { quality_weight: 1.0, rebuffer_penalty: 4.3, smoothness_penalty: 1.0 }
+    }
+}
+
+impl QoeParams {
+    /// A rebuffer-focused variant (paper §5, "different adversarial goals"):
+    /// only stalls are penalized, quality contributes nothing.
+    pub fn rebuffer_only() -> Self {
+        QoeParams { quality_weight: 0.0, rebuffer_penalty: 4.3, smoothness_penalty: 0.0 }
+    }
+}
+
+/// QoE contribution of one chunk.
+///
+/// `bitrate_mbps` is the chunk's bitrate, `prev_bitrate_mbps` the previous
+/// chunk's (`None` for the first chunk — no smoothness term), and
+/// `rebuffer_s` the stall this chunk caused.
+pub fn qoe_chunk(
+    params: &QoeParams,
+    bitrate_mbps: f64,
+    prev_bitrate_mbps: Option<f64>,
+    rebuffer_s: f64,
+) -> f64 {
+    let smooth = match prev_bitrate_mbps {
+        Some(prev) => (bitrate_mbps - prev).abs(),
+        None => 0.0,
+    };
+    params.quality_weight * bitrate_mbps
+        - params.rebuffer_penalty * rebuffer_s
+        - params.smoothness_penalty * smooth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_chunk_has_no_smoothness_penalty() {
+        let p = QoeParams::default();
+        assert!((qoe_chunk(&p, 4.3, None, 0.0) - 4.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebuffering_dominates() {
+        let p = QoeParams::default();
+        // one second of stall cancels a max-bitrate chunk exactly
+        assert!(qoe_chunk(&p, 4.3, Some(4.3), 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switching_costs() {
+        let p = QoeParams::default();
+        let steady = qoe_chunk(&p, 1.2, Some(1.2), 0.0);
+        let switched = qoe_chunk(&p, 1.2, Some(4.3), 0.0);
+        assert!((steady - 1.2).abs() < 1e-12);
+        assert!((switched - (1.2 - 3.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebuffer_only_variant() {
+        let p = QoeParams::rebuffer_only();
+        assert_eq!(qoe_chunk(&p, 4.3, Some(0.3), 0.0), 0.0);
+        assert!((qoe_chunk(&p, 4.3, Some(0.3), 2.0) + 8.6).abs() < 1e-12);
+    }
+}

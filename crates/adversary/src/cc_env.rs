@@ -1,0 +1,390 @@
+//! The adversary environment for congestion control (paper §4).
+//!
+//! The adversary controls link bandwidth, latency and random loss at a
+//! granularity of 30 ms, constrained to the paper's Table 1 ranges
+//! (bandwidth 6–24 Mbit/s, latency 15–60 ms, loss 0–10 %) — all "clearly
+//! within BBR's expected design range". It observes two inputs: the current
+//! link utilization and the current queuing delay. Its reward is
+//!
+//! ```text
+//! r = 1 − U − L − 0.01 · S
+//! ```
+//!
+//! where `U` is link utilization, `L` the chosen loss rate, and `S` a
+//! smoothing factor from the difference between the current bandwidth and
+//! latency and exponentially-weighted moving averages of both.
+
+use netsim::{CongestionControl, FlowSim, LinkParams, SimConfig, Time, MS};
+use nn::ops::{scale_from_unit, scale_to_unit};
+use rand::rngs::StdRng;
+use rl::{Action, ActionSpace, Env, Step};
+use serde::{Deserialize, Serialize};
+
+/// Adversary control granularity (paper: 30 ms).
+pub const INTERVAL: Time = 30 * MS;
+
+/// Table 1 of the paper: the ranges of link parameters the adversary may
+/// produce.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CcActionSpace {
+    pub bandwidth_mbps: (f64, f64),
+    pub latency_ms: (f64, f64),
+    pub loss_rate: (f64, f64),
+}
+
+impl Default for CcActionSpace {
+    fn default() -> Self {
+        CcActionSpace {
+            bandwidth_mbps: (6.0, 24.0),
+            latency_ms: (15.0, 60.0),
+            loss_rate: (0.0, 0.10),
+        }
+    }
+}
+
+impl CcActionSpace {
+    /// Clip a raw *physical* 3-vector into the box and build [`LinkParams`].
+    pub fn to_params(&self, raw: &[f64]) -> LinkParams {
+        assert_eq!(raw.len(), 3, "CC actions are (bandwidth, latency, loss)");
+        LinkParams::new(
+            raw[0].clamp(self.bandwidth_mbps.0, self.bandwidth_mbps.1),
+            raw[1].clamp(self.latency_ms.0, self.latency_ms.1),
+            raw[2].clamp(self.loss_rate.0, self.loss_rate.1),
+        )
+    }
+
+    /// Map a normalized `[-1, 1]` policy action onto the box (clipping
+    /// out-of-range values, the stable-baselines convention the paper
+    /// describes for PPO).
+    pub fn from_unit(&self, raw: &[f64]) -> LinkParams {
+        assert_eq!(raw.len(), 3, "CC actions are (bandwidth, latency, loss)");
+        LinkParams::new(
+            scale_from_unit(raw[0], self.bandwidth_mbps.0, self.bandwidth_mbps.1),
+            scale_from_unit(raw[1], self.latency_ms.0, self.latency_ms.1),
+            scale_from_unit(raw[2], self.loss_rate.0, self.loss_rate.1),
+        )
+    }
+
+    /// Inverse of [`CcActionSpace::from_unit`] (for tests and hand-built
+    /// schedules).
+    pub fn action_for(&self, bandwidth_mbps: f64, latency_ms: f64, loss_rate: f64) -> Action {
+        Action::Continuous(vec![
+            scale_to_unit(bandwidth_mbps, self.bandwidth_mbps.0, self.bandwidth_mbps.1),
+            scale_to_unit(latency_ms, self.latency_ms.0, self.latency_ms.1),
+            scale_to_unit(loss_rate, self.loss_rate.0, self.loss_rate.1),
+        ])
+    }
+}
+
+/// Configuration of the CC adversary environment.
+pub struct CcAdversaryConfig {
+    /// Action constraints (Table 1 by default).
+    pub space: CcActionSpace,
+    /// Adversary decisions per episode (paper: 30 s = 1000 × 30 ms with
+    /// `action_repeat = 1`).
+    pub episode_steps: usize,
+    /// How many consecutive 30 ms intervals each decision is held for.
+    ///
+    /// The paper's adversary acts every 30 ms; with `1` this environment
+    /// matches it exactly. Poisoning BBR's windowed-max bandwidth filter,
+    /// however, requires conditions sustained over ~10 packet rounds, which
+    /// iid per-step exploration noise essentially never produces — so
+    /// training configurations use a larger repeat (e.g. 10 ⇒ decisions
+    /// every 300 ms) to make that valley crossable, and the recorded trace
+    /// still contains one entry per 30 ms interval.
+    pub action_repeat: usize,
+    /// EWMA factor for the smoothing baseline.
+    pub ewma_alpha: f64,
+    /// Coefficient on the smoothing factor (paper: 0.01).
+    pub smoothing_coef: f64,
+    /// Link simulator configuration (seed is overridden per episode).
+    pub sim: SimConfig,
+}
+
+impl Default for CcAdversaryConfig {
+    fn default() -> Self {
+        CcAdversaryConfig {
+            space: CcActionSpace::default(),
+            episode_steps: 1000,
+            action_repeat: 1,
+            ewma_alpha: 0.1,
+            smoothing_coef: 0.01,
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// A recorded adversarial CC trace: the per-interval link parameters, plus
+/// what the flow achieved — the artifact behind Figs. 5 and 6.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CcTrace {
+    pub params: Vec<LinkParams>,
+    pub throughput_mbps: Vec<f64>,
+    pub utilization: Vec<f64>,
+}
+
+impl CcTrace {
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Mean utilization over the trace — the paper's headline is BBR pulled
+    /// down to 45–65 % of capacity.
+    pub fn mean_utilization(&self) -> f64 {
+        nn::ops::mean(&self.utilization)
+    }
+
+    /// Convert to the common [`traces::Trace`] format (30 ms segments).
+    pub fn to_trace(&self, name: &str) -> traces::Trace {
+        traces::Trace::new(
+            name,
+            self.params
+                .iter()
+                .map(|p| traces::Segment {
+                    duration_s: 0.030,
+                    bandwidth_mbps: p.bandwidth_mbps,
+                    latency_ms: p.latency_ms,
+                    loss_rate: p.loss_rate,
+                })
+                .collect(),
+        )
+    }
+}
+
+/// The online congestion-control adversary environment.
+///
+/// A fresh protocol instance and simulator are built per episode from the
+/// supplied factory (the protocol carries state such as BBR's filters).
+pub struct CcAdversaryEnv {
+    make_cc: Box<dyn Fn() -> Box<dyn CongestionControl>>,
+    cfg: CcAdversaryConfig,
+    sim: Option<FlowSim>,
+    step_count: usize,
+    episode: u64,
+    ewma_bw: f64,
+    ewma_lat: f64,
+    last_obs: [f64; 2],
+    /// Trace of the current/last episode.
+    trace: CcTrace,
+}
+
+impl CcAdversaryEnv {
+    pub fn new(
+        make_cc: Box<dyn Fn() -> Box<dyn CongestionControl>>,
+        cfg: CcAdversaryConfig,
+    ) -> Self {
+        CcAdversaryEnv {
+            make_cc,
+            cfg,
+            sim: None,
+            step_count: 0,
+            episode: 0,
+            ewma_bw: 0.0,
+            ewma_lat: 0.0,
+            last_obs: [0.0; 2],
+            trace: CcTrace::default(),
+        }
+    }
+
+    /// The recorded trace of the current/last episode.
+    pub fn episode_trace(&self) -> &CcTrace {
+        &self.trace
+    }
+
+    /// Smoothing factor `S`: normalized deviation of the current bandwidth
+    /// and latency from their EWMAs.
+    fn smoothing(&self, p: &LinkParams) -> f64 {
+        let (bw_lo, bw_hi) = self.cfg.space.bandwidth_mbps;
+        let (lat_lo, lat_hi) = self.cfg.space.latency_ms;
+        (p.bandwidth_mbps - self.ewma_bw).abs() / (bw_hi - bw_lo)
+            + (p.latency_ms - self.ewma_lat).abs() / (lat_hi - lat_lo)
+    }
+}
+
+impl Env for CcAdversaryEnv {
+    fn obs_dim(&self) -> usize {
+        2 // the paper's two inputs: link utilization and queuing delay
+    }
+
+    fn action_space(&self) -> ActionSpace {
+        // normalized; see [`CcActionSpace::from_unit`]
+        ActionSpace::Continuous { low: vec![-1.0; 3], high: vec![1.0; 3] }
+    }
+
+    fn reset(&mut self, _rng: &mut StdRng) -> Vec<f64> {
+        self.episode += 1;
+        let mid = LinkParams::new(
+            (self.cfg.space.bandwidth_mbps.0 + self.cfg.space.bandwidth_mbps.1) / 2.0,
+            (self.cfg.space.latency_ms.0 + self.cfg.space.latency_ms.1) / 2.0,
+            0.0,
+        );
+        let sim_cfg = SimConfig { seed: self.cfg.sim.seed ^ self.episode, ..self.cfg.sim.clone() };
+        self.sim = Some(FlowSim::new((self.make_cc)(), mid, sim_cfg));
+        self.step_count = 0;
+        self.ewma_bw = mid.bandwidth_mbps;
+        self.ewma_lat = mid.latency_ms;
+        self.last_obs = [0.0, 0.0];
+        self.trace = CcTrace::default();
+        vec![0.0, 0.0]
+    }
+
+    fn step(&mut self, action: &Action, _rng: &mut StdRng) -> Step {
+        let p = self.cfg.space.from_unit(action.vector());
+        let smoothing = self.smoothing(&p);
+        let sim = self.sim.as_mut().expect("reset() before step()");
+        sim.set_link(p);
+        // hold the decision for `action_repeat` paper-granularity intervals
+        let repeat = self.cfg.action_repeat.max(1);
+        let mut util_sum = 0.0;
+        for _ in 0..repeat {
+            let stats = sim.run_for(INTERVAL);
+            util_sum += stats.utilization;
+            self.trace.params.push(p);
+            self.trace.throughput_mbps.push(stats.throughput_mbps);
+            self.trace.utilization.push(stats.utilization);
+        }
+        let utilization = util_sum / repeat as f64;
+
+        let a = self.cfg.ewma_alpha;
+        self.ewma_bw = (1.0 - a) * self.ewma_bw + a * p.bandwidth_mbps;
+        self.ewma_lat = (1.0 - a) * self.ewma_lat + a * p.latency_ms;
+
+        let reward =
+            1.0 - utilization - p.loss_rate - self.cfg.smoothing_coef * smoothing;
+
+        // observation: utilization and queuing delay (normalized to ~O(1))
+        let qd = sim.queue_delay_ms();
+        self.last_obs = [utilization, qd / 100.0];
+
+        self.step_count += 1;
+        Step {
+            obs: self.last_obs.to_vec(),
+            reward,
+            done: self.step_count >= self.cfg.episode_steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc::Bbr;
+    use rand::SeedableRng;
+
+    fn env(steps: usize) -> CcAdversaryEnv {
+        CcAdversaryEnv::new(
+            Box::new(|| Box::new(Bbr::new())),
+            CcAdversaryConfig { episode_steps: steps, ..CcAdversaryConfig::default() },
+        )
+    }
+
+    #[test]
+    fn table1_ranges_enforced() {
+        let sp = CcActionSpace::default();
+        let p = sp.to_params(&[100.0, -5.0, 0.5]);
+        assert_eq!(p.bandwidth_mbps, 24.0);
+        assert_eq!(p.latency_ms, 15.0);
+        assert!((p.loss_rate - 0.10).abs() < 1e-12);
+        let p2 = sp.to_params(&[10.0, 30.0, 0.05]);
+        assert_eq!(p2.bandwidth_mbps, 10.0);
+        assert_eq!(p2.latency_ms, 30.0);
+        assert_eq!(p2.loss_rate, 0.05);
+    }
+
+    #[test]
+    fn episode_length_is_config() {
+        let mut e = env(50);
+        let mut rng = StdRng::seed_from_u64(0);
+        e.reset(&mut rng);
+        let mut n = 0;
+        loop {
+            let s = e.step(&CcActionSpace::default().action_for(12.0, 30.0, 0.0), &mut rng);
+            n += 1;
+            if s.done {
+                break;
+            }
+            assert!(n <= 50);
+        }
+        assert_eq!(n, 50);
+        assert_eq!(e.episode_trace().len(), 50);
+    }
+
+    #[test]
+    fn benign_constant_link_yields_low_reward() {
+        // BBR saturates a constant clean link, so 1 − U ≈ 0: a lazy
+        // adversary earns nothing (the paper's "trivial examples are not
+        // interesting" requirement is enforced by the reward itself)
+        let mut e = env(400);
+        let mut rng = StdRng::seed_from_u64(0);
+        e.reset(&mut rng);
+        let mut tail_rewards = Vec::new();
+        for i in 0..400 {
+            let s = e.step(&CcActionSpace::default().action_for(12.0, 30.0, 0.0), &mut rng);
+            if i >= 200 {
+                tail_rewards.push(s.reward);
+            }
+        }
+        let mean = nn::ops::mean(&tail_rewards);
+        assert!(mean < 0.25, "steady BBR should utilize the link: reward {mean}");
+    }
+
+    #[test]
+    fn loss_term_costs_the_adversary() {
+        let mut e = env(100);
+        let mut rng = StdRng::seed_from_u64(0);
+        e.reset(&mut rng);
+        // maximal loss: utilization collapses but L is charged; compare the
+        // instantaneous reward structure
+        let s = e.step(&CcActionSpace::default().action_for(12.0, 30.0, 0.10), &mut rng);
+        // reward = 1 - U - 0.1 - smoothing; U ≤ 1 so reward ≤ 0.9
+        assert!(s.reward <= 0.91);
+    }
+
+    #[test]
+    fn observations_are_utilization_and_queue_delay() {
+        let mut e = env(100);
+        let mut rng = StdRng::seed_from_u64(0);
+        let obs0 = e.reset(&mut rng);
+        assert_eq!(obs0, vec![0.0, 0.0]);
+        let mut last = vec![];
+        for _ in 0..100 {
+            last = e.step(&CcActionSpace::default().action_for(6.0, 15.0, 0.0), &mut rng).obs;
+        }
+        assert!(last[0] > 0.5, "BBR should be utilizing by now: {last:?}");
+        assert!(last[1] >= 0.0);
+    }
+
+    #[test]
+    fn trace_roundtrips_to_common_format() {
+        let mut e = env(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        e.reset(&mut rng);
+        for _ in 0..10 {
+            e.step(&CcActionSpace::default().action_for(8.0, 20.0, 0.01), &mut rng);
+        }
+        let t = e.episode_trace().to_trace("adv");
+        assert_eq!(t.segments.len(), 10);
+        assert!((t.duration_s() - 0.3).abs() < 1e-9);
+        assert_eq!(t.segments[0].bandwidth_mbps, 8.0);
+    }
+
+    #[test]
+    fn episodes_are_reproducible_by_seed() {
+        let run = || {
+            let mut e = env(100);
+            let mut rng = StdRng::seed_from_u64(5);
+            e.reset(&mut rng);
+            let mut total = 0.0;
+            for i in 0..100 {
+                let bw = 6.0 + (i % 10) as f64;
+                total += e.step(&CcActionSpace::default().action_for(bw, 20.0, 0.02), &mut rng).reward;
+            }
+            total
+        };
+        assert_eq!(run(), run());
+    }
+}

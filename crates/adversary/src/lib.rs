@@ -1,0 +1,50 @@
+//! The paper's core contribution: an RL-driven adversarial framework that
+//! generates network conditions under which a target protocol performs far
+//! from optimally — and uses those conditions to make protocols more robust.
+//!
+//! The adversary is an *online* agent (§2.1): each step it observes the
+//! target protocol's behaviour and emits the next network conditions. Its
+//! reward (Eq. 1) is
+//!
+//! ```text
+//! r_adversary = r_opt − r_protocol − p_smoothing
+//! ```
+//!
+//! so trivially hostile conditions (drop everything) earn nothing — the
+//! adversary must find conditions where the protocol *could have done well
+//! but didn't*, and the smoothing penalty keeps traces explainable.
+//!
+//! * [`abr_env`] — adversary vs. ABR protocols (per-chunk bandwidth in
+//!   0.8–4.8 Mbit/s; reward gap vs. the windowed offline optimum).
+//! * [`cc_env`] — adversary vs. congestion control (30 ms control over
+//!   bandwidth/latency/loss in the Table 1 ranges; reward `1 − U − L −
+//!   0.01·S`).
+//! * [`train`] — PPO adversary construction with the paper's architectures
+//!   (32×16 for ABR, a single 4-neuron layer for CC).
+//! * [`trace_gen`] — rolling a trained adversary into reproducible traces,
+//!   plus the random-trace baselines.
+//! * [`report`] — QoE CDFs and ratio summaries (Figs. 1 and 2).
+//! * [`robustify`] — the §2.3 pipeline: pause Pensieve training, inject
+//!   adversarial traces, resume (Fig. 4).
+//! * [`trace_based`] — the alternative §2.1 design: a whole-trace adversary
+//!   via cross-entropy search, for contrast with the online one.
+
+pub mod abr_env;
+pub mod cc_env;
+pub mod report;
+pub mod robustify;
+pub mod trace_based;
+pub mod trace_gen;
+pub mod train;
+
+pub use abr_env::{AbrAdversaryConfig, AbrAdversaryEnv, ChunkNetwork};
+pub use cc_env::{CcActionSpace, CcAdversaryConfig, CcAdversaryEnv, CcTrace};
+pub use report::{qoe_cdf, RatioSummary};
+pub use robustify::{robustify_pensieve, RobustifyConfig, RobustifyOutcome};
+pub use trace_gen::{
+    abr_traces_to_corpus, generate_abr_traces, generate_abr_traces_with, generate_cc_trace,
+    generate_cc_trace_with, random_abr_traces, replay_abr_trace, replay_abr_trace_detailed,
+    replay_cc_schedule, AbrTrace,
+};
+pub use trace_based::{cem_search, score_trace, CemConfig, CemOutcome};
+pub use train::{train_abr_adversary, train_cc_adversary, AdversaryTrainConfig};

@@ -1,0 +1,189 @@
+//! A *trace-based* adversary (paper §2.1's alternative design): instead of
+//! reacting online, it searches directly over whole traces — "a time-ordered
+//! list of network conditions ... as a single output" — scored by replaying
+//! the target protocol on them.
+//!
+//! The paper rejects this design for RL because each trace is a single data
+//! point, making training slow; here it is implemented with the
+//! cross-entropy method (CEM), a derivative-free search that needs no value
+//! estimation and makes the trade-off measurable (see the
+//! `ablation_tracebased` bench): trace-based search needs a full protocol
+//! rollout per candidate but its artifacts replay exactly by construction,
+//! whereas the online adversary's traces depend on the interaction history.
+
+use crate::abr_env::{AbrAdversaryConfig, ChunkNetwork, BW_MAX_MBPS, BW_MIN_MBPS};
+use crate::trace_gen::AbrTrace;
+use abr::{run_session, AbrPolicy, Video};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Cross-entropy method configuration.
+#[derive(Debug, Clone)]
+pub struct CemConfig {
+    /// Candidates per generation.
+    pub population: usize,
+    /// Elite fraction refitting the sampling distribution.
+    pub elite_frac: f64,
+    /// Generations to run.
+    pub generations: usize,
+    /// Initial per-chunk standard deviation (Mbit/s).
+    pub init_std: f64,
+    /// Additive noise floor on the std (prevents premature collapse).
+    pub std_floor: f64,
+    /// Weight of the smoothness penalty (Eq. 1's `p_smoothing`), applied to
+    /// the mean absolute bandwidth step of the candidate trace.
+    pub smoothing_coef: f64,
+    pub seed: u64,
+}
+
+impl Default for CemConfig {
+    fn default() -> Self {
+        CemConfig {
+            population: 64,
+            elite_frac: 0.125,
+            generations: 30,
+            init_std: 1.2,
+            std_floor: 0.05,
+            smoothing_coef: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a CEM search.
+#[derive(Debug, Clone)]
+pub struct CemOutcome {
+    /// The best trace found.
+    pub trace: AbrTrace,
+    /// Its Eq.-1 style score: `(r_opt − r_protocol)/chunks − smoothing`.
+    pub score: f64,
+    /// Best score per generation (for convergence plots).
+    pub history: Vec<f64>,
+}
+
+/// Score a whole trace against the target: the per-chunk mean gap between
+/// the full-trace offline optimum and the protocol's QoE, minus the
+/// smoothness penalty on the trace itself.
+pub fn score_trace(
+    trace: &AbrTrace,
+    target: &mut dyn AbrPolicy,
+    video: &Video,
+    cfg: &AbrAdversaryConfig,
+    smoothing_coef: f64,
+) -> f64 {
+    let mut net = ChunkNetwork::new(trace.clone(), cfg.latency_ms);
+    let outcomes = run_session(video, target, &mut net, &cfg.qoe);
+    let proto: f64 = outcomes.iter().map(|o| o.qoe).sum();
+    let (opt, _) = abr::optimal_qoe_dp(video, &cfg.qoe, trace, cfg.latency_ms / 1000.0);
+    let n = video.n_chunks() as f64;
+    let jump = trace.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>()
+        / (trace.len().max(2) - 1) as f64;
+    (opt - proto) / n - smoothing_coef * jump
+}
+
+/// Search for an adversarial trace against `target` with CEM.
+pub fn cem_search(
+    target: &mut dyn AbrPolicy,
+    video: &Video,
+    adv_cfg: &AbrAdversaryConfig,
+    cem: &CemConfig,
+) -> CemOutcome {
+    assert!(cem.population >= 4, "population too small");
+    let n_elite = ((cem.population as f64 * cem.elite_frac) as usize).max(2);
+    let n = video.n_chunks();
+    let mut rng = StdRng::seed_from_u64(cem.seed ^ 0xce31);
+    let mut mean = vec![(BW_MIN_MBPS + BW_MAX_MBPS) / 2.0; n];
+    let mut std = vec![cem.init_std; n];
+    let mut best: Option<(f64, AbrTrace)> = None;
+    let mut history = Vec::with_capacity(cem.generations);
+
+    for _gen in 0..cem.generations {
+        let mut scored: Vec<(f64, AbrTrace)> = (0..cem.population)
+            .map(|_| {
+                let candidate: AbrTrace = (0..n)
+                    .map(|i| {
+                        (mean[i] + std[i] * nn::init::gaussian(&mut rng))
+                            .clamp(BW_MIN_MBPS, BW_MAX_MBPS)
+                    })
+                    .collect();
+                let s = score_trace(&candidate, target, video, adv_cfg, cem.smoothing_coef);
+                (s, candidate)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+        if best.as_ref().map(|(s, _)| scored[0].0 > *s).unwrap_or(true) {
+            best = Some(scored[0].clone());
+        }
+        history.push(scored[0].0);
+        // refit the sampling distribution on the elites
+        for i in 0..n {
+            let vals: Vec<f64> = scored[..n_elite].iter().map(|(_, t)| t[i]).collect();
+            mean[i] = nn::ops::mean(&vals);
+            std[i] = nn::ops::std_dev(&vals).max(cem.std_floor);
+        }
+    }
+    let (score, trace) = best.expect("at least one generation ran");
+    CemOutcome { trace, score, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr::BufferBased;
+
+    fn quick_cem() -> CemConfig {
+        CemConfig { population: 32, generations: 10, seed: 3, ..CemConfig::default() }
+    }
+
+    #[test]
+    fn cem_finds_worse_traces_than_random() {
+        let video = Video::cbr();
+        let cfg = AbrAdversaryConfig::default();
+        let mut bb = BufferBased::pensieve_defaults();
+        let out = cem_search(&mut bb, &video, &cfg, &quick_cem());
+        assert_eq!(out.trace.len(), 48);
+        // compare against the best of an equal budget of random traces
+        let budget = 32 * 10;
+        let best_random = crate::random_abr_traces(budget, 48, 9)
+            .iter()
+            .map(|t| score_trace(t, &mut bb, &video, &cfg, 1.0))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            out.score > best_random,
+            "CEM ({:.3}) should beat random search ({best_random:.3}) at equal budget",
+            out.score
+        );
+    }
+
+    #[test]
+    fn cem_history_is_improving_overall() {
+        let video = Video::cbr();
+        let cfg = AbrAdversaryConfig::default();
+        let mut bb = BufferBased::pensieve_defaults();
+        let out = cem_search(&mut bb, &video, &cfg, &quick_cem());
+        let early = out.history[0];
+        let late = *out.history.last().unwrap();
+        assert!(late >= early, "CEM should not regress: {early:.3} -> {late:.3}");
+    }
+
+    #[test]
+    fn trace_replays_to_its_score() {
+        // the defining property of trace-based adversaries: the artifact
+        // alone reproduces the result
+        let video = Video::cbr();
+        let cfg = AbrAdversaryConfig::default();
+        let mut bb = BufferBased::pensieve_defaults();
+        let out = cem_search(&mut bb, &video, &cfg, &quick_cem());
+        let replayed = score_trace(&out.trace, &mut bb, &video, &cfg, 1.0);
+        assert!((replayed - out.score).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "population too small")]
+    fn rejects_tiny_population() {
+        let video = Video::cbr();
+        let cfg = AbrAdversaryConfig::default();
+        let mut bb = BufferBased::pensieve_defaults();
+        cem_search(&mut bb, &video, &cfg, &CemConfig { population: 2, ..CemConfig::default() });
+    }
+}

@@ -1,0 +1,95 @@
+//! Training entry points for the adversaries, with the paper's network
+//! architectures and PPO settings.
+
+use crate::abr_env::{AbrAdversaryEnv, OBS_DIM};
+use crate::cc_env::CcAdversaryEnv;
+use abr::AbrPolicy;
+use rl::{Ppo, PpoConfig, TrainReport};
+
+/// Knobs for adversary training.
+#[derive(Debug, Clone)]
+pub struct AdversaryTrainConfig {
+    /// Total environment steps (paper: ~600 k; scale down for CI).
+    pub total_steps: usize,
+    /// PPO settings.
+    pub ppo: PpoConfig,
+    /// Initial exploration std of the Gaussian policy.
+    pub init_std: f64,
+}
+
+impl Default for AdversaryTrainConfig {
+    fn default() -> Self {
+        AdversaryTrainConfig {
+            total_steps: 60_000,
+            ppo: PpoConfig {
+                n_steps: 1920, // 40 ABR episodes per iteration
+                minibatch_size: 64,
+                epochs: 6,
+                lr: 3e-4,
+                ent_coef: 0.002,
+                ..PpoConfig::default()
+            },
+            init_std: 0.8,
+        }
+    }
+}
+
+/// Train an ABR adversary against `target` (paper §3: two hidden layers of
+/// 32 and 16 neurons). Returns the trainer (policy + normalization) and the
+/// per-iteration reports.
+pub fn train_abr_adversary<P: AbrPolicy>(
+    env: &mut AbrAdversaryEnv<P>,
+    cfg: &AdversaryTrainConfig,
+) -> (Ppo, Vec<TrainReport>) {
+    let mut ppo = Ppo::new_gaussian(OBS_DIM, 1, &[32, 16], cfg.init_std, cfg.ppo.clone());
+    let reports = ppo.train(env, cfg.total_steps);
+    (ppo, reports)
+}
+
+/// Train a CC adversary (paper §4: "a simple neural network with only one
+/// hidden layer of 4 neurons").
+pub fn train_cc_adversary(
+    env: &mut CcAdversaryEnv,
+    cfg: &AdversaryTrainConfig,
+) -> (Ppo, Vec<TrainReport>) {
+    let mut ppo = Ppo::new_gaussian(2, 3, &[4], cfg.init_std, cfg.ppo.clone());
+    let reports = ppo.train(env, cfg.total_steps);
+    (ppo, reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abr_env::AbrAdversaryConfig;
+    use abr::{BufferBased, Video};
+
+    /// The core claim of the framework, in miniature: a briefly trained
+    /// adversary hurts BB more than its own random initialization does.
+    #[test]
+    fn abr_adversary_learns_to_hurt_bb() {
+        let mut env = AbrAdversaryEnv::new(
+            BufferBased::pensieve_defaults(),
+            Video::cbr(),
+            AbrAdversaryConfig::default(),
+        );
+        let cfg = AdversaryTrainConfig {
+            total_steps: 12_000,
+            ppo: PpoConfig {
+                n_steps: 960,
+                minibatch_size: 96,
+                epochs: 6,
+                lr: 1e-3,
+                seed: 11,
+                ..PpoConfig::default()
+            },
+            ..AdversaryTrainConfig::default()
+        };
+        let (_, reports) = train_abr_adversary(&mut env, &cfg);
+        let early = reports[0].mean_step_reward;
+        let late = reports.last().unwrap().mean_step_reward;
+        assert!(
+            late > early + 0.05,
+            "adversary reward should improve with training: {early} -> {late}"
+        );
+    }
+}

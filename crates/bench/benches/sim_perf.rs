@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks of the simulators — the substrate the
+//! training loops hammer: packet-level link simulation, ABR chunk
+//! simulation, the MPC lookahead, and the offline-optimal DP.
+
+use abr::{optimal_qoe_dp, run_session, AbrPolicy, BufferBased, Mpc, QoeParams, Video};
+use cc::Bbr;
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::{FlowSim, LinkParams, SimConfig, MS, SEC};
+use std::hint::black_box;
+
+fn bench_netsim(c: &mut Criterion) {
+    c.bench_function("netsim_bbr_1s_12mbps", |b| {
+        b.iter_batched(
+            || {
+                FlowSim::new(
+                    Box::new(Bbr::new()),
+                    LinkParams::new(12.0, 25.0, 0.0),
+                    SimConfig::default(),
+                )
+            },
+            |mut sim| black_box(sim.run_for(SEC)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("netsim_bbr_30ms_interval", |b| {
+        let mut sim = FlowSim::new(
+            Box::new(Bbr::new()),
+            LinkParams::new(12.0, 25.0, 0.0),
+            SimConfig::default(),
+        );
+        sim.run_for(2 * SEC);
+        b.iter(|| black_box(sim.run_for(30 * MS)))
+    });
+}
+
+fn bench_abr(c: &mut Criterion) {
+    let video = Video::cbr();
+    let qoe = QoeParams::default();
+
+    c.bench_function("abr_session_bb_48_chunks", |b| {
+        b.iter(|| {
+            let mut bb = BufferBased::pensieve_defaults();
+            let mut net = abr::FixedConditions::new(2.5, 80.0);
+            black_box(run_session(&video, &mut bb, &mut net, &qoe))
+        })
+    });
+
+    c.bench_function("abr_session_mpc_48_chunks", |b| {
+        b.iter(|| {
+            let mut mpc = Mpc::default();
+            let mut net = abr::FixedConditions::new(2.5, 80.0);
+            black_box(run_session(&video, &mut mpc, &mut net, &qoe))
+        })
+    });
+
+    let bw: Vec<f64> = (0..48).map(|i| 1.0 + 0.07 * (i % 30) as f64).collect();
+    c.bench_function("abr_offline_optimal_dp", |b| {
+        b.iter(|| black_box(optimal_qoe_dp(&video, &qoe, &bw, 0.08)))
+    });
+
+    c.bench_function("abr_windowed_optimum_4", |b| {
+        b.iter(|| {
+            black_box(abr::windowed_optimal_qoe(
+                &video,
+                &qoe,
+                10,
+                &[2.0, 1.1, 3.4, 0.9],
+                0.08,
+                12.0,
+                Some(3),
+            ))
+        })
+    });
+
+    // protocol decision latency: matters because the MPC lookahead is the
+    // bottleneck of adversary training against MPC
+    c.bench_function("mpc_single_decision", |b| {
+        let mut mpc = Mpc::default();
+        let mut bb = BufferBased::pensieve_defaults();
+        let mut net = abr::FixedConditions::new(2.5, 80.0);
+        let mut player = abr::Player::new(&video, qoe.clone());
+        for _ in 0..10 {
+            let obs = player.observation(&net);
+            player.step(bb.select(&obs), &mut net);
+        }
+        let obs = player.observation(&net);
+        b.iter(|| black_box(mpc.select(&obs)))
+    });
+}
+
+criterion_group!(benches, bench_netsim, bench_abr);
+criterion_main!(benches);

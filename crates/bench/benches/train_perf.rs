@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the training stack: policy forward
+//! passes, gradient accumulation, and one full PPO iteration for each of
+//! the paper's adversary architectures.
+
+use adversary::{AbrAdversaryConfig, AbrAdversaryEnv, CcAdversaryConfig, CcAdversaryEnv};
+use cc::Bbr;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::{Ppo, PpoConfig};
+use std::hint::black_box;
+
+fn small_ppo_cfg(n_steps: usize) -> PpoConfig {
+    PpoConfig { n_steps, minibatch_size: 64, epochs: 3, ..PpoConfig::default() }
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    // the ABR adversary's network: 110 -> 32 -> 16 -> 1
+    let net = nn::Mlp::new(&[110, 32, 16, 1], nn::Activation::Tanh, &mut rng);
+    let x: Vec<f64> = (0..110).map(|i| (i as f64 * 0.1).sin()).collect();
+    c.bench_function("mlp_forward_110x32x16", |b| b.iter(|| black_box(net.forward(&x))));
+
+    let mut grads = nn::MlpGrads::zeros_like(&net);
+    let mut cache = net.new_cache();
+    c.bench_function("mlp_forward_backward_110x32x16", |b| {
+        b.iter(|| {
+            net.forward_cached(&x, &mut cache);
+            black_box(net.backward(&cache, &[1.0], &mut grads));
+        })
+    });
+}
+
+fn bench_ppo_iterations(c: &mut Criterion) {
+    c.bench_function("ppo_iteration_abr_adversary_vs_bb", |b| {
+        b.iter_batched(
+            || {
+                let env = AbrAdversaryEnv::new(
+                    abr::BufferBased::pensieve_defaults(),
+                    abr::Video::cbr(),
+                    AbrAdversaryConfig::default(),
+                );
+                let ppo = Ppo::new_gaussian(
+                    adversary::abr_env::OBS_DIM,
+                    1,
+                    &[32, 16],
+                    0.8,
+                    small_ppo_cfg(192),
+                );
+                (env, ppo)
+            },
+            |(mut env, mut ppo)| black_box(ppo.train_iteration(&mut env)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("ppo_iteration_cc_adversary_vs_bbr", |b| {
+        b.iter_batched(
+            || {
+                let env = CcAdversaryEnv::new(
+                    Box::new(|| Box::new(Bbr::new())),
+                    CcAdversaryConfig { episode_steps: 200, ..CcAdversaryConfig::default() },
+                );
+                let ppo = Ppo::new_gaussian(2, 3, &[4], 0.8, small_ppo_cfg(200));
+                (env, ppo)
+            },
+            |(mut env, mut ppo)| black_box(ppo.train_iteration(&mut env)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_nn, bench_ppo_iterations);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation: different adversarial goals (paper §5).
+//!
+//! "An ABR adversary could be created with the specific goal of causing
+//! rebuffering or low bit-rate playback. Specific goals like these might
+//! yield better insights about protocol behavior than general goals."
+//!
+//! This trains two adversaries against MPC — one with the general linear
+//! QoE goal and one with a rebuffer-only goal — and compares how much
+//! stalling and how much bitrate loss each induces.
+//!
+//! Run: `cargo run -p adv-bench --release --bin ablation_goals`.
+//! Writes `results/ablation_goals.csv`.
+
+use abr::{Mpc, QoeParams, Video};
+use adv_bench::{banner, results_dir, Scale};
+use adversary::{
+    generate_abr_traces_with, replay_abr_trace_detailed, train_abr_adversary,
+    AbrAdversaryConfig, AbrAdversaryEnv, AdversaryTrainConfig,
+};
+
+struct GoalResult {
+    rebuffer_s: f64,
+    mean_bitrate: f64,
+    qoe: f64,
+}
+
+fn run_goal(label: &str, qoe_goal: QoeParams, video: &Video, steps: usize) -> GoalResult {
+    let cfg = AbrAdversaryConfig { qoe: qoe_goal, ..AbrAdversaryConfig::default() };
+    let mut env = AbrAdversaryEnv::new(Mpc::default(), video.clone(), cfg.clone());
+    let (adv, _) = train_abr_adversary(
+        &mut env,
+        &AdversaryTrainConfig { total_steps: steps, ..AdversaryTrainConfig::default() },
+    );
+    let traces =
+        generate_abr_traces_with(&mut env, &adv.policy, adv.obs_norm.as_ref(), 20, false, 31);
+    // evaluation always uses the *standard* QoE so results are comparable
+    let eval_cfg = AbrAdversaryConfig::default();
+    let mut rebuffer = 0.0;
+    let mut bitrate = 0.0;
+    let mut qoe = 0.0;
+    let mut chunks = 0.0;
+    for t in &traces {
+        let outcomes = replay_abr_trace_detailed(t, &mut Mpc::default(), video, &eval_cfg);
+        rebuffer += outcomes.iter().map(|o| o.rebuffer_s).sum::<f64>();
+        bitrate += outcomes.iter().map(|o| o.bitrate_mbps).sum::<f64>();
+        qoe += outcomes.iter().map(|o| o.qoe).sum::<f64>();
+        chunks += outcomes.len() as f64;
+    }
+    let per_video = traces.len() as f64;
+    let r = GoalResult {
+        rebuffer_s: rebuffer / per_video,
+        mean_bitrate: bitrate / chunks,
+        qoe: qoe / chunks,
+    };
+    println!(
+        "{label:>16}: rebuffer {:7.2} s/video, mean bitrate {:5.2} Mbit/s, QoE {:7.3}/chunk",
+        r.rebuffer_s, r.mean_bitrate, r.qoe
+    );
+    r
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(&format!("Ablation — adversarial goals vs MPC ({} scale)", scale.tag()));
+    let video = Video::cbr();
+    let steps = scale.adversary_steps() / 3;
+
+    let general = run_goal("general QoE", QoeParams::default(), &video, steps);
+    let stall = run_goal("rebuffer-only", QoeParams::rebuffer_only(), &video, steps);
+
+    println!("\n(the rebuffer-goal adversary should induce more stalling even if");
+    println!("its overall QoE damage is smaller — goals shape the found weakness)");
+    let rows = vec![
+        ("general|rebuffer_s".to_string(), 0.0, general.rebuffer_s),
+        ("general|mean_bitrate".to_string(), 0.0, general.mean_bitrate),
+        ("general|qoe".to_string(), 0.0, general.qoe),
+        ("rebuffer_only|rebuffer_s".to_string(), 0.0, stall.rebuffer_s),
+        ("rebuffer_only|mean_bitrate".to_string(), 0.0, stall.mean_bitrate),
+        ("rebuffer_only|qoe".to_string(), 0.0, stall.qoe),
+    ];
+    let path = results_dir().join("ablation_goals.csv");
+    traces::io::write_csv_series(&path, "goal_metric,x,value", &rows).expect("write csv");
+    println!("wrote {}", path.display());
+}

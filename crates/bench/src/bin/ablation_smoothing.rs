@@ -1,0 +1,76 @@
+//! Ablation: the smoothness penalty (Eq. 1's `p_smoothing`).
+//!
+//! §2.1 of the paper argues the adversary "should only introduce changes to
+//! the environment if these trigger bad behavior and avoid injecting
+//! unnecessary noise", which the smoothing term enforces. This ablation
+//! trains the BB adversary at several smoothing coefficients and reports
+//! the explainability metric (mean |Δbandwidth| between chunks) against the
+//! damage achieved (the Eq.-1 gap on generated traces).
+//!
+//! Run: `cargo run -p adv-bench --release --bin ablation_smoothing`.
+//! Writes `results/ablation_smoothing.csv`.
+
+use abr::{BufferBased, Video};
+use adv_bench::{banner, results_dir, Scale};
+use adversary::{
+    generate_abr_traces_with, replay_abr_trace, train_abr_adversary, AbrAdversaryConfig,
+    AbrAdversaryEnv, AdversaryTrainConfig,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(&format!("Ablation — smoothing coefficient ({} scale)", scale.tag()));
+    let video = Video::cbr();
+    let steps = scale.adversary_steps() / 3;
+    let n_traces = 20;
+
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "lambda", "bb_qoe", "opt_gap/chunk", "mean |Δbw|"
+    );
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for lambda in [0.0, 0.25, 1.0, 4.0] {
+        let cfg = AbrAdversaryConfig { smoothing_coef: lambda, ..AbrAdversaryConfig::default() };
+        let mut env =
+            AbrAdversaryEnv::new(BufferBased::pensieve_defaults(), video.clone(), cfg.clone());
+        let train_cfg =
+            AdversaryTrainConfig { total_steps: steps, ..AdversaryTrainConfig::default() };
+        let (adv, _) = train_abr_adversary(&mut env, &train_cfg);
+        let traces = generate_abr_traces_with(
+            &mut env,
+            &adv.policy,
+            adv.obs_norm.as_ref(),
+            n_traces,
+            false,
+            2024,
+        );
+
+        let mut bb_qoe = 0.0;
+        let mut gap = 0.0;
+        let mut jump = 0.0;
+        for t in &traces {
+            let q = replay_abr_trace(t, &mut BufferBased::pensieve_defaults(), &video, &cfg);
+            let (opt, _) =
+                abr::optimal_qoe_dp(&video, &cfg.qoe, t, cfg.latency_ms / 1000.0);
+            bb_qoe += q;
+            gap += opt / video.n_chunks() as f64 - q;
+            jump += t.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>()
+                / (t.len() - 1) as f64;
+        }
+        let n = n_traces as f64;
+        println!(
+            "{lambda:>10.2} {:>14.3} {:>14.3} {:>14.3}",
+            bb_qoe / n,
+            gap / n,
+            jump / n
+        );
+        rows.push((format!("lambda_{lambda}|bb_qoe"), 0.0, bb_qoe / n));
+        rows.push((format!("lambda_{lambda}|opt_gap"), 0.0, gap / n));
+        rows.push((format!("lambda_{lambda}|mean_bw_jump"), 0.0, jump / n));
+    }
+    println!("\n(higher lambda should buy smoother, more explainable traces at");
+    println!("some cost in raw damage — the paper's §2.1 trade-off)");
+    let path = results_dir().join("ablation_smoothing.csv");
+    traces::io::write_csv_series(&path, "setting,x,value", &rows).expect("write csv");
+    println!("wrote {}", path.display());
+}

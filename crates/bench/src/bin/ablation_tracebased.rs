@@ -1,0 +1,91 @@
+//! Ablation: trace-based vs online adversaries (paper §2.1).
+//!
+//! At a matched simulation budget, compare three ways of finding a bad
+//! trace for a protocol: uniform random search, the whole-trace CEM
+//! adversary, and the online PPO adversary. The paper chose the online
+//! design for sample efficiency; this makes the comparison concrete.
+//!
+//! Run: `cargo run -p adv-bench --release --bin ablation_tracebased`.
+//! Writes `results/ablation_tracebased.csv`.
+
+use abr::{AbrPolicy, BufferBased, Mpc, Video};
+use adv_bench::{banner, results_dir, Scale};
+use adversary::{
+    cem_search, generate_abr_traces_with, random_abr_traces, score_trace, train_abr_adversary,
+    AbrAdversaryConfig, AbrAdversaryEnv, AdversaryTrainConfig, CemConfig,
+};
+
+/// Matched budget in protocol-chunk simulations.
+fn budget(scale: Scale) -> usize {
+    scale.adversary_steps() / 3
+}
+
+fn best_random(target: &mut dyn AbrPolicy, video: &Video, cfg: &AbrAdversaryConfig, chunks: usize) -> f64 {
+    let n_traces = chunks / video.n_chunks();
+    random_abr_traces(n_traces, video.n_chunks(), 77)
+        .iter()
+        .map(|t| score_trace(t, target, video, cfg, 1.0))
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+fn cem_best(target: &mut dyn AbrPolicy, video: &Video, cfg: &AbrAdversaryConfig, chunks: usize) -> f64 {
+    let evals = chunks / video.n_chunks();
+    let population = 64;
+    let generations = (evals / population).max(2);
+    let cem = CemConfig { population, generations, seed: 5, ..CemConfig::default() };
+    cem_search(target, video, cfg, &cem).score
+}
+
+fn online_best<P: AbrPolicy + Clone>(
+    target: P,
+    video: &Video,
+    cfg: &AbrAdversaryConfig,
+    chunks: usize,
+) -> f64 {
+    let mut env = AbrAdversaryEnv::new(target.clone(), video.clone(), cfg.clone());
+    let train_cfg =
+        AdversaryTrainConfig { total_steps: chunks, ..AdversaryTrainConfig::default() };
+    let (adv, _) = train_abr_adversary(&mut env, &train_cfg);
+    // best of a handful of sampled traces, scored the same way
+    let traces =
+        generate_abr_traces_with(&mut env, &adv.policy, adv.obs_norm.as_ref(), 10, false, 66);
+    let mut t = target;
+    traces
+        .iter()
+        .map(|tr| score_trace(tr, &mut t, video, cfg, 1.0))
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(&format!("Ablation — trace-based vs online adversaries ({} scale)", scale.tag()));
+    let video = Video::cbr();
+    let cfg = AbrAdversaryConfig::default();
+    let chunks = budget(scale);
+    println!("budget: {chunks} protocol-chunk simulations per method\n");
+    println!("{:>10} {:>12} {:>12} {:>12}", "target", "random", "cem", "online-ppo");
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    // BB
+    let r = best_random(&mut BufferBased::pensieve_defaults(), &video, &cfg, chunks);
+    let c = cem_best(&mut BufferBased::pensieve_defaults(), &video, &cfg, chunks);
+    let o = online_best(BufferBased::pensieve_defaults(), &video, &cfg, chunks);
+    println!("{:>10} {r:>12.3} {c:>12.3} {o:>12.3}", "bb");
+    for (m, v) in [("random", r), ("cem", c), ("online", o)] {
+        rows.push((format!("bb|{m}"), 0.0, v));
+    }
+    // MPC
+    let r = best_random(&mut Mpc::default(), &video, &cfg, chunks);
+    let c = cem_best(&mut Mpc::default(), &video, &cfg, chunks);
+    let o = online_best(Mpc::default(), &video, &cfg, chunks);
+    println!("{:>10} {r:>12.3} {c:>12.3} {o:>12.3}", "mpc");
+    for (m, v) in [("random", r), ("cem", c), ("online", o)] {
+        rows.push((format!("mpc|{m}"), 0.0, v));
+    }
+
+    println!("\n(score = per-chunk gap between the offline optimum and the target's");
+    println!("QoE, minus the smoothness penalty; higher = a better adversarial trace)");
+    let path = results_dir().join("ablation_tracebased.csv");
+    traces::io::write_csv_series(&path, "target_method,x,value", &rows).expect("write csv");
+    println!("wrote {}", path.display());
+}

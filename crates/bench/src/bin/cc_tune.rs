@@ -1,0 +1,52 @@
+//! Internal experiment: hyperparameter search for a CC adversary whose
+//! *deterministic* policy (paper Fig. 6: actions "before exploration
+//! noise") carries the attack, rather than relying on exploration noise.
+//! Not part of the figure pipeline; kept for reproducibility of the tuning
+//! decision recorded in EXPERIMENTS.md.
+
+use adversary::{
+    generate_cc_trace_with, train_cc_adversary, AdversaryTrainConfig, CcAdversaryConfig,
+    CcAdversaryEnv,
+};
+use cc::Bbr;
+
+fn main() {
+    for (gamma, lambda, std0, steps, seed, repeat) in [
+        (0.99, 0.97, 1.0, 300_000usize, 17u64, 10usize),
+        (0.99, 0.97, 1.0, 300_000, 23, 10),
+    ] {
+        let mut env = CcAdversaryEnv::new(
+            Box::new(|| Box::new(Bbr::new())),
+            CcAdversaryConfig {
+                episode_steps: 3000 / repeat,
+                action_repeat: repeat,
+                ..CcAdversaryConfig::default()
+            },
+        );
+        let cfg = AdversaryTrainConfig {
+            total_steps: steps,
+            ppo: rl::PpoConfig {
+                n_steps: 6000,
+                minibatch_size: 250,
+                epochs: 8,
+                lr: 3e-4,
+                gamma,
+                lambda,
+                ent_coef: 0.0005,
+                seed,
+                ..rl::PpoConfig::default()
+            },
+            init_std: std0,
+        };
+        let (ppo, reports) = train_cc_adversary(&mut env, &cfg);
+        let stoch = generate_cc_trace_with(&mut env, &ppo.policy, ppo.obs_norm.as_ref(), false, 1);
+        let det = generate_cc_trace_with(&mut env, &ppo.policy, ppo.obs_norm.as_ref(), true, 2);
+        println!(
+            "gamma={gamma} lambda={lambda} std0={std0} seed={seed} repeat={repeat}: reward {:.3}->{:.3} | stochastic util {:.1}% | deterministic util {:.1}%",
+            reports.first().unwrap().mean_step_reward,
+            reports.last().unwrap().mean_step_reward,
+            100.0 * stoch.mean_utilization(),
+            100.0 * det.mean_utilization(),
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Extension experiment: protocol-specificity of CC adversaries.
+//!
+//! The paper's §1 argues that "conditions under which one protocol fails
+//! miserably might be quite good for other protocols" and demonstrates it
+//! for ABR (Fig. 1). This extension repeats the exercise for congestion
+//! control: train one adversary against *each* protocol family (BBR, Cubic,
+//! Reno, Copa, Vivace), then replay every adversary's trace against every
+//! protocol — a full cross matrix, plus a loss-free random baseline.
+//!
+//! Reading the matrix: the diagonal (adversary vs its own target) should be
+//! the worst cell of its row *relative to that protocol's baseline*, and
+//! different adversaries should find different weaknesses (loss for
+//! Cubic/Reno, latency dynamics for Copa/Vivace, probe poisoning for BBR).
+//!
+//! Run: `cargo run -p adv-bench --release --bin ext_cc_cross`.
+//! Writes `results/ext_cc_cross.csv`.
+
+use adv_bench::{banner, results_dir, Scale};
+use adversary::{
+    generate_cc_trace_with, train_cc_adversary, AdversaryTrainConfig, CcAdversaryConfig,
+    CcAdversaryEnv,
+};
+use cc::{Bbr, Copa, Cubic, Reno, Vivace};
+use netsim::{CongestionControl, FlowSim, LinkParams, SimConfig, MS};
+
+type Factory = Box<dyn Fn() -> Box<dyn CongestionControl>>;
+
+fn protocols() -> Vec<(&'static str, Factory)> {
+    vec![
+        ("bbr", Box::new(|| Box::new(Bbr::new()) as Box<dyn CongestionControl>)),
+        ("cubic", Box::new(|| Box::new(Cubic::new()) as Box<dyn CongestionControl>)),
+        ("reno", Box::new(|| Box::new(Reno::new()) as Box<dyn CongestionControl>)),
+        ("copa", Box::new(|| Box::new(Copa::new()) as Box<dyn CongestionControl>)),
+        ("vivace", Box::new(|| Box::new(Vivace::new()) as Box<dyn CongestionControl>)),
+    ]
+}
+
+/// Replay a parameter schedule against a fresh protocol; mean utilization.
+fn replay(params: &[LinkParams], make: &dyn Fn() -> Box<dyn CongestionControl>) -> f64 {
+    let mut sim = FlowSim::new(make(), params[0], SimConfig::default());
+    let mut delivered = 0.0;
+    let mut capacity = 0.0;
+    for p in params {
+        sim.set_link(*p);
+        let st = sim.run_for(30 * MS);
+        delivered += st.delivered_bytes as f64;
+        capacity += st.capacity_bytes;
+    }
+    delivered / capacity
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(&format!("Extension — CC adversary cross matrix ({} scale)", scale.tag()));
+    let steps = scale.adversary_steps().clamp(150_000, 300_000);
+
+    // one adversary per target protocol
+    let mut schedules: Vec<(&'static str, Vec<LinkParams>)> = Vec::new();
+    for (i, (name, _)) in protocols().iter().enumerate() {
+        eprintln!("[ext_cc_cross] training adversary vs {name} ({steps} steps)...");
+        let factory: Factory = match *name {
+            "bbr" => Box::new(|| Box::new(Bbr::new())),
+            "cubic" => Box::new(|| Box::new(Cubic::new())),
+            "reno" => Box::new(|| Box::new(Reno::new())),
+            "copa" => Box::new(|| Box::new(Copa::new())),
+            _ => Box::new(|| Box::new(Vivace::new())),
+        };
+        // the tuned recipe from cc_adv: 300 ms action persistence and wide
+        // initial exploration (see EXPERIMENTS.md Fig. 5 notes)
+        let mut env = CcAdversaryEnv::new(
+            factory,
+            CcAdversaryConfig {
+                episode_steps: 100,
+                action_repeat: 10,
+                ..CcAdversaryConfig::default()
+            },
+        );
+        let cfg = AdversaryTrainConfig {
+            total_steps: steps,
+            ppo: rl::PpoConfig {
+                n_steps: 6000,
+                minibatch_size: 250,
+                epochs: 8,
+                lr: 3e-4,
+                gamma: 0.99,
+                lambda: 0.97,
+                ent_coef: 0.0005,
+                seed: 23 + i as u64,
+                ..rl::PpoConfig::default()
+            },
+            init_std: 1.0,
+        };
+        let (ppo, _) = train_cc_adversary(&mut env, &cfg);
+        let trace =
+            generate_cc_trace_with(&mut env, &ppo.policy, ppo.obs_norm.as_ref(), false, 900 + i as u64);
+        schedules.push((name, trace.params));
+    }
+    // loss-free random baseline (bandwidth/latency jitter only)
+    let rnd = traces::random_cc_trace(912, 1000);
+    let random_params: Vec<LinkParams> = rnd
+        .segments
+        .iter()
+        .map(|s| LinkParams::new(s.bandwidth_mbps, s.latency_ms, 0.0))
+        .collect();
+    schedules.push(("random(no-loss)", random_params));
+
+    // the matrix
+    let protos = protocols();
+    print!("\n{:>16}", "adversary \\ run");
+    for (pname, _) in &protos {
+        print!(" {pname:>8}");
+    }
+    println!();
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for (aname, params) in &schedules {
+        print!("{aname:>16}");
+        for (pname, make) in &protos {
+            let u = replay(params, make.as_ref());
+            print!(" {:>7.1}%", 100.0 * u);
+            rows.push((format!("{aname}->{pname}"), 0.0, u));
+        }
+        println!();
+    }
+
+    println!("\n(each row is one adversary's trace replayed against all protocols;");
+    println!("compare each cell to the protocol's own random-baseline column entry)");
+    let path = results_dir().join("ext_cc_cross.csv");
+    traces::io::write_csv_series(&path, "adversary_to_proto,x,value", &rows).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,88 @@
+//! Figure 3: Buffer-Based (BB) running on one adversarial trace — the
+//! time series of (i) BB's bitrate selection vs. the offline optimum,
+//! (ii) the client buffer, and (iii) the adversary's bandwidth.
+//!
+//! The paper's reading: the adversary parks BB's buffer inside its
+//! 10–15 s switching band, forcing constant bitrate oscillation, while the
+//! optimal strategy starts low and climbs smoothly.
+//!
+//! Run: `cargo run -p adv-bench --release --bin fig3`. Writes
+//! `results/fig3.csv` with `series,time_s,value` rows.
+
+use abr::{optimal_qoe_dp, AbrPolicy, BufferBased, QoeParams, Video};
+use adv_bench::{banner, results_dir, Scale};
+use adversary::{
+    generate_abr_traces_with, replay_abr_trace_detailed, train_abr_adversary,
+    AbrAdversaryConfig, AbrAdversaryEnv, AdversaryTrainConfig,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(&format!("Figure 3 — BB on an adversarial trace ({} scale)", scale.tag()));
+    let video = Video::cbr();
+    let cfg = AbrAdversaryConfig::default();
+
+    eprintln!("[fig3] training adversary vs BB ({} steps)...", scale.adversary_steps());
+    let mut env =
+        AbrAdversaryEnv::new(BufferBased::pensieve_defaults(), video.clone(), cfg.clone());
+    let train_cfg = AdversaryTrainConfig {
+        total_steps: scale.adversary_steps(),
+        ..AdversaryTrainConfig::default()
+    };
+    let (adv, reports) = train_abr_adversary(&mut env, &train_cfg);
+    eprintln!(
+        "[fig3] adversary reward: first {:.3} last {:.3}",
+        reports.first().map(|r| r.mean_step_reward).unwrap_or(f64::NAN),
+        reports.last().map(|r| r.mean_step_reward).unwrap_or(f64::NAN)
+    );
+
+    // the deterministic trace (paper: the most interpretable artifact)
+    let trace = generate_abr_traces_with(&mut env, &adv.policy, adv.obs_norm.as_ref(), 1, true, 99)
+        .pop()
+        .expect("one trace");
+
+    // replay BB and compute the offline optimum on the same bandwidths
+    let mut bb = BufferBased::pensieve_defaults();
+    let outcomes = replay_abr_trace_detailed(&trace, &mut bb, &video, &cfg);
+    let qoe = QoeParams::default();
+    let (opt_total, opt_schedule) = optimal_qoe_dp(&video, &qoe, &trace, cfg.latency_ms / 1000.0);
+    let bb_total: f64 = outcomes.iter().map(|o| o.qoe).sum();
+
+    println!(
+        "\nBB total QoE {bb_total:.2} vs offline optimum {opt_total:.2} (gap {:.2} QoE ≈ {:.2}/chunk)",
+        opt_total - bb_total,
+        (opt_total - bb_total) / outcomes.len() as f64
+    );
+    println!(
+        "\n{:>6} {:>14} {:>14} {:>11} {:>11}",
+        "time_s", "bb_kbps", "opt_kbps", "buffer_s", "bw_mbps"
+    );
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    let mut t = 0.0;
+    let mut in_band = 0usize;
+    for (i, o) in outcomes.iter().enumerate() {
+        let bb_kbps = video.bitrate_kbps(o.quality);
+        let opt_kbps = video.bitrate_kbps(opt_schedule[i]);
+        println!(
+            "{t:>6.1} {bb_kbps:>14.0} {opt_kbps:>14.0} {:>11.2} {:>11.2}",
+            o.buffer_after_s, trace[i]
+        );
+        rows.push(("bb_bitrate_kbps".into(), t, bb_kbps));
+        rows.push(("opt_bitrate_kbps".into(), t, opt_kbps));
+        rows.push(("buffer_s".into(), t, o.buffer_after_s));
+        rows.push(("bandwidth_mbps".into(), t, trace[i]));
+        if (bb.reservoir_s..=bb.reservoir_s + bb.cushion_s).contains(&o.buffer_after_s) {
+            in_band += 1;
+        }
+        t += o.download_s + o.sleep_s;
+    }
+    let switches = outcomes.windows(2).filter(|w| w[0].quality != w[1].quality).count();
+    println!(
+        "\nBB switched bitrate {switches} times over {} chunks; buffer inside the 10-15 s switching band for {in_band} chunks",
+        outcomes.len()
+    );
+    let name = bb.name().to_string();
+    let path = results_dir().join("fig3.csv");
+    traces::io::write_csv_series(&path, "series,time_s,value", &rows).expect("write fig3 csv");
+    println!("wrote {} (target protocol: {name})", path.display());
+}

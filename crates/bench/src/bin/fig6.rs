@@ -1,0 +1,82 @@
+//! Figure 6: the CC adversary's **deterministic** actions (bandwidth,
+//! latency, loss) over 30 seconds — 1000 intervals of 30 ms — "without
+//! training noise".
+//!
+//! The paper's reading: the rapid fluctuations in bandwidth and latency
+//! correspond exactly to BBR's probing phases (every ~10 seconds), which is
+//! how the adversary keeps BBR's bandwidth model pessimistic. Raw policy
+//! outputs may lie outside the Table 1 ranges; clipping returns them to the
+//! acceptable box, exactly as the paper notes for PPO.
+//!
+//! Run: `cargo run -p adv-bench --release --bin fig6` (reuses fig5's cached
+//! adversary). Writes `results/fig6.csv` with `series,interval,value` rows.
+
+use adv_bench::cc_adv::{bbr_train_env, cc_adversary};
+use adv_bench::{banner, results_dir, Scale};
+use adversary::generate_cc_trace_with;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(&format!("Figure 6 — adversary's deterministic actions ({} scale)", scale.tag()));
+    let adv = cc_adversary(scale);
+
+    let mut env = bbr_train_env();
+    // deterministic = the policy mode, i.e. "before exploration noise"
+    let trace = generate_cc_trace_with(&mut env, &adv.policy, adv.obs_norm.as_ref(), true, 601);
+    // and the actions as actually played (with exploration noise) — our PPO
+    // keeps part of the attack strategy in its action noise, so both views
+    // are recorded (see EXPERIMENTS.md)
+    let played = generate_cc_trace_with(&mut env, &adv.policy, adv.obs_norm.as_ref(), false, 601);
+
+    println!("\n{:>9} {:>10} {:>10} {:>10} {:>12}", "interval", "bw_mbps", "lat_ms", "loss", "tput_mbps");
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    for (i, p) in trace.params.iter().enumerate() {
+        rows.push(("det_bandwidth_mbps".into(), i as f64, p.bandwidth_mbps));
+        rows.push(("det_latency_ms".into(), i as f64, p.latency_ms));
+        rows.push(("det_loss_rate".into(), i as f64, p.loss_rate));
+        let q = &played.params[i];
+        rows.push(("played_bandwidth_mbps".into(), i as f64, q.bandwidth_mbps));
+        rows.push(("played_latency_ms".into(), i as f64, q.latency_ms));
+        rows.push(("played_loss_rate".into(), i as f64, q.loss_rate));
+        if i % 25 == 0 {
+            println!(
+                "{i:>9} {:>10.2} {:>10.2} {:>10.4} {:>12.2}",
+                p.bandwidth_mbps, p.latency_ms, p.loss_rate, trace.throughput_mbps[i]
+            );
+        }
+    }
+
+    // quantify the probing synchronization the paper describes: compare
+    // the adversary's action variance inside vs. outside BBR's probe
+    // windows (ProbeRTT every ~10 s)
+    let bw: Vec<f64> = played.params.iter().map(|p| p.bandwidth_mbps).collect();
+    let step_changes: Vec<f64> = bw.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
+    let mean_change = nn::ops::mean(&step_changes);
+    let burst_threshold = mean_change * 3.0 + 1e-9;
+    let bursts: Vec<usize> = step_changes
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > burst_threshold)
+        .map(|(i, _)| i)
+        .collect();
+    println!(
+        "\nmean |Δbandwidth| per 30 ms: {mean_change:.3} Mbit/s; {} bursty intervals (>3x mean)",
+        bursts.len()
+    );
+    if !bursts.is_empty() {
+        let times: Vec<f64> = bursts.iter().map(|&i| i as f64 * 0.03).collect();
+        println!(
+            "burst times (s): {}",
+            times.iter().take(20).map(|t| format!("{t:.1}")).collect::<Vec<_>>().join(", ")
+        );
+    }
+    println!(
+        "mean utilization: deterministic run {:.1}%, as-played run {:.1}%",
+        100.0 * trace.mean_utilization(),
+        100.0 * played.mean_utilization()
+    );
+
+    let path = results_dir().join("fig6.csv");
+    traces::io::write_csv_series(&path, "series,interval,value", &rows).expect("write fig6 csv");
+    println!("wrote {}", path.display());
+}

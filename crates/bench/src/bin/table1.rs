@@ -1,0 +1,58 @@
+//! Table 1: the ranges of link parameters the congestion-control adversary
+//! may produce — bandwidth 6–24 Mbit/s, latency 15–60 ms, loss 0–10 %.
+//!
+//! This binary prints the configured action space, verifies it against the
+//! paper's numbers, and exercises the clipping that keeps every adversary
+//! action inside it (the property the paper leans on: the conditions are
+//! "clearly within BBR's expected design range").
+//!
+//! Run: `cargo run -p adv-bench --release --bin table1`. Writes
+//! `results/table1.csv`.
+
+use adv_bench::{banner, results_dir};
+use adversary::CcActionSpace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    banner("Table 1 — CC adversary action ranges");
+    let space = CcActionSpace::default();
+    println!("{:>12} {:>12} {:>12}", "Bandwidth", "Latency", "Loss rate");
+    println!(
+        "{:>12} {:>12} {:>12}",
+        format!("{}-{} Mbps", space.bandwidth_mbps.0, space.bandwidth_mbps.1),
+        format!("{}-{} ms", space.latency_ms.0, space.latency_ms.1),
+        format!("{}-{}%", space.loss_rate.0 * 100.0, space.loss_rate.1 * 100.0),
+    );
+
+    assert_eq!(space.bandwidth_mbps, (6.0, 24.0), "paper Table 1: bandwidth");
+    assert_eq!(space.latency_ms, (15.0, 60.0), "paper Table 1: latency");
+    assert_eq!(space.loss_rate, (0.0, 0.10), "paper Table 1: loss");
+
+    // fuzz the clipper: no raw action may escape the box
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..100_000 {
+        let raw = [
+            rng.gen_range(-100.0..100.0),
+            rng.gen_range(-100.0..100.0),
+            rng.gen_range(-10.0..10.0),
+        ];
+        let p = space.to_params(&raw);
+        assert!((6.0..=24.0).contains(&p.bandwidth_mbps));
+        assert!((15.0..=60.0).contains(&p.latency_ms));
+        assert!((0.0..=0.10).contains(&p.loss_rate));
+    }
+    println!("verified against the paper's ranges; 100k random raw actions all clip inside the box");
+
+    let rows = vec![
+        ("bandwidth_mbps_min".to_string(), 0.0, space.bandwidth_mbps.0),
+        ("bandwidth_mbps_max".to_string(), 0.0, space.bandwidth_mbps.1),
+        ("latency_ms_min".to_string(), 0.0, space.latency_ms.0),
+        ("latency_ms_max".to_string(), 0.0, space.latency_ms.1),
+        ("loss_rate_min".to_string(), 0.0, space.loss_rate.0),
+        ("loss_rate_max".to_string(), 0.0, space.loss_rate.1),
+    ];
+    let path = results_dir().join("table1.csv");
+    traces::io::write_csv_series(&path, "parameter,x,value", &rows).expect("write table1 csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,36 @@
+//! Offline tuning sweep for Pensieve training quality (ignored by default).
+use abr::{QoeParams, Video};
+
+fn eval_on_random(p: &abr::Pensieve, video: &Video) -> f64 {
+    let cfg = adversary::AbrAdversaryConfig::default();
+    let traces = adversary::random_abr_traces(30, video.n_chunks(), 999);
+    let mut total = 0.0;
+    for t in &traces {
+        total += adversary::replay_abr_trace(t, &mut p.clone(), video, &cfg);
+    }
+    total / traces.len() as f64
+}
+
+#[test]
+#[ignore]
+fn sweep_entropy_and_steps() {
+    let video = Video::cbr();
+    let qoe = QoeParams::default();
+    for (ent, lr, steps) in [(0.02, 3e-4, 480_000usize), (0.01, 3e-4, 480_000)] {
+        let corpus: Vec<traces::Trace> =
+            (0..80).map(|i| traces::random_abr_trace(1000 + i, 80, 4.0, 80.0)).collect();
+        let cfg = rl::PpoConfig {
+            n_steps: 1920, minibatch_size: 96, epochs: 5, lr, ent_coef: ent, seed: 41,
+            ..rl::PpoConfig::default()
+        };
+        let (p, _, _) = abr::env::train_pensieve(corpus, video.clone(), qoe.clone(), steps, cfg);
+        let q = eval_on_random(&p, &video);
+        println!("ent={ent} lr={lr} steps={steps}: pensieve random-trace QoE {q:.3}");
+    }
+    let cfgref = adversary::AbrAdversaryConfig::default();
+    let traces_r = adversary::random_abr_traces(30, video.n_chunks(), 999);
+    let mpc: f64 = traces_r.iter()
+        .map(|t| adversary::replay_abr_trace(t, &mut abr::Mpc::default(), &video, &cfgref))
+        .sum::<f64>() / traces_r.len() as f64;
+    println!("mpc reference: {mpc:.3}");
+}

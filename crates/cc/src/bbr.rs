@@ -1,0 +1,467 @@
+//! BBR v1 (Cardwell et al. 2016), model-level reimplementation.
+//!
+//! The state machine follows the Linux/IETF draft structure:
+//!
+//! * **Startup** — pacing gain 2/ln 2 ≈ 2.885 until the bandwidth estimate
+//!   stops growing (< 25 % growth for 3 consecutive rounds).
+//! * **Drain** — inverse gain until inflight falls to one BDP.
+//! * **ProbeBW** — an eight-phase pacing-gain cycle
+//!   `[1.25, 0.75, 1, 1, 1, 1, 1, 1]`, one phase per RTprop.
+//! * **ProbeRTT** — every 10 s (when the RTprop sample goes stale), cwnd
+//!   collapses to 4 packets for 200 ms to re-measure the propagation delay.
+//!
+//! The model: `BtlBw` = windowed max of delivery-rate samples over 10
+//! packet-timed rounds; `RTprop` = windowed min RTT over 10 s;
+//! `pacing = gain × BtlBw`, `cwnd = 2 × BDP`.
+//!
+//! The probing cadences — 1.25× probing once per 8-phase cycle and the
+//! 10-second ProbeRTT — are exactly the "infrequent, but
+//! performance-critical probing" the paper's adversary learns to attack
+//! (Fig. 6: "Every 10 seconds, when BBR runs its probing phase, the
+//! adversary suddenly varies bandwidth and latency").
+
+use crate::filters::WindowedMax;
+use netsim::{AckEvent, CongestionControl};
+
+/// High gain used in Startup/Drain: 2/ln(2).
+pub const HIGH_GAIN: f64 = 2.885;
+/// ProbeBW pacing-gain cycle.
+pub const PROBE_BW_GAINS: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// BtlBw filter window, in rounds.
+pub const BTLBW_WINDOW_ROUNDS: f64 = 10.0;
+/// RTprop filter window / ProbeRTT interval, seconds.
+pub const RTPROP_WINDOW_S: f64 = 10.0;
+/// ProbeRTT duration, seconds.
+pub const PROBE_RTT_DURATION_S: f64 = 0.2;
+/// cwnd floor, packets.
+pub const MIN_CWND_PKTS: f64 = 4.0;
+
+const MSS: f64 = 1500.0;
+/// Pace slightly below the modelled rate so sampling noise in the max
+/// filter cannot build a standing queue (Linux `bbr_pacing_margin_percent`).
+const PACING_MARGIN: f64 = 0.99;
+
+/// Which phase of the BBR state machine is active.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BbrState {
+    Startup,
+    Drain,
+    /// `phase` indexes [`PROBE_BW_GAINS`]; `since` is when it began.
+    ProbeBw { phase: usize, since: f64 },
+    /// `since` is entry time; `prior_probe_bw_phase` restores the cycle.
+    ProbeRtt { since: f64, prior_probe_bw_phase: Option<usize> },
+}
+
+/// BBR congestion control.
+#[derive(Debug, Clone)]
+pub struct Bbr {
+    state: BbrState,
+    btl_bw: WindowedMax,
+    /// RTprop estimate: the minimum RTT seen, with the time it was last
+    /// matched. Unlike a sliding-window minimum this does NOT decay on its
+    /// own — going stale is what *triggers* ProbeRTT, which then resets it
+    /// (Linux's `min_rtt_us` / `min_rtt_stamp` pair).
+    rt_prop_est_s: f64,
+    rt_prop_stamp_s: f64,
+    /// Packet-timed round counting.
+    round_count: u64,
+    next_round_delivered: u64,
+    round_start: bool,
+    /// Startup full-pipe detection.
+    full_bw_bps: f64,
+    full_bw_count: u32,
+    filled_pipe: bool,
+    pacing_gain: f64,
+    cwnd_gain: f64,
+    /// Latest inflight report from the ACK path (bytes).
+    inflight_bytes: usize,
+    /// Minimum RTT observed during the current ProbeRTT episode.
+    probe_rtt_min_s: f64,
+    /// State-transition log `(time_s, state name)` for analysis/tests.
+    transitions: Vec<(f64, &'static str)>,
+}
+
+impl Default for Bbr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bbr {
+    pub fn new() -> Self {
+        Bbr {
+            state: BbrState::Startup,
+            btl_bw: WindowedMax::new(BTLBW_WINDOW_ROUNDS),
+            rt_prop_est_s: f64::INFINITY,
+            rt_prop_stamp_s: 0.0,
+            round_count: 0,
+            next_round_delivered: 0,
+            round_start: false,
+            full_bw_bps: 0.0,
+            full_bw_count: 0,
+            filled_pipe: false,
+            pacing_gain: HIGH_GAIN,
+            cwnd_gain: HIGH_GAIN,
+            inflight_bytes: 0,
+            probe_rtt_min_s: f64::INFINITY,
+            transitions: vec![(0.0, "startup")],
+        }
+    }
+
+    pub fn state(&self) -> BbrState {
+        self.state
+    }
+
+    /// Bandwidth estimate in bits/s (the model's BtlBw).
+    pub fn btl_bw_bps(&self) -> f64 {
+        self.btl_bw.get().unwrap_or(1e6)
+    }
+
+    /// Propagation-delay estimate in seconds (the model's RTprop).
+    pub fn rt_prop_s(&self) -> f64 {
+        if self.rt_prop_est_s.is_finite() {
+            self.rt_prop_est_s
+        } else {
+            0.1
+        }
+    }
+
+    /// Bandwidth-delay product in bytes.
+    pub fn bdp_bytes(&self) -> f64 {
+        self.btl_bw_bps() / 8.0 * self.rt_prop_s()
+    }
+
+    /// State transition log: `(time_s, state name)`.
+    pub fn transitions(&self) -> &[(f64, &'static str)] {
+        &self.transitions
+    }
+
+    /// Number of completed packet-timed rounds.
+    pub fn rounds(&self) -> u64 {
+        self.round_count
+    }
+
+    fn enter(&mut self, now_s: f64, state: BbrState) {
+        let name = match state {
+            BbrState::Startup => "startup",
+            BbrState::Drain => "drain",
+            BbrState::ProbeBw { .. } => "probe_bw",
+            BbrState::ProbeRtt { .. } => "probe_rtt",
+        };
+        self.state = state;
+        self.transitions.push((now_s, name));
+    }
+
+    fn update_round(&mut self, ack: &AckEvent) {
+        if ack.delivered_at_send >= self.next_round_delivered {
+            self.next_round_delivered = ack.delivered_bytes;
+            self.round_count += 1;
+            self.round_start = true;
+        } else {
+            self.round_start = false;
+        }
+    }
+
+    fn check_full_pipe(&mut self) {
+        if self.filled_pipe || !self.round_start {
+            return;
+        }
+        let bw = self.btl_bw_bps();
+        if bw > self.full_bw_bps * 1.25 {
+            self.full_bw_bps = bw;
+            self.full_bw_count = 0;
+        } else {
+            self.full_bw_count += 1;
+            if self.full_bw_count >= 3 {
+                self.filled_pipe = true;
+            }
+        }
+    }
+
+    fn advance_machine(&mut self, ack: &AckEvent) {
+        let now = ack.now_s;
+        match self.state {
+            BbrState::Startup => {
+                self.pacing_gain = HIGH_GAIN;
+                self.cwnd_gain = HIGH_GAIN;
+                self.check_full_pipe();
+                if self.filled_pipe {
+                    self.enter(now, BbrState::Drain);
+                }
+            }
+            BbrState::Drain => {
+                self.pacing_gain = 1.0 / HIGH_GAIN;
+                self.cwnd_gain = HIGH_GAIN;
+                if (self.inflight_bytes as f64) <= self.bdp_bytes() {
+                    self.enter(now, BbrState::ProbeBw { phase: 2, since: now });
+                }
+            }
+            BbrState::ProbeBw { phase, since } => {
+                self.cwnd_gain = 2.0;
+                self.pacing_gain = PROBE_BW_GAINS[phase];
+                let elapsed = now - since;
+                let advance = if (self.pacing_gain - 0.75).abs() < 1e-9 {
+                    // leave the drain phase as soon as the queue is drained
+                    elapsed > self.rt_prop_s()
+                        || (self.inflight_bytes as f64) <= self.bdp_bytes()
+                } else {
+                    elapsed > self.rt_prop_s()
+                };
+                if advance {
+                    let next = (phase + 1) % PROBE_BW_GAINS.len();
+                    self.state = BbrState::ProbeBw { phase: next, since: now };
+                }
+            }
+            BbrState::ProbeRtt { since, prior_probe_bw_phase } => {
+                self.pacing_gain = 1.0;
+                self.cwnd_gain = 1.0;
+                self.probe_rtt_min_s = self.probe_rtt_min_s.min(ack.rtt_s);
+                if now - since >= PROBE_RTT_DURATION_S {
+                    // refresh the RTprop estimate with the episode's floor
+                    // so the staleness clock restarts (Linux BBR's
+                    // min_rtt_stamp reset)
+                    if self.probe_rtt_min_s.is_finite() {
+                        self.rt_prop_est_s = self.probe_rtt_min_s;
+                        self.rt_prop_stamp_s = now;
+                    }
+                    if self.filled_pipe {
+                        let phase = prior_probe_bw_phase.unwrap_or(2);
+                        self.enter(now, BbrState::ProbeBw { phase, since: now });
+                    } else {
+                        self.enter(now, BbrState::Startup);
+                    }
+                }
+            }
+        }
+
+        // ProbeRTT entry: RTprop sample stale
+        if !matches!(self.state, BbrState::ProbeRtt { .. }) {
+            let stale = self.rt_prop_est_s.is_finite()
+                && now - self.rt_prop_stamp_s > RTPROP_WINDOW_S;
+            if stale {
+                let prior = match self.state {
+                    BbrState::ProbeBw { phase, .. } => Some(phase),
+                    _ => None,
+                };
+                self.probe_rtt_min_s = f64::INFINITY;
+                self.enter(now, BbrState::ProbeRtt { since: now, prior_probe_bw_phase: prior });
+            }
+        }
+    }
+}
+
+impl CongestionControl for Bbr {
+    fn name(&self) -> &str {
+        "bbr"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent) {
+        self.inflight_bytes = ack.inflight_bytes;
+        self.update_round(ack);
+        // BtlBw: windowed max over rounds
+        self.btl_bw.update(self.round_count as f64, ack.delivery_rate_bps);
+        // RTprop: running min; matching the floor refreshes the stamp
+        if ack.rtt_s <= self.rt_prop_est_s {
+            self.rt_prop_est_s = ack.rtt_s;
+            self.rt_prop_stamp_s = ack.now_s;
+        }
+        self.advance_machine(ack);
+    }
+
+    fn on_loss(&mut self, _lost: usize, _now_s: f64) {
+        // BBRv1 ignores individual losses by design (its loss-agnosticism
+        // is exactly why the paper's Table 1 adversary cannot beat it with
+        // loss alone and must attack the probing instead).
+    }
+
+    fn on_rto(&mut self, now_s: f64) {
+        // conservative restart: forget the model, back to Startup
+        self.full_bw_bps = 0.0;
+        self.full_bw_count = 0;
+        self.filled_pipe = false;
+        self.enter(now_s, BbrState::Startup);
+    }
+
+    fn pacing_rate_bps(&self) -> f64 {
+        PACING_MARGIN * self.pacing_gain * self.btl_bw_bps()
+    }
+
+    fn cwnd_packets(&self) -> f64 {
+        if matches!(self.state, BbrState::ProbeRtt { .. }) {
+            return MIN_CWND_PKTS;
+        }
+        (self.cwnd_gain * self.bdp_bytes() / MSS).max(MIN_CWND_PKTS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{FlowSim, LinkParams, SimConfig, MS, SEC};
+
+    fn bbr_sim(params: LinkParams, seed: u64) -> FlowSim {
+        FlowSim::new(Box::new(Bbr::new()), params, SimConfig { seed, ..SimConfig::default() })
+    }
+
+    fn state_log(sim: &FlowSim) -> Vec<(f64, &'static str)> {
+        // downcast via the transition log exposed on the trait object is
+        // not possible; tests that need the log construct Bbr directly.
+        let _ = sim;
+        vec![]
+    }
+
+    #[test]
+    fn startup_finds_bandwidth_quickly() {
+        let mut sim = bbr_sim(LinkParams::new(12.0, 25.0, 0.0), 0);
+        sim.run_for(3 * SEC);
+        let stats = sim.run_for(3 * SEC);
+        assert!(stats.utilization > 0.9, "post-startup utilization {}", stats.utilization);
+    }
+
+    #[test]
+    fn steady_state_keeps_queue_small() {
+        let mut sim = bbr_sim(LinkParams::new(12.0, 25.0, 0.0), 0);
+        // warm past the first ProbeRTT so the startup queue has drained
+        sim.run_for(12 * SEC);
+        let stats = sim.run_for(10 * SEC);
+        // BBR's raison d'être: full throughput without standing queues
+        assert!(stats.utilization > 0.9, "{}", stats.utilization);
+        assert!(
+            stats.avg_queue_delay_ms < 30.0,
+            "standing queue too large: {} ms",
+            stats.avg_queue_delay_ms
+        );
+    }
+
+    #[test]
+    fn survives_heavy_random_loss() {
+        let mut sim = bbr_sim(LinkParams::new(12.0, 25.0, 0.08), 3);
+        sim.run_for(5 * SEC);
+        let stats = sim.run_for(15 * SEC);
+        assert!(stats.utilization > 0.7, "BBR under 8% loss: {}", stats.utilization);
+    }
+
+    #[test]
+    fn adapts_to_bandwidth_increase() {
+        let mut sim = bbr_sim(LinkParams::new(6.0, 25.0, 0.0), 0);
+        sim.run_for(5 * SEC);
+        sim.set_link(LinkParams::new(18.0, 25.0, 0.0));
+        sim.run_for(5 * SEC); // give the 1.25 probe a few cycles
+        let stats = sim.run_for(5 * SEC);
+        assert!(
+            stats.throughput_mbps > 15.0,
+            "BBR must discover tripled bandwidth: {}",
+            stats.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn adapts_to_bandwidth_decrease() {
+        let mut sim = bbr_sim(LinkParams::new(24.0, 25.0, 0.0), 0);
+        sim.run_for(5 * SEC);
+        sim.set_link(LinkParams::new(6.0, 25.0, 0.0));
+        // the stale 24 Mbit/s max-filter entry ages out after ~10 rounds
+        sim.run_for(8 * SEC);
+        let stats = sim.run_for(5 * SEC);
+        assert!(
+            (stats.throughput_mbps - 6.0).abs() < 1.0,
+            "BBR must converge down: {}",
+            stats.throughput_mbps
+        );
+    }
+
+    #[test]
+    fn probe_rtt_happens_roughly_every_ten_seconds() {
+        // drive the machine directly so the transition log is accessible
+        let mut bbr = Bbr::new();
+        let mut now: f64 = 0.0;
+        let mut delivered: u64 = 0;
+        let mut probe_rtt_entries = 0;
+        let mut last: &'static str = "startup";
+        while now < 35.0 {
+            now += 0.025;
+            delivered += 30_000;
+            // the true floor appears only early on; afterwards a small
+            // standing queue keeps RTT samples above it (as on real links),
+            // so the RTprop sample ages and ProbeRTT must fire
+            let rtt = if now < 0.5 { 0.05 } else { 0.053 + 0.002 * (now * 3.0).sin().abs() };
+            let ack = netsim::AckEvent {
+                now_s: now,
+                rtt_s: rtt,
+                delivery_rate_bps: 12e6,
+                newly_acked_bytes: 1500,
+                inflight_bytes: 50_000,
+                delivered_bytes: delivered,
+                delivered_at_send: delivered.saturating_sub(20_000),
+            };
+            bbr.on_ack(&ack);
+        }
+        for &(_, name) in bbr.transitions() {
+            if name == "probe_rtt" && last != "probe_rtt" {
+                probe_rtt_entries += 1;
+            }
+            last = name;
+        }
+        // ~35 s with a 10 s RTprop window: expect ≈3 ProbeRTT episodes
+        assert!(
+            (2..=4).contains(&probe_rtt_entries),
+            "ProbeRTT entries in 35 s: {probe_rtt_entries}"
+        );
+        let _ = state_log;
+    }
+
+    #[test]
+    fn probe_bw_cycle_visits_high_gain() {
+        let mut bbr = Bbr::new();
+        let mut now: f64 = 0.0;
+        let mut delivered: u64 = 0;
+        let mut seen_gains = std::collections::BTreeSet::new();
+        while now < 8.0 {
+            now += 0.02;
+            delivered += 30_000;
+            bbr.on_ack(&netsim::AckEvent {
+                now_s: now,
+                rtt_s: 0.05,
+                delivery_rate_bps: 12e6,
+                newly_acked_bytes: 1500,
+                inflight_bytes: 40_000,
+                delivered_bytes: delivered,
+                delivered_at_send: delivered.saturating_sub(20_000),
+            });
+            if matches!(bbr.state(), BbrState::ProbeBw { .. }) {
+                seen_gains.insert((bbr.pacing_gain * 100.0) as i64);
+            }
+        }
+        assert!(seen_gains.contains(&125), "must probe at 1.25x: {seen_gains:?}");
+        assert!(seen_gains.contains(&75), "must drain at 0.75x: {seen_gains:?}");
+        assert!(seen_gains.contains(&100), "must cruise at 1.0x: {seen_gains:?}");
+    }
+
+    #[test]
+    fn cwnd_floor_during_probe_rtt() {
+        let mut bbr = Bbr::new();
+        bbr.enter(0.0, BbrState::ProbeRtt { since: 0.0, prior_probe_bw_phase: None });
+        assert_eq!(bbr.cwnd_packets(), MIN_CWND_PKTS);
+    }
+
+    #[test]
+    fn rto_resets_to_startup() {
+        let mut bbr = Bbr::new();
+        bbr.enter(1.0, BbrState::ProbeBw { phase: 0, since: 1.0 });
+        bbr.on_rto(2.0);
+        assert_eq!(bbr.state(), BbrState::Startup);
+    }
+
+    #[test]
+    fn interval_probe_30ms_granularity_works() {
+        // sanity for the adversary loop: 1000 × 30 ms steps run fine
+        let mut sim = bbr_sim(LinkParams::new(12.0, 30.0, 0.0), 0);
+        let mut total_delivered = 0u64;
+        for _ in 0..1000 {
+            let st = sim.run_for(30 * MS);
+            total_delivered += st.delivered_bytes;
+        }
+        let mbps = total_delivered as f64 * 8.0 / 30.0 / 1e6;
+        assert!(mbps > 10.0, "30 s of 30 ms slices: {mbps} Mbit/s");
+    }
+}

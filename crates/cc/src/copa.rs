@@ -1,0 +1,221 @@
+//! Copa (Arun & Balakrishnan, NSDI '18): practical delay-based congestion
+//! control — one of the recently proposed protocols the paper lists as
+//! having no "clear weaknesses" (§4), included so the adversarial framework
+//! can be pointed at a delay-based design.
+//!
+//! Model-level implementation of the core mechanism:
+//!
+//! * `d_q = RTT_standing − RTT_min` estimates queueing delay
+//!   (RTT_standing = min RTT over the last srtt/2, RTT_min over 10 s).
+//! * target rate `λ_t = 1 / (δ · d_q)` packets/s (δ = 0.5 by default).
+//! * current rate `λ = cwnd / RTT_standing`; cwnd moves toward the target
+//!   by `v / (δ · cwnd)` per ACK, with velocity doubling when the direction
+//!   persists across RTTs.
+
+use crate::filters::WindowedMin;
+use netsim::{AckEvent, CongestionControl};
+
+const MSS: f64 = 1500.0;
+
+/// Copa congestion control.
+#[derive(Debug, Clone)]
+pub struct Copa {
+    /// Tradeoff parameter δ: higher = less aggressive.
+    pub delta: f64,
+    cwnd: f64,
+    /// Velocity for cwnd updates (doubles while direction persists).
+    velocity: f64,
+    /// +1 when increasing, −1 when decreasing.
+    direction: f64,
+    /// Time the current direction started.
+    direction_since: f64,
+    /// Round-trip minimum over a long window (propagation estimate).
+    rtt_min: WindowedMin,
+    /// Standing RTT: min over roughly the last half-RTT.
+    rtt_standing: WindowedMin,
+    srtt_s: f64,
+    /// Number of direction-consistent RTTs (for velocity doubling).
+    steady_rtts: f64,
+}
+
+impl Default for Copa {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Copa {
+    pub fn new() -> Self {
+        Copa {
+            delta: 0.5,
+            cwnd: 10.0,
+            velocity: 1.0,
+            direction: 1.0,
+            direction_since: 0.0,
+            rtt_min: WindowedMin::new(10.0),
+            rtt_standing: WindowedMin::new(0.1),
+            srtt_s: 0.1,
+            steady_rtts: 0.0,
+        }
+    }
+
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Estimated queueing delay in seconds.
+    pub fn queueing_delay_s(&self) -> f64 {
+        match (self.rtt_standing.get(), self.rtt_min.get()) {
+            (Some(st), Some(min)) => (st - min).max(0.0),
+            _ => 0.0,
+        }
+    }
+}
+
+impl CongestionControl for Copa {
+    fn name(&self) -> &str {
+        "copa"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent) {
+        self.srtt_s = 0.875 * self.srtt_s + 0.125 * ack.rtt_s;
+        self.rtt_min.update(ack.now_s, ack.rtt_s);
+        // standing window tracks ~srtt/2 of history
+        self.rtt_standing = {
+            let mut w = WindowedMin::new((self.srtt_s / 2.0).max(0.01));
+            // reuse the filter by re-inserting the newest sample; the short
+            // window forgets older samples naturally on subsequent updates
+            std::mem::swap(&mut w, &mut self.rtt_standing);
+            w
+        };
+        self.rtt_standing.update(ack.now_s, ack.rtt_s);
+
+        let d_q = self.queueing_delay_s();
+        let standing = self.rtt_standing.get().unwrap_or(self.srtt_s).max(1e-4);
+        // target rate in packets per second; when the queue is empty the
+        // target is effectively unbounded and Copa increases
+        let target_pps = if d_q > 1e-6 { 1.0 / (self.delta * d_q) } else { f64::INFINITY };
+        let current_pps = self.cwnd / standing;
+
+        let new_direction = if current_pps < target_pps { 1.0 } else { -1.0 };
+        if new_direction == self.direction {
+            // velocity doubles each RTT the direction persists
+            if ack.now_s - self.direction_since > self.srtt_s {
+                self.steady_rtts += 1.0;
+                self.direction_since = ack.now_s;
+                if self.steady_rtts >= 3.0 {
+                    self.velocity = (self.velocity * 2.0).min(self.cwnd.max(1.0));
+                }
+            }
+        } else {
+            self.direction = new_direction;
+            self.direction_since = ack.now_s;
+            self.velocity = 1.0;
+            self.steady_rtts = 0.0;
+        }
+        self.cwnd += self.direction * self.velocity / (self.delta * self.cwnd);
+        self.cwnd = self.cwnd.max(2.0);
+    }
+
+    fn on_loss(&mut self, _lost: usize, _now_s: f64) {
+        // Copa v1 reacts to loss only via its delay signal (a drop implies a
+        // full queue, which the standing RTT already reflects); its TCP
+        // mode is out of scope here.
+    }
+
+    fn on_rto(&mut self, _now_s: f64) {
+        self.cwnd = 2.0;
+        self.velocity = 1.0;
+        self.steady_rtts = 0.0;
+    }
+
+    fn pacing_rate_bps(&self) -> f64 {
+        // pace the window over the standing RTT with modest headroom
+        let standing = self.rtt_standing.get().unwrap_or(self.srtt_s).max(1e-4);
+        2.0 * self.cwnd * MSS * 8.0 / standing
+    }
+
+    fn cwnd_packets(&self) -> f64 {
+        self.cwnd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{FlowSim, LinkParams, SimConfig, SEC};
+
+    #[test]
+    fn fills_a_clean_link() {
+        let mut sim = FlowSim::new(
+            Box::new(Copa::new()),
+            LinkParams::new(12.0, 25.0, 0.0),
+            SimConfig::default(),
+        );
+        sim.run_for(5 * SEC);
+        let stats = sim.run_for(10 * SEC);
+        assert!(stats.utilization > 0.8, "Copa on a clean link: {}", stats.utilization);
+    }
+
+    #[test]
+    fn keeps_delay_lower_than_cubic() {
+        let run = |cc: Box<dyn netsim::CongestionControl>| {
+            let mut sim =
+                FlowSim::new(cc, LinkParams::new(12.0, 25.0, 0.0), SimConfig::default());
+            sim.run_for(5 * SEC);
+            sim.run_for(10 * SEC).avg_queue_delay_ms
+        };
+        let copa_delay = run(Box::new(Copa::new()));
+        let cubic_delay = run(Box::new(crate::Cubic::new()));
+        assert!(
+            copa_delay < cubic_delay,
+            "delay-based Copa ({copa_delay:.1} ms) should hold a smaller queue than Cubic ({cubic_delay:.1} ms)"
+        );
+    }
+
+    #[test]
+    fn tolerates_moderate_loss() {
+        let mut sim = FlowSim::new(
+            Box::new(Copa::new()),
+            LinkParams::new(12.0, 25.0, 0.02),
+            SimConfig::default(),
+        );
+        sim.run_for(5 * SEC);
+        let stats = sim.run_for(15 * SEC);
+        assert!(
+            stats.utilization > 0.5,
+            "Copa ignores random loss by design: {}",
+            stats.utilization
+        );
+    }
+
+    #[test]
+    fn direction_flips_reset_velocity() {
+        let mut c = Copa::new();
+        c.velocity = 8.0;
+        c.direction = 1.0;
+        // force a downward flip: large queueing delay
+        c.rtt_min.update(0.0, 0.02);
+        c.rtt_standing.update(0.0, 0.2);
+        c.cwnd = 1000.0;
+        c.on_ack(&AckEvent {
+            now_s: 1.0,
+            rtt_s: 0.2,
+            delivery_rate_bps: 1e6,
+            newly_acked_bytes: 1500,
+            inflight_bytes: 0,
+            delivered_bytes: 0,
+            delivered_at_send: 0,
+        });
+        assert_eq!(c.direction, -1.0);
+        assert_eq!(c.velocity, 1.0);
+    }
+
+    #[test]
+    fn rto_collapses_window() {
+        let mut c = Copa::new();
+        c.cwnd = 100.0;
+        c.on_rto(1.0);
+        assert_eq!(c.cwnd(), 2.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! TCP Cubic (Ha, Rhee, Xu 2008): the loss-based baseline.
+//!
+//! Window growth follows `W(t) = C·(t − K)³ + W_max` after each loss event,
+//! with multiplicative decrease β = 0.7. The paper cites Cubic's "trivial
+//! weakness to packet loss even as low as 1 %" — reproduced by the
+//! benchmark ablations.
+
+use netsim::{AckEvent, CongestionControl};
+
+const MSS: f64 = 1500.0;
+/// Cubic's scaling constant (Linux default).
+const C: f64 = 0.4;
+/// Multiplicative decrease factor.
+const BETA: f64 = 0.7;
+
+/// TCP Cubic.
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    /// Congestion window in packets.
+    cwnd: f64,
+    ssthresh: f64,
+    /// Window size just before the last reduction.
+    w_max: f64,
+    /// Time of the last reduction (cubic epoch origin).
+    epoch_start: Option<f64>,
+    /// Plateau offset: K = cbrt(w_max·(1−β)/C).
+    k: f64,
+    srtt_s: f64,
+    /// Ignore further losses until this time (one reduction per RTT).
+    recovery_until_s: f64,
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cubic {
+    pub fn new() -> Self {
+        Cubic {
+            cwnd: 10.0,
+            ssthresh: f64::INFINITY,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+            srtt_s: 0.1,
+            recovery_until_s: 0.0,
+        }
+    }
+
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    fn reduce(&mut self, now_s: f64) {
+        if now_s < self.recovery_until_s {
+            return; // at most one reduction per RTT
+        }
+        self.w_max = self.cwnd;
+        self.cwnd = (self.cwnd * BETA).max(2.0);
+        self.ssthresh = self.cwnd;
+        self.k = (self.w_max * (1.0 - BETA) / C).cbrt();
+        self.epoch_start = Some(now_s);
+        self.recovery_until_s = now_s + self.srtt_s;
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn name(&self) -> &str {
+        "cubic"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent) {
+        self.srtt_s = if self.srtt_s == 0.0 {
+            ack.rtt_s
+        } else {
+            0.875 * self.srtt_s + 0.125 * ack.rtt_s
+        };
+        if self.in_slow_start() {
+            self.cwnd += 1.0;
+            return;
+        }
+        let epoch = *self.epoch_start.get_or_insert(ack.now_s);
+        let t = ack.now_s - epoch;
+        let target = C * (t - self.k).powi(3) + self.w_max;
+        if target > self.cwnd {
+            // approach the cubic target one segment-fraction per ACK
+            self.cwnd += (target - self.cwnd) / self.cwnd;
+        } else {
+            // TCP-friendly floor: tiny Reno-like growth
+            self.cwnd += 0.01 / self.cwnd;
+        }
+    }
+
+    fn on_loss(&mut self, _lost: usize, now_s: f64) {
+        self.reduce(now_s);
+    }
+
+    fn on_rto(&mut self, now_s: f64) {
+        self.ssthresh = (self.cwnd * 0.5).max(2.0);
+        self.cwnd = 2.0;
+        self.epoch_start = None;
+        self.w_max = 0.0;
+        self.recovery_until_s = now_s + self.srtt_s;
+    }
+
+    fn pacing_rate_bps(&self) -> f64 {
+        // pace at 1.2× the window rate so pacing never throttles below cwnd
+        1.2 * self.cwnd * MSS * 8.0 / self.srtt_s.max(1e-3)
+    }
+
+    fn cwnd_packets(&self) -> f64 {
+        self.cwnd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{FlowSim, LinkParams, SimConfig, SEC};
+
+    fn ack(now_s: f64, rtt_s: f64) -> AckEvent {
+        AckEvent {
+            now_s,
+            rtt_s,
+            delivery_rate_bps: 10e6,
+            newly_acked_bytes: 1500,
+            inflight_bytes: 15_000,
+            delivered_bytes: 0,
+            delivered_at_send: 0,
+        }
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut c = Cubic::new();
+        let w0 = c.cwnd();
+        for i in 0..10 {
+            c.on_ack(&ack(i as f64 * 0.01, 0.05));
+        }
+        assert_eq!(c.cwnd(), w0 + 10.0, "one packet per ACK in slow start");
+    }
+
+    #[test]
+    fn loss_applies_beta() {
+        let mut c = Cubic::new();
+        c.ssthresh = 5.0; // force CA
+        c.cwnd = 100.0;
+        c.on_loss(1, 1.0);
+        assert!((c.cwnd() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_reduction_per_rtt() {
+        let mut c = Cubic::new();
+        c.cwnd = 100.0;
+        c.ssthresh = 5.0;
+        c.srtt_s = 0.1;
+        c.on_loss(1, 1.0);
+        c.on_loss(1, 1.05); // within the same RTT: ignored
+        assert!((c.cwnd() - 70.0).abs() < 1e-9);
+        c.on_loss(1, 1.2);
+        assert!((c.cwnd() - 49.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_growth_accelerates_past_plateau() {
+        let mut c = Cubic::new();
+        c.cwnd = 70.0;
+        c.ssthresh = 5.0;
+        c.w_max = 100.0;
+        c.k = (100.0 * 0.3 / C).cbrt();
+        c.epoch_start = Some(0.0);
+        // near the plateau (t ≈ K) growth is slow
+        c.on_ack(&ack(c.k, 0.05));
+        let near_plateau = c.cwnd;
+        // far past the plateau growth is fast
+        for i in 0..50 {
+            c.on_ack(&ack(c.k + 3.0 + i as f64 * 0.01, 0.05));
+        }
+        assert!(c.cwnd > near_plateau + 5.0, "{} vs {near_plateau}", c.cwnd);
+    }
+
+    #[test]
+    fn rto_collapses_window() {
+        let mut c = Cubic::new();
+        c.cwnd = 64.0;
+        c.on_rto(1.0);
+        assert_eq!(c.cwnd(), 2.0);
+        assert_eq!(c.ssthresh, 32.0);
+    }
+
+    #[test]
+    fn fills_clean_link() {
+        let mut sim = FlowSim::new(
+            Box::new(Cubic::new()),
+            LinkParams::new(12.0, 25.0, 0.0),
+            SimConfig::default(),
+        );
+        sim.run_for(5 * SEC);
+        let stats = sim.run_for(10 * SEC);
+        assert!(stats.utilization > 0.85, "{}", stats.utilization);
+    }
+
+    #[test]
+    fn collapses_under_random_loss() {
+        let mut sim = FlowSim::new(
+            Box::new(Cubic::new()),
+            LinkParams::new(12.0, 25.0, 0.03),
+            SimConfig::default(),
+        );
+        sim.run_for(5 * SEC);
+        let stats = sim.run_for(15 * SEC);
+        assert!(
+            stats.utilization < 0.5,
+            "Cubic at 3% loss must collapse (the paper's premise): {}",
+            stats.utilization
+        );
+    }
+}

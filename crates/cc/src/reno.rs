@@ -1,0 +1,149 @@
+//! TCP Reno (AIMD): the classic loss-based baseline.
+
+use netsim::{AckEvent, CongestionControl};
+
+const MSS: f64 = 1500.0;
+
+/// TCP Reno: slow start, additive increase (1 packet per RTT),
+/// multiplicative decrease (halving on loss).
+#[derive(Debug, Clone)]
+pub struct Reno {
+    cwnd: f64,
+    ssthresh: f64,
+    srtt_s: f64,
+    recovery_until_s: f64,
+}
+
+impl Default for Reno {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Reno {
+    pub fn new() -> Self {
+        Reno { cwnd: 10.0, ssthresh: f64::INFINITY, srtt_s: 0.1, recovery_until_s: 0.0 }
+    }
+
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+}
+
+impl CongestionControl for Reno {
+    fn name(&self) -> &str {
+        "reno"
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent) {
+        self.srtt_s = 0.875 * self.srtt_s + 0.125 * ack.rtt_s;
+        if self.in_slow_start() {
+            self.cwnd += 1.0;
+        } else {
+            self.cwnd += 1.0 / self.cwnd;
+        }
+    }
+
+    fn on_loss(&mut self, _lost: usize, now_s: f64) {
+        if now_s < self.recovery_until_s {
+            return;
+        }
+        self.cwnd = (self.cwnd / 2.0).max(2.0);
+        self.ssthresh = self.cwnd;
+        self.recovery_until_s = now_s + self.srtt_s;
+    }
+
+    fn on_rto(&mut self, now_s: f64) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = 2.0;
+        self.recovery_until_s = now_s + self.srtt_s;
+    }
+
+    fn pacing_rate_bps(&self) -> f64 {
+        1.2 * self.cwnd * MSS * 8.0 / self.srtt_s.max(1e-3)
+    }
+
+    fn cwnd_packets(&self) -> f64 {
+        self.cwnd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{FlowSim, LinkParams, SimConfig, SEC};
+
+    fn ack(now_s: f64) -> AckEvent {
+        AckEvent {
+            now_s,
+            rtt_s: 0.05,
+            delivery_rate_bps: 10e6,
+            newly_acked_bytes: 1500,
+            inflight_bytes: 15_000,
+            delivered_bytes: 0,
+            delivered_at_send: 0,
+        }
+    }
+
+    #[test]
+    fn additive_increase_in_congestion_avoidance() {
+        let mut r = Reno::new();
+        r.ssthresh = 5.0;
+        r.cwnd = 10.0;
+        // one full window of ACKs grows cwnd by ~1
+        for i in 0..10 {
+            r.on_ack(&ack(i as f64 * 0.005));
+        }
+        assert!((r.cwnd() - 11.0).abs() < 0.05, "{}", r.cwnd());
+    }
+
+    #[test]
+    fn multiplicative_decrease() {
+        let mut r = Reno::new();
+        r.cwnd = 40.0;
+        r.on_loss(1, 1.0);
+        assert_eq!(r.cwnd(), 20.0);
+        assert_eq!(r.ssthresh, 20.0);
+    }
+
+    #[test]
+    fn slow_start_until_ssthresh() {
+        let mut r = Reno::new();
+        assert!(r.in_slow_start());
+        r.ssthresh = 12.0;
+        for i in 0..2 {
+            r.on_ack(&ack(i as f64 * 0.01));
+        }
+        assert!(!r.in_slow_start());
+    }
+
+    #[test]
+    fn sawtooth_on_clean_link_still_fills_most() {
+        let mut sim = FlowSim::new(
+            Box::new(Reno::new()),
+            LinkParams::new(12.0, 25.0, 0.0),
+            SimConfig::default(),
+        );
+        sim.run_for(5 * SEC);
+        let stats = sim.run_for(10 * SEC);
+        assert!(stats.utilization > 0.8, "{}", stats.utilization);
+    }
+
+    #[test]
+    fn collapses_under_one_percent_loss() {
+        // the paper: "Cubic, Reno and HTCP all share a trivial weakness to
+        // packet loss even as low as 1%"
+        let mut sim = FlowSim::new(
+            Box::new(Reno::new()),
+            LinkParams::new(12.0, 25.0, 0.01),
+            SimConfig::default(),
+        );
+        sim.run_for(5 * SEC);
+        let stats = sim.run_for(15 * SEC);
+        assert!(stats.utilization < 0.65, "Reno at 1% loss: {}", stats.utilization);
+    }
+}

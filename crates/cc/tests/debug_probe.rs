@@ -1,0 +1,24 @@
+use cc::Bbr;
+use netsim::{FlowSim, LinkParams, SimConfig, MS};
+
+#[test]
+#[ignore]
+fn probe() {
+    let mut sim = FlowSim::new(Box::new(Bbr::new()), LinkParams::new(12.0, 25.0, 0.0), SimConfig::default());
+    for i in 0..100 {
+        let st = sim.run_for(100 * MS);
+        if i % 2 == 0 {
+            println!(
+                "t={:5.1}s tput={:6.2} util={:.2} rtt={:5.1}ms inflight={} srtt={:.3} sent={} lost_ovf={}",
+                (i + 1) as f64 * 0.1,
+                st.throughput_mbps,
+                st.utilization,
+                st.avg_rtt_ms,
+                sim.inflight_bytes(),
+                sim.srtt_s(),
+                st.packets_sent,
+                st.packets_lost_overflow,
+            );
+        }
+    }
+}

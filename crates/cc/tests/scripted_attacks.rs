@@ -1,0 +1,52 @@
+//! Scripted (non-learned) attacks on BBR's probing, used to calibrate the
+//! thresholds in examples/bbr_probe_exploit.rs and to pin the exploit
+//! mechanism with assertions.
+use cc::Bbr;
+use netsim::{FlowSim, LinkParams, SimConfig, MS, SEC};
+
+fn run(steps: usize, mut ctl: impl FnMut(usize, f64, f64) -> LinkParams) -> f64 {
+    let mut sim =
+        FlowSim::new(Box::new(Bbr::new()), LinkParams::new(15.0, 30.0, 0.0), SimConfig::default());
+    sim.run_for(3 * SEC);
+    let (mut util, mut qd) = (1.0, 0.0);
+    let (mut del, mut cap) = (0.0, 0.0);
+    for i in 0..steps {
+        sim.set_link(ctl(i, util, qd));
+        let st = sim.run_for(30 * MS);
+        util = st.utilization;
+        qd = sim.queue_delay_ms();
+        del += st.delivered_bytes as f64;
+        cap += st.capacity_bytes;
+    }
+    del / cap
+}
+
+#[test]
+#[ignore]
+fn sweep_probe_starvation_threshold() {
+    for thr in [0.3, 0.45, 0.55, 0.7, 0.85] {
+        let u = run(1000, |_, util, _| {
+            if util > thr { LinkParams::new(6.0, 30.0, 0.0) } else { LinkParams::new(24.0, 30.0, 0.0) }
+        });
+        println!("starve thr={thr}: util {:.1}%", u * 100.0);
+    }
+}
+
+#[test]
+#[ignore]
+fn sweep_rtprop_pin() {
+    // pin by periodic dips instead of threshold-reactive
+    for period in [100usize, 200, 300] {
+        let u = run(1000, |i, _, _| {
+            if i % period < 2 { LinkParams::new(24.0, 15.0, 0.0) } else { LinkParams::new(24.0, 60.0, 0.0) }
+        });
+        println!("pin period={period} (x30ms): util {:.1}%", u * 100.0);
+    }
+    // threshold-reactive with low trigger
+    for thr in [0.3, 0.5, 0.7] {
+        let u = run(1000, |_, util, _| {
+            if util > thr { LinkParams::new(24.0, 15.0, 0.0) } else { LinkParams::new(24.0, 60.0, 0.0) }
+        });
+        println!("pin reactive thr={thr}: util {:.1}%", u * 100.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! The bottleneck link: a drop-tail queue served at a configurable rate,
+//! with propagation delay and iid random loss.
+
+use crate::{Time, MS, MTU_BYTES, SEC};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The adversary-controlled link knobs (Table 1 of the paper constrains
+/// these to bandwidth 6–24 Mbit/s, latency 15–60 ms, loss 0–10 %).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Bottleneck bandwidth in Mbit/s.
+    pub bandwidth_mbps: f64,
+    /// One-way propagation delay in milliseconds (RTT is twice this plus
+    /// queueing and serialization).
+    pub latency_ms: f64,
+    /// Probability that a packet is dropped at link ingress, `[0, 1]`.
+    pub loss_rate: f64,
+}
+
+impl LinkParams {
+    pub fn new(bandwidth_mbps: f64, latency_ms: f64, loss_rate: f64) -> Self {
+        let p = LinkParams { bandwidth_mbps, latency_ms, loss_rate };
+        p.validate();
+        p
+    }
+
+    pub fn validate(&self) {
+        assert!(self.bandwidth_mbps > 0.0, "bandwidth must be positive");
+        assert!(self.latency_ms >= 0.0, "latency must be non-negative");
+        assert!((0.0..=1.0).contains(&self.loss_rate), "loss outside [0,1]");
+    }
+
+    /// Serialization time of `bytes` at this bandwidth.
+    pub fn serialization_time(&self, bytes: usize) -> Time {
+        ((bytes as f64 * 8.0 / (self.bandwidth_mbps * 1e6)) * SEC as f64).round() as Time
+    }
+
+    /// One-way propagation delay as [`Time`].
+    pub fn propagation(&self) -> Time {
+        (self.latency_ms * MS as f64).round() as Time
+    }
+
+    /// Bandwidth·delay product in bytes (using RTT = 2 × latency).
+    pub fn bdp_bytes(&self) -> f64 {
+        self.bandwidth_mbps * 1e6 / 8.0 * (2.0 * self.latency_ms / 1000.0)
+    }
+}
+
+/// A packet in flight through the simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct Packet {
+    pub seq: u64,
+    pub size_bytes: usize,
+    /// When the sender transmitted it.
+    pub sent_at: Time,
+    /// Receiver's cumulative delivered-byte count when this packet was
+    /// sent — the basis of BBR-style delivery-rate samples.
+    pub delivered_at_send: u64,
+}
+
+/// The drop-tail bottleneck queue.
+#[derive(Debug)]
+pub struct Queue {
+    packets: VecDeque<Packet>,
+    bytes: usize,
+    /// Capacity in bytes; arrivals beyond it are dropped (drop-tail).
+    pub capacity_bytes: usize,
+    /// Monotone counters for diagnostics.
+    pub total_enqueued: u64,
+    pub total_dropped_overflow: u64,
+}
+
+impl Queue {
+    pub fn new(capacity_bytes: usize) -> Self {
+        assert!(capacity_bytes >= MTU_BYTES, "queue must hold at least one packet");
+        Queue {
+            packets: VecDeque::new(),
+            bytes: 0,
+            capacity_bytes,
+            total_enqueued: 0,
+            total_dropped_overflow: 0,
+        }
+    }
+
+    /// Try to enqueue; returns false (and counts a drop) when full.
+    pub fn push(&mut self, p: Packet) -> bool {
+        if self.bytes + p.size_bytes > self.capacity_bytes {
+            self.total_dropped_overflow += 1;
+            return false;
+        }
+        self.bytes += p.size_bytes;
+        self.packets.push_back(p);
+        self.total_enqueued += 1;
+        true
+    }
+
+    pub fn pop(&mut self) -> Option<Packet> {
+        let p = self.packets.pop_front()?;
+        self.bytes -= p.size_bytes;
+        Some(p)
+    }
+
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u64) -> Packet {
+        Packet { seq, size_bytes: MTU_BYTES, sent_at: 0, delivered_at_send: 0 }
+    }
+
+    #[test]
+    fn serialization_time_scales() {
+        let p = LinkParams::new(12.0, 20.0, 0.0);
+        // 1500 B = 12 000 bits at 12 Mbit/s = 1 ms
+        assert_eq!(p.serialization_time(1500), MS);
+        let p2 = LinkParams::new(24.0, 20.0, 0.0);
+        assert_eq!(p2.serialization_time(1500), MS / 2);
+    }
+
+    #[test]
+    fn bdp_computation() {
+        let p = LinkParams::new(12.0, 20.0, 0.0);
+        // 12 Mbit/s × 40 ms RTT = 480 kbit = 60 kB
+        assert!((p.bdp_bytes() - 60_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn queue_drop_tail() {
+        let mut q = Queue::new(3 * MTU_BYTES);
+        assert!(q.push(pkt(1)));
+        assert!(q.push(pkt(2)));
+        assert!(q.push(pkt(3)));
+        assert!(!q.push(pkt(4)), "fourth packet must overflow");
+        assert_eq!(q.total_dropped_overflow, 1);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().seq, 1, "FIFO order");
+        assert!(q.push(pkt(4)), "space after a pop");
+    }
+
+    #[test]
+    fn queue_byte_accounting() {
+        let mut q = Queue::new(10 * MTU_BYTES);
+        q.push(pkt(1));
+        q.push(pkt(2));
+        assert_eq!(q.bytes(), 2 * MTU_BYTES);
+        q.pop();
+        assert_eq!(q.bytes(), MTU_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss outside")]
+    fn params_validated() {
+        LinkParams::new(10.0, 10.0, 1.5);
+    }
+}

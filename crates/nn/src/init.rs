@@ -1,0 +1,56 @@
+//! Weight initialization schemes.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Xavier/Glorot-style scaled Gaussian init: `N(0, 2/(fan_in + fan_out))`.
+///
+/// Samples are generated with Box–Muller from the supplied RNG so that
+/// initialization is fully deterministic given the seed.
+pub fn scaled_gaussian(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let std = (2.0 / (rows + cols) as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| std * gaussian(rng))
+}
+
+/// Standard normal sample via Box–Muller.
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        let a = scaled_gaussian(4, 4, &mut StdRng::seed_from_u64(9));
+        let b = scaled_gaussian(4, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn init_scale_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let big = scaled_gaussian(100, 100, &mut rng);
+        let rms =
+            (big.sq_norm() / (big.rows() * big.cols()) as f64).sqrt();
+        let expected = (2.0 / 200.0_f64).sqrt();
+        assert!((rms - expected).abs() / expected < 0.2, "rms = {rms}");
+    }
+}

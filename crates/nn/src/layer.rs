@@ -1,0 +1,155 @@
+//! Fully connected layers and their activations.
+
+use crate::init;
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Pointwise activation applied after a dense layer's affine transform.
+///
+/// Softmax is deliberately *not* an activation here: policy heads keep their
+/// outputs as raw logits/means and apply softmax (or a Gaussian) in the RL
+/// crate, where the loss gradient with respect to the raw outputs has a
+/// simple closed form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity — used for output layers.
+    Linear,
+    /// Hyperbolic tangent — default hidden activation for small policy nets.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+}
+
+impl Activation {
+    /// Apply the activation to a pre-activation value.
+    #[inline]
+    pub fn apply(self, z: f64) -> f64 {
+        match self {
+            Activation::Linear => z,
+            Activation::Tanh => z.tanh(),
+            Activation::Relu => z.max(0.0),
+        }
+    }
+
+    /// Derivative dσ(z)/dz expressed in terms of the pre-activation `z`.
+    #[inline]
+    pub fn derivative(self, z: f64) -> f64 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Tanh => {
+                let t = z.tanh();
+                1.0 - t * t
+            }
+            Activation::Relu => {
+                if z > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// A dense layer: `y = σ(W x + b)` with `W: out × in`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    pub w: Matrix,
+    pub b: Vec<f64>,
+    pub act: Activation,
+}
+
+impl Dense {
+    /// New layer with orthogonal-ish (scaled Gaussian) init and zero biases.
+    pub fn new(inputs: usize, outputs: usize, act: Activation, rng: &mut StdRng) -> Self {
+        Dense {
+            w: init::scaled_gaussian(outputs, inputs, rng),
+            b: vec![0.0; outputs],
+            act,
+        }
+    }
+
+    pub fn inputs(&self) -> usize {
+        self.w.cols()
+    }
+
+    pub fn outputs(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Forward pass writing the pre-activation into `z` and activation into `a`.
+    pub fn forward_into(&self, x: &[f64], z: &mut [f64], a: &mut [f64]) {
+        self.w.matvec_into(x, z);
+        for (zi, bi) in z.iter_mut().zip(self.b.iter()) {
+            *zi += bi;
+        }
+        for (ai, zi) in a.iter_mut().zip(z.iter()) {
+            *ai = self.act.apply(*zi);
+        }
+    }
+
+    /// Forward pass allocating the output.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut z = vec![0.0; self.outputs()];
+        let mut a = vec![0.0; self.outputs()];
+        self.forward_into(x, &mut z, &mut a);
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn activations_and_derivatives() {
+        for act in [Activation::Linear, Activation::Tanh, Activation::Relu] {
+            // finite-difference check of the derivative at a few points
+            for &z in &[-1.3, -0.2, 0.4, 2.0] {
+                let h = 1e-6;
+                let fd = (act.apply(z + h) - act.apply(z - h)) / (2.0 * h);
+                assert!(
+                    (fd - act.derivative(z)).abs() < 1e-5,
+                    "{act:?} derivative mismatch at {z}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Relu.derivative(-3.0), 0.0);
+    }
+
+    #[test]
+    fn dense_forward_known_weights() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut d = Dense::new(2, 1, Activation::Linear, &mut rng);
+        d.w = Matrix::from_vec(1, 2, vec![2.0, -1.0]);
+        d.b = vec![0.5];
+        let y = d.forward(&[3.0, 4.0]);
+        assert!((y[0] - (6.0 - 4.0 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Dense::new(5, 3, Activation::Tanh, &mut rng);
+        assert_eq!(d.inputs(), 5);
+        assert_eq!(d.outputs(), 3);
+        assert_eq!(d.forward(&[0.0; 5]).len(), 3);
+    }
+
+    #[test]
+    fn tanh_layer_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Dense::new(4, 4, Activation::Tanh, &mut rng);
+        for v in d.forward(&[10.0, -10.0, 5.0, -5.0]) {
+            assert!(v.abs() <= 1.0);
+        }
+    }
+}

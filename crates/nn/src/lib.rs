@@ -1,0 +1,53 @@
+//! Minimal dense neural networks for tiny reinforcement-learning policies.
+//!
+//! The adversaries and protocols in this workspace use multi-layer
+//! perceptrons with at most two hidden layers and a few dozen neurons, per
+//! the HotNets '19 paper ("Robustifying Network Protocols with Adversarial
+//! Examples"). A full deep-learning framework would be overkill and would
+//! drag in heavyweight dependencies, so this crate implements exactly what
+//! is needed, deterministically and in pure Rust:
+//!
+//! * [`Matrix`] — a small row-major dense matrix with the handful of BLAS-1/2
+//!   operations backprop requires.
+//! * [`Dense`] / [`Mlp`] — fully connected layers with tanh/ReLU/linear
+//!   activations, forward passes, and reverse-mode gradient computation.
+//! * [`MlpGrads`] — a gradient buffer shaped like an [`Mlp`].
+//! * [`Adam`] / [`Sgd`] — optimizers operating on `(Mlp, MlpGrads)` pairs.
+//! * [`ops`] — free functions (softmax, log-sum-exp, clipping) shared by the
+//!   RL crate's policy heads.
+//!
+//! Everything is `f64`: the networks are tiny, so precision is cheap and it
+//! keeps finite-difference gradient checks tight.
+//!
+//! # Example
+//!
+//! ```
+//! use nn::{Mlp, Activation, Adam, MlpGrads};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // 4 inputs -> 8 tanh -> 2 linear outputs
+//! let mut net = Mlp::new(&[4, 8, 2], Activation::Tanh, &mut rng);
+//! let y = net.forward(&[0.1, -0.2, 0.3, 0.0]);
+//! assert_eq!(y.len(), 2);
+//!
+//! // One step of gradient descent on L = sum(y): dL/dy = [1, 1].
+//! let mut grads = MlpGrads::zeros_like(&net);
+//! let mut cache = net.new_cache();
+//! net.forward_cached(&[0.1, -0.2, 0.3, 0.0], &mut cache);
+//! net.backward(&cache, &[1.0, 1.0], &mut grads);
+//! let mut adam = Adam::new(&net, 1e-3);
+//! adam.step(&mut net, &grads);
+//! ```
+
+pub mod init;
+pub mod layer;
+pub mod matrix;
+pub mod mlp;
+pub mod ops;
+pub mod optim;
+
+pub use layer::{Activation, Dense};
+pub use matrix::Matrix;
+pub use mlp::{Cache, Mlp, MlpGrads};
+pub use optim::{Adam, Sgd};

@@ -1,0 +1,216 @@
+//! A small row-major dense matrix.
+//!
+//! Only the operations reverse-mode differentiation of an MLP needs are
+//! provided: matrix–vector products (plain and transposed), rank-1 updates,
+//! and elementwise arithmetic. Shapes are checked with `assert!` — these are
+//! programming errors, not runtime conditions.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense `rows × cols` matrix of `f64`, row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a row-major data vector. Panics if the length mismatches.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Build by calling `f(row, col)` for each entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the backing storage (row-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the backing storage (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `out = self * x` where `x.len() == cols`; `out.len() == rows`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec: input length mismatch");
+        assert_eq!(out.len(), self.rows, "matvec: output length mismatch");
+        for (r, o) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0;
+            for (w, xi) in row.iter().zip(x.iter()) {
+                acc += w * xi;
+            }
+            *o = acc;
+        }
+    }
+
+    /// `self * x` allocating the output.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(x, &mut out);
+        out
+    }
+
+    /// `out += selfᵀ * y` where `y.len() == rows`; `out.len() == cols`.
+    ///
+    /// This is the backward pass through a linear layer: given the gradient
+    /// w.r.t. the layer output, accumulate the gradient w.r.t. its input.
+    pub fn matvec_t_add(&self, y: &[f64], out: &mut [f64]) {
+        assert_eq!(y.len(), self.rows, "matvec_t: input length mismatch");
+        assert_eq!(out.len(), self.cols, "matvec_t: output length mismatch");
+        for (r, yr) in y.iter().enumerate() {
+            if *yr == 0.0 {
+                continue;
+            }
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, w) in out.iter_mut().zip(row.iter()) {
+                *o += yr * w;
+            }
+        }
+    }
+
+    /// Rank-1 update `self += alpha * y xᵀ` (`y.len() == rows`,
+    /// `x.len() == cols`) — the weight-gradient accumulation of backprop.
+    pub fn add_outer(&mut self, alpha: f64, y: &[f64], x: &[f64]) {
+        assert_eq!(y.len(), self.rows, "add_outer: rows mismatch");
+        assert_eq!(x.len(), self.cols, "add_outer: cols mismatch");
+        for (r, yr) in y.iter().enumerate() {
+            let a = alpha * yr;
+            if a == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (w, xi) in row.iter_mut().zip(x.iter()) {
+                *w += a * xi;
+            }
+        }
+    }
+
+    /// `self += alpha * other` (same shape).
+    pub fn add_scaled(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.rows, other.rows, "add_scaled: rows mismatch");
+        assert_eq!(self.cols, other.cols, "add_scaled: cols mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiply every entry by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Set every entry to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Sum of squared entries (used for gradient-norm clipping).
+    pub fn sq_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_identity() {
+        let m = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(m.matvec(&x), x);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = m.matvec(&[1.0, 0.0, -1.0]);
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_manual_transpose() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut out = vec![0.0; 3];
+        m.matvec_t_add(&[1.0, -1.0], &mut out);
+        assert_eq!(out, vec![-3.0, -3.0, -3.0]);
+    }
+
+    #[test]
+    fn outer_product_accumulates() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_outer(2.0, &[1.0, 3.0], &[5.0, 7.0]);
+        assert_eq!(m.as_slice(), &[10.0, 14.0, 30.0, 42.0]);
+        m.add_outer(1.0, &[1.0, 0.0], &[1.0, 0.0]);
+        assert_eq!(m.get(0, 0), 11.0);
+    }
+
+    #[test]
+    fn scale_and_zero() {
+        let mut m = Matrix::from_vec(1, 2, vec![2.0, -4.0]);
+        m.scale(0.5);
+        assert_eq!(m.as_slice(), &[1.0, -2.0]);
+        m.fill_zero();
+        assert_eq!(m.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn sq_norm() {
+        let m = Matrix::from_vec(1, 3, vec![1.0, 2.0, 2.0]);
+        assert!((m.sq_norm() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec: input length mismatch")]
+    fn matvec_shape_checked() {
+        let m = Matrix::zeros(2, 3);
+        let _ = m.matvec(&[1.0, 2.0]);
+    }
+}

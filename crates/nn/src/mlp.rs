@@ -1,0 +1,303 @@
+//! Multi-layer perceptrons with reverse-mode gradients.
+
+use crate::layer::{Activation, Dense};
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward stack of [`Dense`] layers.
+///
+/// Hidden layers share one activation; the output layer is always linear so
+/// policy/value heads can interpret raw outputs (logits, Gaussian means,
+/// state values) and supply the loss gradient directly to [`Mlp::backward`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+/// Forward-pass scratch space reused across calls to avoid per-step
+/// allocation in the training hot loop.
+#[derive(Debug, Clone, Default)]
+pub struct Cache {
+    /// Input fed to each layer (`inputs[0]` is the network input).
+    inputs: Vec<Vec<f64>>,
+    /// Pre-activations `z = W x + b` of each layer.
+    preacts: Vec<Vec<f64>>,
+}
+
+/// Gradient accumulator shaped like an [`Mlp`].
+#[derive(Debug, Clone)]
+pub struct MlpGrads {
+    pub w: Vec<Matrix>,
+    pub b: Vec<Vec<f64>>,
+}
+
+impl Mlp {
+    /// Build an MLP from layer sizes, e.g. `&[110, 32, 16, 1]`.
+    ///
+    /// `hidden_act` is used for every layer except the last, which is linear.
+    /// Panics if fewer than two sizes are given.
+    pub fn new(sizes: &[usize], hidden_act: Activation, rng: &mut StdRng) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for i in 0..sizes.len() - 1 {
+            let act = if i + 2 == sizes.len() { Activation::Linear } else { hidden_act };
+            layers.push(Dense::new(sizes[i], sizes[i + 1], act, rng));
+        }
+        Mlp { layers }
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").inputs()
+    }
+
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").outputs()
+    }
+
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.w.rows() * l.w.cols() + l.b.len())
+            .sum()
+    }
+
+    /// Allocate a cache sized for this network.
+    pub fn new_cache(&self) -> Cache {
+        Cache {
+            inputs: self.layers.iter().map(|l| vec![0.0; l.inputs()]).collect(),
+            preacts: self.layers.iter().map(|l| vec![0.0; l.outputs()]).collect(),
+        }
+    }
+
+    /// Plain forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut cache = self.new_cache();
+        self.forward_cached(x, &mut cache)
+    }
+
+    /// Forward pass recording intermediates for a later [`Mlp::backward`].
+    pub fn forward_cached(&self, x: &[f64], cache: &mut Cache) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_dim(), "MLP input dimension mismatch");
+        if cache.inputs.len() != self.layers.len() {
+            *cache = self.new_cache();
+        }
+        let mut cur = x.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            cache.inputs[i].copy_from_slice(&cur);
+            let mut a = vec![0.0; layer.outputs()];
+            layer.forward_into(&cur, &mut cache.preacts[i], &mut a);
+            cur = a;
+        }
+        cur
+    }
+
+    /// Reverse-mode pass: given `dL/d(output)`, accumulate parameter
+    /// gradients into `grads` and return `dL/d(input)`.
+    ///
+    /// `cache` must come from the immediately preceding
+    /// [`Mlp::forward_cached`] call on the same input.
+    pub fn backward(&self, cache: &Cache, dl_dout: &[f64], grads: &mut MlpGrads) -> Vec<f64> {
+        assert_eq!(dl_dout.len(), self.output_dim(), "gradient dimension mismatch");
+        assert_eq!(grads.w.len(), self.layers.len(), "grads shape mismatch");
+        let mut delta = dl_dout.to_vec();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            // delta currently holds dL/da for this layer; convert to dL/dz.
+            for (d, z) in delta.iter_mut().zip(cache.preacts[i].iter()) {
+                *d *= layer.act.derivative(*z);
+            }
+            grads.w[i].add_outer(1.0, &delta, &cache.inputs[i]);
+            for (gb, d) in grads.b[i].iter_mut().zip(delta.iter()) {
+                *gb += d;
+            }
+            let mut prev = vec![0.0; layer.inputs()];
+            layer.w.matvec_t_add(&delta, &mut prev);
+            delta = prev;
+        }
+        delta
+    }
+}
+
+impl MlpGrads {
+    /// Zero gradients with the same shape as `net`.
+    pub fn zeros_like(net: &Mlp) -> Self {
+        MlpGrads {
+            w: net.layers().iter().map(|l| Matrix::zeros(l.w.rows(), l.w.cols())).collect(),
+            b: net.layers().iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        }
+    }
+
+    /// Reset to zero in place.
+    pub fn zero(&mut self) {
+        for w in &mut self.w {
+            w.fill_zero();
+        }
+        for b in &mut self.b {
+            b.iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+
+    /// Multiply every gradient by `alpha` (e.g. 1/batch).
+    pub fn scale(&mut self, alpha: f64) {
+        for w in &mut self.w {
+            w.scale(alpha);
+        }
+        for b in &mut self.b {
+            b.iter_mut().for_each(|v| *v *= alpha);
+        }
+    }
+
+    /// Squared L2 norm of all gradients.
+    pub fn sq_norm(&self) -> f64 {
+        let w: f64 = self.w.iter().map(|m| m.sq_norm()).sum();
+        let b: f64 = self.b.iter().flat_map(|v| v.iter()).map(|x| x * x).sum();
+        w + b
+    }
+
+    /// Scale gradients down so the global L2 norm is at most `max_norm`.
+    /// Returns the pre-clip norm.
+    pub fn clip_global_norm(&mut self, max_norm: f64) -> f64 {
+        let norm = self.sq_norm().sqrt();
+        if norm > max_norm && norm > 0.0 {
+            self.scale(max_norm / norm);
+        }
+        norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Finite-difference gradient check on a scalar loss L = Σ c_k y_k.
+    fn grad_check(sizes: &[usize], act: Activation, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::new(sizes, act, &mut rng);
+        let x: Vec<f64> = (0..sizes[0]).map(|i| (i as f64 * 0.37).sin()).collect();
+        let coeffs: Vec<f64> = (0..*sizes.last().unwrap())
+            .map(|i| 1.0 + 0.5 * i as f64)
+            .collect();
+        let loss = |n: &Mlp| -> f64 {
+            n.forward(&x).iter().zip(coeffs.iter()).map(|(y, c)| y * c).sum()
+        };
+
+        let mut cache = net.new_cache();
+        net.forward_cached(&x, &mut cache);
+        let mut grads = MlpGrads::zeros_like(&net);
+        let dl_din = net.backward(&cache, &coeffs, &mut grads);
+
+        let h = 1e-6;
+        // check a spread of weight entries in every layer
+        for li in 0..net.layers().len() {
+            let (rows, cols) = (net.layers()[li].w.rows(), net.layers()[li].w.cols());
+            for &(r, c) in &[(0, 0), (rows - 1, cols - 1), (rows / 2, cols / 2)] {
+                let mut plus = net.clone();
+                let v = plus.layers_mut()[li].w.get(r, c);
+                plus.layers_mut()[li].w.set(r, c, v + h);
+                let mut minus = net.clone();
+                minus.layers_mut()[li].w.set(r, c, v - h);
+                let fd = (loss(&plus) - loss(&minus)) / (2.0 * h);
+                let an = grads.w[li].get(r, c);
+                assert!(
+                    (fd - an).abs() < 1e-4 * (1.0 + an.abs()),
+                    "layer {li} w[{r},{c}]: fd={fd} analytic={an}"
+                );
+            }
+            // one bias entry
+            let mut plus = net.clone();
+            plus.layers_mut()[li].b[0] += h;
+            let mut minus = net.clone();
+            minus.layers_mut()[li].b[0] -= h;
+            let fd = (loss(&plus) - loss(&minus)) / (2.0 * h);
+            let an = grads.b[li][0];
+            assert!((fd - an).abs() < 1e-4 * (1.0 + an.abs()), "layer {li} bias: fd={fd} an={an}");
+        }
+        // input gradient
+        for i in 0..x.len().min(3) {
+            let mut xp = x.clone();
+            xp[i] += h;
+            let mut xm = x.clone();
+            xm[i] -= h;
+            let lp: f64 = net.forward(&xp).iter().zip(&coeffs).map(|(y, c)| y * c).sum();
+            let lm: f64 = net.forward(&xm).iter().zip(&coeffs).map(|(y, c)| y * c).sum();
+            let fd = (lp - lm) / (2.0 * h);
+            assert!((fd - dl_din[i]).abs() < 1e-4 * (1.0 + fd.abs()), "input grad {i}");
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_tanh() {
+        grad_check(&[5, 8, 3], Activation::Tanh, 11);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_deep() {
+        grad_check(&[4, 16, 8, 2], Activation::Tanh, 12);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_linear() {
+        grad_check(&[3, 4, 2], Activation::Linear, 13);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = Mlp::new(&[4, 8, 2], Activation::Tanh, &mut rng);
+        assert_eq!(net.param_count(), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn grads_zero_and_scale() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = Mlp::new(&[2, 3, 1], Activation::Tanh, &mut rng);
+        let mut g = MlpGrads::zeros_like(&net);
+        let mut cache = net.new_cache();
+        net.forward_cached(&[1.0, -1.0], &mut cache);
+        net.backward(&cache, &[1.0], &mut g);
+        assert!(g.sq_norm() > 0.0);
+        g.scale(0.0);
+        assert_eq!(g.sq_norm(), 0.0);
+    }
+
+    #[test]
+    fn clip_global_norm_caps_norm() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = Mlp::new(&[2, 3, 1], Activation::Tanh, &mut rng);
+        let mut g = MlpGrads::zeros_like(&net);
+        let mut cache = net.new_cache();
+        net.forward_cached(&[5.0, -5.0], &mut cache);
+        net.backward(&cache, &[100.0], &mut g);
+        let pre = g.clip_global_norm(0.5);
+        assert!(pre > 0.5);
+        assert!((g.sq_norm().sqrt() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_outputs() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let net = Mlp::new(&[6, 10, 4], Activation::Relu, &mut rng);
+        let json = serde_json::to_string(&net).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        let x = [0.3, -0.1, 0.9, 0.0, -2.0, 1.5];
+        assert_eq!(net.forward(&x), back.forward(&x));
+    }
+
+    #[test]
+    fn forward_deterministic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = Mlp::new(&[3, 5, 2], Activation::Tanh, &mut rng);
+        let x = [0.1, 0.2, 0.3];
+        assert_eq!(net.forward(&x), net.forward(&x));
+    }
+}

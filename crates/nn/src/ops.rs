@@ -1,0 +1,131 @@
+//! Free numeric helpers shared by policy heads.
+
+/// Numerically stable log-sum-exp.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() {
+        return m;
+    }
+    let s: f64 = xs.iter().map(|x| (x - m).exp()).sum();
+    m + s.ln()
+}
+
+/// Softmax of `xs` (stable).
+pub fn softmax(xs: &[f64]) -> Vec<f64> {
+    let lse = log_sum_exp(xs);
+    xs.iter().map(|x| (x - lse).exp()).collect()
+}
+
+/// Log-softmax of `xs` (stable).
+pub fn log_softmax(xs: &[f64]) -> Vec<f64> {
+    let lse = log_sum_exp(xs);
+    xs.iter().map(|x| x - lse).collect()
+}
+
+/// Clamp `x` into `[lo, hi]`.
+#[inline]
+pub fn clip(x: f64, lo: f64, hi: f64) -> f64 {
+    x.max(lo).min(hi)
+}
+
+/// Linearly map `x` from `[-1, 1]` to `[lo, hi]`, clamping outside.
+#[inline]
+pub fn scale_from_unit(x: f64, lo: f64, hi: f64) -> f64 {
+    clip(lo + (x + 1.0) * 0.5 * (hi - lo), lo, hi)
+}
+
+/// Inverse of [`scale_from_unit`] (without clamping).
+#[inline]
+pub fn scale_to_unit(v: f64, lo: f64, hi: f64) -> f64 {
+    2.0 * (v - lo) / (hi - lo) - 1.0
+}
+
+/// Mean of a slice; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation of a slice; 0 for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// `p`-th percentile (0..=100) by linear interpolation on sorted data.
+/// Panics on empty input.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = (p / 100.0) * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = rank - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let xs = [0.3, -1.2, 2.0, 0.0];
+        let ls = log_softmax(&xs);
+        let p = softmax(&xs);
+        for (l, q) in ls.iter().zip(p.iter()) {
+            assert!((l.exp() - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unit_scaling_roundtrip() {
+        for &v in &[0.8, 2.0, 4.8] {
+            let u = scale_to_unit(v, 0.8, 4.8);
+            assert!((scale_from_unit(u, 0.8, 4.8) - v).abs() < 1e-12);
+        }
+        // out-of-range unit values clamp
+        assert_eq!(scale_from_unit(5.0, 0.8, 4.8), 4.8);
+        assert_eq!(scale_from_unit(-5.0, 0.8, 4.8), 0.8);
+    }
+
+    #[test]
+    fn percentile_endpoints_and_median() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,125 @@
+//! The environment interface.
+
+use rand::rngs::StdRng;
+
+/// What kind of actions an environment accepts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionSpace {
+    /// A single choice among `n` alternatives (e.g. a bitrate index).
+    Discrete { n: usize },
+    /// A vector of reals, each bounded to `[low[i], high[i]]`.
+    ///
+    /// Policies emit unbounded values; the PPO convention (followed by the
+    /// paper: "exploration and clipping done by PPO will return the actions
+    /// to the acceptable range") is to clip at the environment boundary.
+    Continuous { low: Vec<f64>, high: Vec<f64> },
+}
+
+impl ActionSpace {
+    /// Dimensionality of the action vector (1 for discrete).
+    pub fn dim(&self) -> usize {
+        match self {
+            ActionSpace::Discrete { .. } => 1,
+            ActionSpace::Continuous { low, .. } => low.len(),
+        }
+    }
+
+    /// Clip a raw continuous action into the box. No-op for discrete spaces.
+    pub fn clip(&self, raw: &[f64]) -> Vec<f64> {
+        match self {
+            ActionSpace::Discrete { .. } => raw.to_vec(),
+            ActionSpace::Continuous { low, high } => raw
+                .iter()
+                .zip(low.iter().zip(high.iter()))
+                .map(|(x, (lo, hi))| x.max(*lo).min(*hi))
+                .collect(),
+        }
+    }
+}
+
+/// A single action, matching the environment's [`ActionSpace`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    Discrete(usize),
+    Continuous(Vec<f64>),
+}
+
+impl Action {
+    /// The discrete index; panics if continuous.
+    pub fn index(&self) -> usize {
+        match self {
+            Action::Discrete(i) => *i,
+            Action::Continuous(_) => panic!("expected a discrete action"),
+        }
+    }
+
+    /// The continuous vector; panics if discrete.
+    pub fn vector(&self) -> &[f64] {
+        match self {
+            Action::Continuous(v) => v,
+            Action::Discrete(_) => panic!("expected a continuous action"),
+        }
+    }
+}
+
+/// Result of one environment step.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// Observation after the transition.
+    pub obs: Vec<f64>,
+    /// Scalar reward for the transition.
+    pub reward: f64,
+    /// Whether the episode terminated with this step.
+    pub done: bool,
+}
+
+/// A sequential decision environment.
+///
+/// Implementations must be deterministic given the RNG: all randomness goes
+/// through the `rng` arguments so experiments replay exactly.
+pub trait Env {
+    /// Length of observation vectors.
+    fn obs_dim(&self) -> usize;
+
+    /// Action space accepted by [`Env::step`].
+    fn action_space(&self) -> ActionSpace;
+
+    /// Start a new episode, returning the initial observation.
+    fn reset(&mut self, rng: &mut StdRng) -> Vec<f64>;
+
+    /// Advance one step. For continuous spaces the caller passes the raw
+    /// policy output; the environment is expected to clip via
+    /// [`ActionSpace::clip`].
+    fn step(&mut self, action: &Action, rng: &mut StdRng) -> Step;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_clip() {
+        let sp = ActionSpace::Continuous { low: vec![0.0, -1.0], high: vec![1.0, 1.0] };
+        assert_eq!(sp.clip(&[2.0, -3.0]), vec![1.0, -1.0]);
+        assert_eq!(sp.clip(&[0.5, 0.5]), vec![0.5, 0.5]);
+        assert_eq!(sp.dim(), 2);
+    }
+
+    #[test]
+    fn discrete_dim() {
+        let sp = ActionSpace::Discrete { n: 6 };
+        assert_eq!(sp.dim(), 1);
+    }
+
+    #[test]
+    fn action_accessors() {
+        assert_eq!(Action::Discrete(3).index(), 3);
+        assert_eq!(Action::Continuous(vec![1.0]).vector(), &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a discrete action")]
+    fn wrong_accessor_panics() {
+        let _ = Action::Continuous(vec![1.0]).index();
+    }
+}

@@ -1,0 +1,128 @@
+//! Policy evaluation helpers.
+
+use crate::env::{Action, Env};
+use crate::normalize::RunningMeanStd;
+use crate::ppo::PolicyKind;
+use rand::rngs::StdRng;
+
+/// Summary of one evaluated episode.
+#[derive(Debug, Clone)]
+pub struct EpisodeStats {
+    /// Sum of raw rewards.
+    pub total_reward: f64,
+    /// Number of steps until `done`.
+    pub steps: usize,
+    /// Per-step rewards.
+    pub rewards: Vec<f64>,
+    /// Actions taken (post-policy, pre-environment-clipping).
+    pub actions: Vec<Action>,
+}
+
+/// Roll one episode of `env` under `policy`.
+///
+/// `obs_norm`, if given, must be the (frozen) statistics the policy was
+/// trained with. `deterministic` selects the distribution mode instead of
+/// sampling — the paper's Fig. 6 uses exactly this to show the adversary's
+/// actions "before exploration noise from training is added".
+///
+/// `max_steps` bounds runaway episodes.
+pub fn rollout_episode<E: Env>(
+    env: &mut E,
+    policy: &PolicyKind,
+    obs_norm: Option<&RunningMeanStd>,
+    deterministic: bool,
+    max_steps: usize,
+    rng: &mut StdRng,
+) -> EpisodeStats {
+    let mut raw_obs = env.reset(rng);
+    let mut stats = EpisodeStats {
+        total_reward: 0.0,
+        steps: 0,
+        rewards: Vec::new(),
+        actions: Vec::new(),
+    };
+    for _ in 0..max_steps {
+        let obs = match obs_norm {
+            Some(n) => n.normalize(&raw_obs),
+            None => raw_obs.clone(),
+        };
+        let action = if deterministic {
+            policy.mode(&obs)
+        } else {
+            policy.sample(&obs, rng).0
+        };
+        let step = env.step(&action, rng);
+        stats.total_reward += step.reward;
+        stats.rewards.push(step.reward);
+        stats.actions.push(action);
+        stats.steps += 1;
+        if step.done {
+            break;
+        }
+        raw_obs = step.obs;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{ActionSpace, Step};
+    use crate::policy::CategoricalPolicy;
+    use rand::SeedableRng;
+
+    struct CountDown {
+        left: usize,
+    }
+
+    impl Env for CountDown {
+        fn obs_dim(&self) -> usize {
+            1
+        }
+        fn action_space(&self) -> ActionSpace {
+            ActionSpace::Discrete { n: 2 }
+        }
+        fn reset(&mut self, _rng: &mut StdRng) -> Vec<f64> {
+            self.left = 5;
+            vec![self.left as f64]
+        }
+        fn step(&mut self, _action: &Action, _rng: &mut StdRng) -> Step {
+            self.left -= 1;
+            Step { obs: vec![self.left as f64], reward: 1.0, done: self.left == 0 }
+        }
+    }
+
+    #[test]
+    fn episode_runs_to_done() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let policy = PolicyKind::Categorical(CategoricalPolicy::new(&[1, 4, 2], &mut rng));
+        let mut env = CountDown { left: 0 };
+        let stats = rollout_episode(&mut env, &policy, None, true, 100, &mut rng);
+        assert_eq!(stats.steps, 5);
+        assert_eq!(stats.total_reward, 5.0);
+        assert_eq!(stats.actions.len(), 5);
+    }
+
+    #[test]
+    fn max_steps_bounds_episode() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let policy = PolicyKind::Categorical(CategoricalPolicy::new(&[1, 4, 2], &mut rng));
+        let mut env = CountDown { left: 0 };
+        let stats = rollout_episode(&mut env, &policy, None, false, 3, &mut rng);
+        assert_eq!(stats.steps, 3);
+    }
+
+    #[test]
+    fn deterministic_rollouts_repeat() {
+        let policy = {
+            let mut rng = StdRng::seed_from_u64(1);
+            PolicyKind::Categorical(CategoricalPolicy::new(&[1, 4, 2], &mut rng))
+        };
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut env = CountDown { left: 0 };
+            rollout_episode(&mut env, &policy, None, true, 100, &mut rng).actions
+        };
+        assert_eq!(run(), run());
+    }
+}

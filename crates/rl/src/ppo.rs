@@ -1,0 +1,668 @@
+//! Proximal Policy Optimization (Schulman et al. 2017) with the
+//! stable-baselines defaults the paper relies on: clipped surrogate
+//! objective, GAE(λ), minibatch epochs, entropy bonus, constant learning
+//! rate, and gradient-norm clipping.
+
+use crate::buffer::{RolloutBuffer, Transition};
+use crate::env::{Action, Env};
+use crate::normalize::RunningMeanStd;
+use crate::policy::{CategoricalPolicy, GaussianPolicy, PolicyHead, ValueNet};
+use nn::optim::AdamVec;
+use nn::{Adam, MlpGrads};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// PPO hyper-parameters.
+///
+/// Defaults mirror stable-baselines PPO2 (the paper's training stack) with a
+/// constant learning rate, which is the one deviation the paper calls out.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PpoConfig {
+    /// Environment steps collected per training iteration.
+    pub n_steps: usize,
+    /// Minibatch size for the update epochs.
+    pub minibatch_size: usize,
+    /// Number of passes over each rollout.
+    pub epochs: usize,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// GAE λ.
+    pub lambda: f64,
+    /// Clip range ε of the surrogate objective.
+    pub clip: f64,
+    /// Entropy bonus coefficient.
+    pub ent_coef: f64,
+    /// Value-loss coefficient.
+    pub vf_coef: f64,
+    /// Constant Adam learning rate.
+    pub lr: f64,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f64,
+    /// Maintain running observation normalization.
+    pub normalize_obs: bool,
+    /// Scale rewards by the running std of the discounted return.
+    pub normalize_reward: bool,
+    /// RNG seed for exploration and shuffling.
+    pub seed: u64,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        PpoConfig {
+            n_steps: 2048,
+            minibatch_size: 64,
+            epochs: 10,
+            gamma: 0.99,
+            lambda: 0.95,
+            clip: 0.2,
+            ent_coef: 0.003,
+            vf_coef: 0.5,
+            lr: 3e-4,
+            max_grad_norm: 0.5,
+            normalize_obs: true,
+            normalize_reward: true,
+            seed: 0,
+        }
+    }
+}
+
+impl PpoConfig {
+    /// Panics on configurations that cannot train (catching these at
+    /// construction beats NaNs two hours into a run).
+    pub fn validate(&self) {
+        assert!(self.n_steps > 0, "n_steps must be positive");
+        assert!(
+            self.minibatch_size > 0 && self.minibatch_size <= self.n_steps,
+            "minibatch_size must be in 1..=n_steps"
+        );
+        assert!(self.epochs > 0, "epochs must be positive");
+        assert!((0.0..=1.0).contains(&self.gamma), "gamma must be in [0,1]");
+        assert!((0.0..=1.0).contains(&self.lambda), "lambda must be in [0,1]");
+        assert!(self.clip > 0.0, "clip range must be positive");
+        assert!(self.lr > 0.0, "learning rate must be positive");
+        assert!(self.ent_coef >= 0.0, "entropy coefficient must be non-negative");
+        assert!(self.vf_coef >= 0.0, "value coefficient must be non-negative");
+        assert!(self.max_grad_norm > 0.0, "max_grad_norm must be positive");
+    }
+}
+
+/// The policy variant PPO is training.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PolicyKind {
+    Gaussian(GaussianPolicy),
+    Categorical(CategoricalPolicy),
+}
+
+impl PolicyKind {
+    fn net(&self) -> &nn::Mlp {
+        match self {
+            PolicyKind::Gaussian(p) => &p.mean_net,
+            PolicyKind::Categorical(p) => &p.logits_net,
+        }
+    }
+
+    /// Sample an action (and its log-prob) from the policy.
+    pub fn sample(&self, obs: &[f64], rng: &mut StdRng) -> (Action, f64) {
+        match self {
+            PolicyKind::Gaussian(p) => p.sample(obs, rng),
+            PolicyKind::Categorical(p) => p.sample(obs, rng),
+        }
+    }
+
+    /// Deterministic (mode) action.
+    pub fn mode(&self, obs: &[f64]) -> Action {
+        match self {
+            PolicyKind::Gaussian(p) => p.mode(obs),
+            PolicyKind::Categorical(p) => p.mode(obs),
+        }
+    }
+
+    /// Log-probability of an action.
+    pub fn log_prob(&self, obs: &[f64], action: &Action) -> f64 {
+        match self {
+            PolicyKind::Gaussian(p) => p.log_prob(obs, action),
+            PolicyKind::Categorical(p) => p.log_prob(obs, action),
+        }
+    }
+
+    /// Distribution entropy at `obs`.
+    pub fn entropy(&self, obs: &[f64]) -> f64 {
+        match self {
+            PolicyKind::Gaussian(p) => p.entropy(obs),
+            PolicyKind::Categorical(p) => p.entropy(obs),
+        }
+    }
+}
+
+/// Per-iteration training metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainReport {
+    pub iteration: usize,
+    pub total_steps: usize,
+    /// Mean raw (unnormalized) reward per environment step this iteration.
+    pub mean_step_reward: f64,
+    /// Mean total raw reward of episodes completed this iteration (NaN if none).
+    pub mean_episode_reward: f64,
+    pub episodes_completed: usize,
+    /// Mean policy entropy over the rollout.
+    pub entropy: f64,
+    /// Mean clipped-surrogate policy loss of the final epoch.
+    pub policy_loss: f64,
+    /// Mean value loss of the final epoch.
+    pub value_loss: f64,
+}
+
+/// Write per-iteration training reports as CSV (`iteration,total_steps,
+/// mean_step_reward,mean_episode_reward,episodes,entropy,policy_loss,
+/// value_loss`) — the learning curves behind every trained artifact.
+pub fn save_reports_csv(
+    reports: &[TrainReport],
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut out = String::from(
+        "iteration,total_steps,mean_step_reward,mean_episode_reward,episodes,entropy,policy_loss,value_loss\n",
+    );
+    for r in reports {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            r.iteration,
+            r.total_steps,
+            r.mean_step_reward,
+            r.mean_episode_reward,
+            r.episodes_completed,
+            r.entropy,
+            r.policy_loss,
+            r.value_loss
+        ));
+    }
+    std::fs::write(path, out)
+}
+
+/// The PPO trainer: owns the policy, value net, optimizers, and
+/// normalization state.
+pub struct Ppo {
+    pub policy: PolicyKind,
+    pub value: ValueNet,
+    pub cfg: PpoConfig,
+    pub obs_norm: Option<RunningMeanStd>,
+    opt_policy: Adam,
+    opt_value: Adam,
+    opt_log_std: Option<AdamVec>,
+    rng: StdRng,
+    /// Raw (unnormalized) observation carried across iterations.
+    cur_obs: Option<Vec<f64>>,
+    /// Running discounted return, for reward normalization.
+    ret_acc: f64,
+    ret_stats: RunningMeanStd,
+    total_steps: usize,
+    iteration: usize,
+}
+
+impl Ppo {
+    /// Build a PPO trainer for a continuous-action environment.
+    ///
+    /// `hidden` are the hidden layer widths (e.g. `&[32, 16]` for the ABR
+    /// adversary, `&[4]` for the CC adversary, per the paper).
+    pub fn new_gaussian(
+        obs_dim: usize,
+        act_dim: usize,
+        hidden: &[usize],
+        init_std: f64,
+        cfg: PpoConfig,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut sizes = vec![obs_dim];
+        sizes.extend_from_slice(hidden);
+        sizes.push(act_dim);
+        let policy = GaussianPolicy::new(&sizes, init_std, &mut rng);
+        *sizes.last_mut().unwrap() = 1;
+        let value = ValueNet::new(&sizes, &mut rng);
+        Self::assemble(PolicyKind::Gaussian(policy), value, cfg, rng)
+    }
+
+    /// Build a PPO trainer for a discrete-action environment.
+    pub fn new_categorical(
+        obs_dim: usize,
+        n_actions: usize,
+        hidden: &[usize],
+        cfg: PpoConfig,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut sizes = vec![obs_dim];
+        sizes.extend_from_slice(hidden);
+        sizes.push(n_actions);
+        let policy = CategoricalPolicy::new(&sizes, &mut rng);
+        *sizes.last_mut().unwrap() = 1;
+        let value = ValueNet::new(&sizes, &mut rng);
+        Self::assemble(PolicyKind::Categorical(policy), value, cfg, rng)
+    }
+
+    fn assemble(policy: PolicyKind, value: ValueNet, cfg: PpoConfig, rng: StdRng) -> Self {
+        cfg.validate();
+        let opt_policy = Adam::new(policy.net(), cfg.lr);
+        let opt_value = Adam::new(&value.net, cfg.lr);
+        let opt_log_std = match &policy {
+            PolicyKind::Gaussian(g) => Some(AdamVec::new(g.log_std.len(), cfg.lr)),
+            PolicyKind::Categorical(_) => None,
+        };
+        let obs_dim = policy.net().input_dim();
+        let obs_norm =
+            if cfg.normalize_obs { Some(RunningMeanStd::new(obs_dim)) } else { None };
+        Ppo {
+            policy,
+            value,
+            cfg,
+            obs_norm,
+            opt_policy,
+            opt_value,
+            opt_log_std,
+            rng,
+            cur_obs: None,
+            ret_acc: 0.0,
+            ret_stats: RunningMeanStd::new(1),
+            total_steps: 0,
+            iteration: 0,
+        }
+    }
+
+    /// Total environment steps consumed so far.
+    pub fn total_steps(&self) -> usize {
+        self.total_steps
+    }
+
+    /// Normalize a raw observation with the trainer's (frozen) statistics.
+    pub fn normalize_obs(&self, raw: &[f64]) -> Vec<f64> {
+        match &self.obs_norm {
+            Some(n) => n.normalize(raw),
+            None => raw.to_vec(),
+        }
+    }
+
+    /// Train for (at least) `total_steps` environment steps; returns one
+    /// report per iteration.
+    pub fn train<E: Env>(&mut self, env: &mut E, total_steps: usize) -> Vec<TrainReport> {
+        let mut reports = Vec::new();
+        let start = self.total_steps;
+        while self.total_steps - start < total_steps {
+            reports.push(self.train_iteration(env));
+        }
+        reports
+    }
+
+    /// One collect + update cycle.
+    pub fn train_iteration<E: Env>(&mut self, env: &mut E) -> TrainReport {
+        self.iteration += 1;
+        let (buf, raw_step_reward, ep_rewards, mean_entropy) = self.collect_rollout(env);
+        let (policy_loss, value_loss) = self.update(&buf);
+        TrainReport {
+            iteration: self.iteration,
+            total_steps: self.total_steps,
+            mean_step_reward: raw_step_reward,
+            mean_episode_reward: nn::ops::mean(&ep_rewards),
+            episodes_completed: ep_rewards.len(),
+            entropy: mean_entropy,
+            policy_loss,
+            value_loss,
+        }
+    }
+
+    /// Collect `cfg.n_steps` transitions, continuing episodes across
+    /// iterations. Returns the buffer (with GAE computed), mean raw step
+    /// reward, completed-episode raw rewards, and mean entropy.
+    fn collect_rollout<E: Env>(
+        &mut self,
+        env: &mut E,
+    ) -> (RolloutBuffer, f64, Vec<f64>, f64) {
+        let n = self.cfg.n_steps;
+        let mut buf = RolloutBuffer::with_capacity(n);
+        let mut raw_rewards = Vec::with_capacity(n);
+        let mut ep_rewards = Vec::new();
+        let mut cur_ep_reward = 0.0;
+        let mut entropy_acc = 0.0;
+
+        let mut raw_obs = match self.cur_obs.take() {
+            Some(o) => o,
+            None => env.reset(&mut self.rng),
+        };
+        for _ in 0..n {
+            let obs = match &mut self.obs_norm {
+                Some(norm) => norm.observe_and_normalize(&raw_obs),
+                None => raw_obs.clone(),
+            };
+            let (action, log_prob) = self.policy.sample(&obs, &mut self.rng);
+            entropy_acc += self.policy.entropy(&obs);
+            let value = self.value.value(&obs);
+            let step = env.step(&action, &mut self.rng);
+            raw_rewards.push(step.reward);
+            cur_ep_reward += step.reward;
+            let reward = self.scale_reward(step.reward, step.done);
+            buf.transitions.push(Transition {
+                obs,
+                action,
+                reward,
+                done: step.done,
+                log_prob,
+                value,
+            });
+            self.total_steps += 1;
+            if step.done {
+                ep_rewards.push(cur_ep_reward);
+                cur_ep_reward = 0.0;
+                raw_obs = env.reset(&mut self.rng);
+            } else {
+                raw_obs = step.obs;
+            }
+        }
+        // Bootstrap value for a rollout that ends mid-episode.
+        let last_norm = match &self.obs_norm {
+            Some(norm) => norm.normalize(&raw_obs),
+            None => raw_obs.clone(),
+        };
+        buf.last_value = self.value.value(&last_norm);
+        self.cur_obs = Some(raw_obs);
+
+        buf.compute_gae(self.cfg.gamma, self.cfg.lambda);
+        buf.normalize_advantages();
+        let mean_raw = nn::ops::mean(&raw_rewards);
+        (buf, mean_raw, ep_rewards, entropy_acc / n as f64)
+    }
+
+    /// VecNormalize-style reward scaling by the running std of the
+    /// discounted return.
+    fn scale_reward(&mut self, r: f64, done: bool) -> f64 {
+        if !self.cfg.normalize_reward {
+            return r;
+        }
+        self.ret_acc = self.cfg.gamma * self.ret_acc + r;
+        self.ret_stats.observe(&[self.ret_acc]);
+        if done {
+            self.ret_acc = 0.0;
+        }
+        let std = self.ret_stats.std()[0];
+        (r / std.max(1e-4)).clamp(-10.0, 10.0)
+    }
+
+    /// Clipped-surrogate update over the rollout. Returns the final epoch's
+    /// mean (policy loss, value loss).
+    fn update(&mut self, buf: &RolloutBuffer) -> (f64, f64) {
+        let n = buf.len();
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut pgrads = MlpGrads::zeros_like(self.policy.net());
+        let mut vgrads = MlpGrads::zeros_like(&self.value.net);
+        let mut pcache = self.policy.net().new_cache();
+        let mut vcache = self.value.net.new_cache();
+        let mut last_policy_loss = 0.0;
+        let mut last_value_loss = 0.0;
+
+        for _epoch in 0..self.cfg.epochs {
+            indices.shuffle(&mut self.rng);
+            let mut epoch_ploss = 0.0;
+            let mut epoch_vloss = 0.0;
+            let mut batches = 0.0;
+            for chunk in indices.chunks(self.cfg.minibatch_size) {
+                pgrads.zero();
+                vgrads.zero();
+                let mut log_std_grad = match &self.policy {
+                    PolicyKind::Gaussian(g) => vec![0.0; g.log_std.len()],
+                    PolicyKind::Categorical(_) => Vec::new(),
+                };
+                let inv_b = 1.0 / chunk.len() as f64;
+                let mut ploss = 0.0;
+                let mut vloss = 0.0;
+                for &i in chunk {
+                    let t = &buf.transitions[i];
+                    let adv = buf.advantages[i];
+                    let ret = buf.returns[i];
+                    let logp_new = self.policy.log_prob(&t.obs, &t.action);
+                    let ratio = (logp_new - t.log_prob).exp();
+                    let unclipped = ratio * adv;
+                    let clipped =
+                        ratio.clamp(1.0 - self.cfg.clip, 1.0 + self.cfg.clip) * adv;
+                    let surrogate = unclipped.min(clipped);
+                    ploss += -surrogate;
+                    // Gradient flows only when the unclipped branch is
+                    // active (min picks it), matching autograd through
+                    // min(ratio·A, clip(ratio)·A).
+                    let c_logp = if unclipped <= clipped { -adv * ratio * inv_b } else { 0.0 };
+                    let c_ent = -self.cfg.ent_coef * inv_b;
+                    match &self.policy {
+                        PolicyKind::Gaussian(g) => g.accumulate_grads(
+                            &t.obs,
+                            t.action.vector(),
+                            c_logp,
+                            c_ent,
+                            &mut pcache,
+                            &mut pgrads,
+                            &mut log_std_grad,
+                        ),
+                        PolicyKind::Categorical(c) => c.accumulate_grads(
+                            &t.obs,
+                            t.action.index(),
+                            c_logp,
+                            c_ent,
+                            &mut pcache,
+                            &mut pgrads,
+                        ),
+                    }
+                    let v = self.value.value(&t.obs);
+                    vloss += 0.5 * (v - ret) * (v - ret);
+                    self.value.accumulate_grads(
+                        &t.obs,
+                        self.cfg.vf_coef * (v - ret) * inv_b,
+                        &mut vcache,
+                        &mut vgrads,
+                    );
+                }
+                pgrads.clip_global_norm(self.cfg.max_grad_norm);
+                vgrads.clip_global_norm(self.cfg.max_grad_norm);
+                match &mut self.policy {
+                    PolicyKind::Gaussian(g) => {
+                        self.opt_policy.step(&mut g.mean_net, &pgrads);
+                        self.opt_log_std
+                            .as_mut()
+                            .expect("gaussian policies have a log-std optimizer")
+                            .step(&mut g.log_std, &log_std_grad);
+                    }
+                    PolicyKind::Categorical(c) => {
+                        self.opt_policy.step(&mut c.logits_net, &pgrads);
+                    }
+                }
+                self.opt_value.step(&mut self.value.net, &vgrads);
+                epoch_ploss += ploss / chunk.len() as f64;
+                epoch_vloss += vloss / chunk.len() as f64;
+                batches += 1.0;
+            }
+            last_policy_loss = epoch_ploss / batches;
+            last_value_loss = epoch_vloss / batches;
+        }
+        (last_policy_loss, last_value_loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{ActionSpace as Sp, Step};
+
+    /// Continuous bandit: reward = −(a − target)², episode length 1.
+    struct ContBandit {
+        target: f64,
+    }
+
+    impl Env for ContBandit {
+        fn obs_dim(&self) -> usize {
+            1
+        }
+        fn action_space(&self) -> Sp {
+            Sp::Continuous { low: vec![-2.0], high: vec![2.0] }
+        }
+        fn reset(&mut self, _rng: &mut StdRng) -> Vec<f64> {
+            vec![0.0]
+        }
+        fn step(&mut self, action: &Action, _rng: &mut StdRng) -> Step {
+            let a = self.action_space().clip(action.vector())[0];
+            Step { obs: vec![0.0], reward: -(a - self.target) * (a - self.target), done: true }
+        }
+    }
+
+    /// Discrete bandit with per-arm payoffs.
+    struct DiscBandit {
+        payoffs: Vec<f64>,
+    }
+
+    impl Env for DiscBandit {
+        fn obs_dim(&self) -> usize {
+            1
+        }
+        fn action_space(&self) -> Sp {
+            Sp::Discrete { n: self.payoffs.len() }
+        }
+        fn reset(&mut self, _rng: &mut StdRng) -> Vec<f64> {
+            vec![0.0]
+        }
+        fn step(&mut self, action: &Action, _rng: &mut StdRng) -> Step {
+            Step { obs: vec![0.0], reward: self.payoffs[action.index()], done: true }
+        }
+    }
+
+    /// Observation-tracking: reward = −(a − obs)²; a new random obs each step;
+    /// requires the policy to actually use its input.
+    struct Tracker {
+        cur: f64,
+        t: usize,
+    }
+
+    impl Env for Tracker {
+        fn obs_dim(&self) -> usize {
+            1
+        }
+        fn action_space(&self) -> Sp {
+            Sp::Continuous { low: vec![-2.0], high: vec![2.0] }
+        }
+        fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
+            use rand::Rng;
+            self.t = 0;
+            self.cur = rng.gen_range(-1.0..1.0);
+            vec![self.cur]
+        }
+        fn step(&mut self, action: &Action, rng: &mut StdRng) -> Step {
+            use rand::Rng;
+            let a = self.action_space().clip(action.vector())[0];
+            let r = -(a - self.cur) * (a - self.cur);
+            self.t += 1;
+            self.cur = rng.gen_range(-1.0..1.0);
+            Step { obs: vec![self.cur], reward: r, done: self.t >= 16 }
+        }
+    }
+
+    fn small_cfg(seed: u64) -> PpoConfig {
+        PpoConfig {
+            n_steps: 256,
+            minibatch_size: 64,
+            epochs: 6,
+            lr: 3e-3,
+            ent_coef: 0.001,
+            seed,
+            ..PpoConfig::default()
+        }
+    }
+
+    #[test]
+    fn ppo_solves_continuous_bandit() {
+        let mut env = ContBandit { target: 0.7 };
+        let mut ppo = Ppo::new_gaussian(1, 1, &[8], 0.6, small_cfg(1));
+        ppo.train(&mut env, 20_000);
+        let obs = ppo.normalize_obs(&[0.0]);
+        let a = ppo.policy.mode(&obs).vector()[0];
+        assert!((a - 0.7).abs() < 0.15, "learned action {a}, want ≈0.7");
+    }
+
+    #[test]
+    fn ppo_solves_discrete_bandit() {
+        let mut env = DiscBandit { payoffs: vec![0.0, 1.0, 0.2] };
+        let mut ppo = Ppo::new_categorical(1, 3, &[8], small_cfg(2));
+        ppo.train(&mut env, 10_000);
+        let obs = ppo.normalize_obs(&[0.0]);
+        assert_eq!(ppo.policy.mode(&obs).index(), 1);
+    }
+
+    #[test]
+    fn ppo_tracks_observations() {
+        let mut env = Tracker { cur: 0.0, t: 0 };
+        let mut ppo = Ppo::new_gaussian(1, 1, &[16], 0.5, small_cfg(3));
+        let reports = ppo.train(&mut env, 60_000);
+        // Check the policy maps obs ≈ action across the range.
+        let mut worst: f64 = 0.0;
+        for &target in &[-0.8, -0.3, 0.0, 0.4, 0.9] {
+            let obs = ppo.normalize_obs(&[target]);
+            let a = ppo.policy.mode(&obs).vector()[0].clamp(-2.0, 2.0);
+            worst = worst.max((a - target).abs());
+        }
+        assert!(worst < 0.3, "worst tracking error {worst}");
+        // and training must have improved the step reward substantially
+        let first = reports.first().unwrap().mean_step_reward;
+        let last = reports.last().unwrap().mean_step_reward;
+        assert!(last > first, "no improvement: {first} -> {last}");
+        assert!(last > -0.05, "final step reward {last}");
+    }
+
+    #[test]
+    fn ppo_reports_episodes() {
+        let mut env = DiscBandit { payoffs: vec![0.5, 0.5] };
+        let mut ppo = Ppo::new_categorical(1, 2, &[4], small_cfg(4));
+        let reports = ppo.train(&mut env, 256);
+        assert_eq!(reports.len(), 1);
+        // episode length 1 → every step completes an episode
+        assert_eq!(reports[0].episodes_completed, 256);
+        assert!((reports[0].mean_episode_reward - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ppo_is_deterministic_given_seed() {
+        let run = || {
+            let mut env = ContBandit { target: -0.4 };
+            let mut ppo = Ppo::new_gaussian(1, 1, &[4], 0.5, small_cfg(9));
+            ppo.train(&mut env, 2048);
+            ppo.policy.mode(&ppo.normalize_obs(&[0.0])).vector()[0]
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reports_export_to_csv() {
+        let mut env = DiscBandit { payoffs: vec![0.1, 0.9] };
+        let mut ppo = Ppo::new_categorical(1, 2, &[4], small_cfg(8));
+        let reports = ppo.train(&mut env, 512);
+        let dir = std::env::temp_dir().join("ppo-report-csv");
+        let path = dir.join("curve.csv");
+        save_reports_csv(&reports, &path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("iteration,total_steps"));
+        assert_eq!(body.lines().count(), reports.len() + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "minibatch_size must be in 1..=n_steps")]
+    fn config_validation_rejects_oversized_minibatch() {
+        let cfg = PpoConfig { n_steps: 32, minibatch_size: 64, ..PpoConfig::default() };
+        let _ = Ppo::new_categorical(1, 2, &[4], cfg);
+    }
+
+    #[test]
+    fn entropy_decreases_with_training() {
+        let mut env = DiscBandit { payoffs: vec![0.0, 1.0] };
+        let mut ppo = Ppo::new_categorical(1, 2, &[4], small_cfg(5));
+        let reports = ppo.train(&mut env, 20_000);
+        let early = reports.first().unwrap().entropy;
+        let late = reports.last().unwrap().entropy;
+        assert!(late < early, "entropy should fall as the arm is learned: {early} -> {late}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Synthetic trace generators.
+//!
+//! The paper's corpora are the FCC Measuring Broadband America dataset and
+//! the Norway 3G/HSDPA commute dataset, both preprocessed the way the
+//! Pensieve artifacts do (bandwidth clipped into the range relevant to the
+//! 0.3–4.3 Mbit/s bitrate ladder). We cannot ship those datasets, so these
+//! generators synthesize corpora with the same gross character:
+//!
+//! * [`fcc_like`] — benign fixed-line broadband: slowly drifting bandwidth,
+//!   modest variance, no outages (mean ≈ 2.4 Mbit/s after Pensieve-style
+//!   clipping to 0.2–6 Mbit/s).
+//! * [`hsdpa_like`] — mobile commute: regime-switching between good /
+//!   degraded / near-outage states (tunnels, handovers), low mean
+//!   (≈ 1.3 Mbit/s) and high variance.
+//!
+//! Only the *distributional contrast* between the two corpora matters for
+//! the paper's Fig. 4 (a broadband-trained Pensieve under-performs on 3G;
+//! adversarial traces close the gap), and these generators preserve it.
+
+use crate::{Segment, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shared generator knobs.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Total trace duration in seconds.
+    pub duration_s: f64,
+    /// Duration of each piecewise-constant segment in seconds.
+    pub granularity_s: f64,
+    /// One-way latency in milliseconds (constant per trace).
+    pub latency_ms: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        // 48 chunks × 4 s = 192 s videos; leave headroom for rebuffering.
+        GenConfig { duration_s: 320.0, granularity_s: 4.0, latency_ms: 40.0 }
+    }
+}
+
+/// FCC-broadband-like trace: an AR(1) random walk in log-bandwidth around a
+/// per-trace mean drawn from 1.5–4 Mbit/s, clipped to 0.2–6 Mbit/s.
+pub fn fcc_like(seed: u64, cfg: &GenConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfcc0_0000_0000_0000);
+    let mean_log = rng.gen_range(1.5_f64..4.0).ln();
+    let mut level = mean_log + rng.gen_range(-0.15..0.15);
+    let n = (cfg.duration_s / cfg.granularity_s).ceil() as usize;
+    let mut segments = Vec::with_capacity(n);
+    for _ in 0..n {
+        // slow mean reversion + small innovation: calm fixed-line behaviour
+        level += 0.2 * (mean_log - level) + rng.gen_range(-0.08..0.08);
+        let bw = level.exp().clamp(0.2, 6.0);
+        segments.push(Segment::bw(cfg.granularity_s, bw, cfg.latency_ms));
+    }
+    Trace::new(format!("fcc-like-{seed}"), segments)
+}
+
+/// Norway-3G/HSDPA-like trace: a three-state Markov regime model.
+///
+/// States: `Good` (1.5–4 Mbit/s), `Degraded` (0.3–1.5 Mbit/s) and
+/// `Outage` (0.03–0.15 Mbit/s, e.g. tunnels). Dwell times are geometric;
+/// within a state the bandwidth jitters multiplicatively each segment.
+pub fn hsdpa_like(seed: u64, cfg: &GenConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3600_0000_0000_0000);
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Good,
+        Degraded,
+        Outage,
+    }
+    let mut state = if rng.gen_bool(0.5) { State::Good } else { State::Degraded };
+    let n = (cfg.duration_s / cfg.granularity_s).ceil() as usize;
+    let mut segments = Vec::with_capacity(n);
+    let mut base = match state {
+        State::Good => rng.gen_range(1.5..4.0),
+        State::Degraded => rng.gen_range(0.3..1.5),
+        State::Outage => rng.gen_range(0.03..0.15),
+    };
+    for _ in 0..n {
+        // state transitions (per ~4 s segment)
+        let u: f64 = rng.gen();
+        state = match state {
+            State::Good if u < 0.12 => State::Degraded,
+            State::Good if u < 0.15 => State::Outage,
+            State::Degraded if u < 0.10 => State::Good,
+            State::Degraded if u < 0.18 => State::Outage,
+            State::Outage if u < 0.35 => State::Degraded,
+            s => s,
+        };
+        let (lo, hi) = match state {
+            State::Good => (1.5, 4.0),
+            State::Degraded => (0.3, 1.5),
+            State::Outage => (0.03, 0.15),
+        };
+        // drift the base toward the state's band, then jitter hard
+        if base < lo || base > hi {
+            base = rng.gen_range(lo..hi);
+        }
+        let jitter = rng.gen_range(0.6_f64..1.5);
+        let bw = (base * jitter).clamp(0.02, 6.0);
+        segments.push(Segment::bw(cfg.granularity_s, bw, cfg.latency_ms));
+    }
+    Trace::new(format!("hsdpa-like-{seed}"), segments)
+}
+
+/// Random ABR trace: bandwidth uniform in the adversary's action range
+/// (0.8–4.8 Mbit/s per the paper, one draw per chunk slot). This is the
+/// paper's random baseline for Figs. 1c and 2.
+pub fn random_abr_trace(seed: u64, n_segments: usize, granularity_s: f64, latency_ms: f64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xab00_0000_0000_0000);
+    let segments = (0..n_segments)
+        .map(|_| Segment::bw(granularity_s, rng.gen_range(0.8..4.8), latency_ms))
+        .collect();
+    Trace::new(format!("random-abr-{seed}"), segments)
+}
+
+/// Random congestion-control trace: per-30 ms uniform draws inside the
+/// Table 1 ranges (bandwidth 6–24 Mbit/s, latency 15–60 ms, loss 0–10 %).
+pub fn random_cc_trace(seed: u64, n_intervals: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xcc00_0000_0000_0000);
+    let segments = (0..n_intervals)
+        .map(|_| Segment {
+            duration_s: 0.030,
+            bandwidth_mbps: rng.gen_range(6.0..24.0),
+            latency_ms: rng.gen_range(15.0..60.0),
+            loss_rate: rng.gen_range(0.0..0.10),
+        })
+        .collect();
+    Trace::new(format!("random-cc-{seed}"), segments)
+}
+
+/// Generate a whole corpus by seed offsets.
+pub fn corpus(
+    kind: impl Fn(u64, &GenConfig) -> Trace,
+    base_seed: u64,
+    count: usize,
+    cfg: &GenConfig,
+) -> Vec<Trace> {
+    (0..count).map(|i| kind(base_seed + i as u64, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn fcc_like_is_benign() {
+        let cfg = GenConfig::default();
+        let traces = corpus(fcc_like, 0, 40, &cfg);
+        let means: Vec<f64> = traces.iter().map(|t| t.mean_bandwidth()).collect();
+        let overall = nn_mean(&means);
+        assert!(overall > 1.2 && overall < 4.5, "fcc-like mean bw = {overall}");
+        for t in &traces {
+            t.validate();
+            let st = TraceStats::of(t);
+            assert!(st.min_bandwidth >= 0.2, "no outages in broadband: {}", st.min_bandwidth);
+        }
+    }
+
+    #[test]
+    fn hsdpa_like_is_harsh() {
+        let cfg = GenConfig::default();
+        let traces = corpus(hsdpa_like, 0, 40, &cfg);
+        let means: Vec<f64> = traces.iter().map(|t| t.mean_bandwidth()).collect();
+        let overall = nn_mean(&means);
+        assert!(overall < 2.5, "hsdpa-like mean bw = {overall}");
+        // at least some traces must contain near-outage conditions
+        let outage_traces = traces
+            .iter()
+            .filter(|t| TraceStats::of(t).min_bandwidth < 0.2)
+            .count();
+        assert!(outage_traces > 10, "only {outage_traces}/40 traces have outages");
+    }
+
+    #[test]
+    fn corpora_are_distinct() {
+        let cfg = GenConfig::default();
+        let fcc = corpus(fcc_like, 0, 30, &cfg);
+        let mobile = corpus(hsdpa_like, 0, 30, &cfg);
+        let fm = nn_mean(&fcc.iter().map(|t| t.mean_bandwidth()).collect::<Vec<_>>());
+        let mm = nn_mean(&mobile.iter().map(|t| t.mean_bandwidth()).collect::<Vec<_>>());
+        assert!(fm > mm * 1.3, "broadband ({fm}) must be clearly richer than 3G ({mm})");
+    }
+
+    #[test]
+    fn random_traces_span_action_space() {
+        let t = random_abr_trace(3, 100, 4.0, 40.0);
+        assert_eq!(t.segments.len(), 100);
+        for s in &t.segments {
+            assert!(s.bandwidth_mbps >= 0.8 && s.bandwidth_mbps <= 4.8);
+        }
+        let cc = random_cc_trace(3, 1000);
+        for s in &cc.segments {
+            assert!(s.bandwidth_mbps >= 6.0 && s.bandwidth_mbps <= 24.0);
+            assert!(s.latency_ms >= 15.0 && s.latency_ms <= 60.0);
+            assert!(s.loss_rate <= 0.10);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        assert_eq!(fcc_like(9, &cfg), fcc_like(9, &cfg));
+        assert_eq!(hsdpa_like(9, &cfg), hsdpa_like(9, &cfg));
+        assert_ne!(fcc_like(9, &cfg), fcc_like(10, &cfg));
+    }
+
+    fn nn_mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}

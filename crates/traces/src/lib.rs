@@ -1,0 +1,150 @@
+//! Network traces: the common data format of the adversarial framework.
+//!
+//! A *trace* is a time-ordered list of network conditions — bandwidth,
+//! latency, loss — exactly as the paper defines it ("a time-ordered list of
+//! network conditions like bandwidth, latency and loss rate"). Traces are
+//! what the adversary outputs, what protocols are replayed against, and what
+//! training corpora are made of.
+//!
+//! The paper trains and tests on two public datasets we cannot ship:
+//! the FCC "Measuring Broadband America" traces and the Norway 3G/HSDPA
+//! commute traces. [`gen`] provides synthetic generators reproducing their
+//! gross statistics (see DESIGN.md §5 for the substitution argument);
+//! [`io`] reads/writes trace sets as JSON so generated corpora and
+//! adversarial traces can be persisted and replayed.
+
+pub mod cursor;
+pub mod gen;
+pub mod io;
+pub mod stats;
+
+pub use cursor::TraceCursor;
+pub use gen::{fcc_like, hsdpa_like, random_abr_trace, random_cc_trace, GenConfig};
+pub use stats::TraceStats;
+
+use serde::{Deserialize, Serialize};
+
+/// One piecewise-constant span of network conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// How long these conditions hold, in seconds.
+    pub duration_s: f64,
+    /// Link bandwidth in Mbit/s.
+    pub bandwidth_mbps: f64,
+    /// One-way propagation latency in milliseconds.
+    pub latency_ms: f64,
+    /// Independent random loss probability in `[0, 1]`.
+    pub loss_rate: f64,
+}
+
+impl Segment {
+    /// Constant-conditions segment with zero loss, convenience for ABR
+    /// traces where only bandwidth varies.
+    pub fn bw(duration_s: f64, bandwidth_mbps: f64, latency_ms: f64) -> Self {
+        Segment { duration_s, bandwidth_mbps, latency_ms, loss_rate: 0.0 }
+    }
+}
+
+/// A named time-ordered list of [`Segment`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    pub name: String,
+    pub segments: Vec<Segment>,
+}
+
+impl Trace {
+    pub fn new(name: impl Into<String>, segments: Vec<Segment>) -> Self {
+        let t = Trace { name: name.into(), segments };
+        t.validate();
+        t
+    }
+
+    /// Total duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.segments.iter().map(|s| s.duration_s).sum()
+    }
+
+    /// Panics if any segment is non-physical (negative duration/bandwidth,
+    /// loss outside `[0, 1]`).
+    pub fn validate(&self) {
+        assert!(!self.segments.is_empty(), "trace {:?} has no segments", self.name);
+        for (i, s) in self.segments.iter().enumerate() {
+            assert!(s.duration_s > 0.0, "trace {:?} segment {i}: non-positive duration", self.name);
+            assert!(
+                s.bandwidth_mbps > 0.0,
+                "trace {:?} segment {i}: non-positive bandwidth",
+                self.name
+            );
+            assert!(s.latency_ms >= 0.0, "trace {:?} segment {i}: negative latency", self.name);
+            assert!(
+                (0.0..=1.0).contains(&s.loss_rate),
+                "trace {:?} segment {i}: loss outside [0,1]",
+                self.name
+            );
+        }
+    }
+
+    /// The bandwidth in effect at time `t` seconds from the start. Times
+    /// past the end wrap around (traces are replayed cyclically, as in the
+    /// Pensieve simulator).
+    pub fn bandwidth_at(&self, t: f64) -> f64 {
+        let total = self.duration_s();
+        let mut t = t % total;
+        if t < 0.0 {
+            t += total;
+        }
+        for s in &self.segments {
+            if t < s.duration_s {
+                return s.bandwidth_mbps;
+            }
+            t -= s.duration_s;
+        }
+        self.segments.last().expect("validated non-empty").bandwidth_mbps
+    }
+
+    /// Mean bandwidth weighted by segment duration.
+    pub fn mean_bandwidth(&self) -> f64 {
+        let total = self.duration_s();
+        self.segments.iter().map(|s| s.bandwidth_mbps * s.duration_s).sum::<f64>() / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> Trace {
+        Trace::new("t", vec![Segment::bw(2.0, 1.0, 40.0), Segment::bw(3.0, 4.0, 40.0)])
+    }
+
+    #[test]
+    fn duration_and_mean() {
+        let t = simple();
+        assert!((t.duration_s() - 5.0).abs() < 1e-12);
+        assert!((t.mean_bandwidth() - (2.0 * 1.0 + 3.0 * 4.0) / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_lookup_and_wrap() {
+        let t = simple();
+        assert_eq!(t.bandwidth_at(0.0), 1.0);
+        assert_eq!(t.bandwidth_at(1.99), 1.0);
+        assert_eq!(t.bandwidth_at(2.01), 4.0);
+        assert_eq!(t.bandwidth_at(5.5), 1.0, "wraps cyclically");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive bandwidth")]
+    fn validation_rejects_zero_bandwidth() {
+        Trace::new("bad", vec![Segment::bw(1.0, 0.0, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss outside")]
+    fn validation_rejects_bad_loss() {
+        Trace::new(
+            "bad",
+            vec![Segment { duration_s: 1.0, bandwidth_mbps: 1.0, latency_ms: 0.0, loss_rate: 1.5 }],
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Summary statistics over traces — used by tests, the experiment harness,
+//! and EXPERIMENTS.md reporting.
+
+use crate::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Duration-weighted summary of a trace's bandwidth process.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceStats {
+    pub mean_bandwidth: f64,
+    pub std_bandwidth: f64,
+    pub min_bandwidth: f64,
+    pub max_bandwidth: f64,
+    pub mean_latency_ms: f64,
+    pub mean_loss: f64,
+    pub duration_s: f64,
+    /// Mean absolute bandwidth change between consecutive segments — the
+    /// "non-smoothness" the adversary's reward penalizes.
+    pub mean_bw_jump: f64,
+}
+
+impl TraceStats {
+    pub fn of(trace: &Trace) -> Self {
+        let total: f64 = trace.duration_s();
+        let wmean = |f: &dyn Fn(&crate::Segment) -> f64| -> f64 {
+            trace.segments.iter().map(|s| f(s) * s.duration_s).sum::<f64>() / total
+        };
+        let mean_bw = wmean(&|s| s.bandwidth_mbps);
+        let var_bw = wmean(&|s| (s.bandwidth_mbps - mean_bw).powi(2));
+        let jumps: Vec<f64> = trace
+            .segments
+            .windows(2)
+            .map(|w| (w[1].bandwidth_mbps - w[0].bandwidth_mbps).abs())
+            .collect();
+        TraceStats {
+            mean_bandwidth: mean_bw,
+            std_bandwidth: var_bw.sqrt(),
+            min_bandwidth: trace
+                .segments
+                .iter()
+                .map(|s| s.bandwidth_mbps)
+                .fold(f64::INFINITY, f64::min),
+            max_bandwidth: trace
+                .segments
+                .iter()
+                .map(|s| s.bandwidth_mbps)
+                .fold(f64::NEG_INFINITY, f64::max),
+            mean_latency_ms: wmean(&|s| s.latency_ms),
+            mean_loss: wmean(&|s| s.loss_rate),
+            duration_s: total,
+            mean_bw_jump: if jumps.is_empty() {
+                0.0
+            } else {
+                jumps.iter().sum::<f64>() / jumps.len() as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Segment;
+
+    #[test]
+    fn stats_of_constant_trace() {
+        let t = Trace::new("c", vec![Segment::bw(10.0, 3.0, 50.0)]);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.mean_bandwidth, 3.0);
+        assert_eq!(s.std_bandwidth, 0.0);
+        assert_eq!(s.min_bandwidth, 3.0);
+        assert_eq!(s.max_bandwidth, 3.0);
+        assert_eq!(s.mean_bw_jump, 0.0);
+        assert_eq!(s.mean_latency_ms, 50.0);
+    }
+
+    #[test]
+    fn stats_weighted_by_duration() {
+        let t = Trace::new("w", vec![Segment::bw(1.0, 1.0, 0.0), Segment::bw(3.0, 5.0, 0.0)]);
+        let s = TraceStats::of(&t);
+        assert!((s.mean_bandwidth - 4.0).abs() < 1e-12);
+        assert_eq!(s.mean_bw_jump, 4.0);
+    }
+
+    #[test]
+    fn loss_and_latency_aggregate() {
+        let t = Trace::new(
+            "l",
+            vec![
+                Segment { duration_s: 1.0, bandwidth_mbps: 1.0, latency_ms: 20.0, loss_rate: 0.0 },
+                Segment { duration_s: 1.0, bandwidth_mbps: 1.0, latency_ms: 40.0, loss_rate: 0.1 },
+            ],
+        );
+        let s = TraceStats::of(&t);
+        assert!((s.mean_latency_ms - 30.0).abs() < 1e-12);
+        assert!((s.mean_loss - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! Congestion-control shootout: BBR vs Cubic vs Reno across random-loss
+//! rates — the paper's premise (§4) that loss-based TCP has a "trivial
+//! weakness to packet loss even as low as 1 %" while BBR does not, which is
+//! why the adversary must attack BBR's *probing* instead.
+//!
+//! ```sh
+//! cargo run --release --example cc_shootout
+//! ```
+
+use cc::{Bbr, Copa, Cubic, Reno, Vivace};
+use netsim::{CongestionControl, FlowSim, LinkParams, SimConfig, SEC};
+
+fn measure(make: impl Fn() -> Box<dyn CongestionControl>, loss: f64) -> f64 {
+    let params = LinkParams::new(12.0, 25.0, loss);
+    let mut sim = FlowSim::new(make(), params, SimConfig::default());
+    sim.run_for(5 * SEC); // warm-up
+    sim.run_for(20 * SEC).utilization
+}
+
+fn main() {
+    println!("== loss tolerance: modern vs loss-based CC (12 Mbit/s, 50 ms RTT) ==\n");
+    println!(
+        "{:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "loss %", "bbr", "copa", "vivace", "cubic", "reno"
+    );
+    for loss in [0.0, 0.005, 0.01, 0.02, 0.05, 0.10] {
+        let bbr = measure(|| Box::new(Bbr::new()), loss);
+        let copa = measure(|| Box::new(Copa::new()), loss);
+        let vivace = measure(|| Box::new(Vivace::new()), loss);
+        let cubic = measure(|| Box::new(Cubic::new()), loss);
+        let reno = measure(|| Box::new(Reno::new()), loss);
+        println!(
+            "{:>8.1} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+            loss * 100.0,
+            bbr * 100.0,
+            copa * 100.0,
+            vivace * 100.0,
+            cubic * 100.0,
+            reno * 100.0
+        );
+    }
+    println!("\nModern protocols (BBR, Copa, Vivace) shrug off random loss while");
+    println!("Cubic/Reno halve their windows on every drop — hence the paper's");
+    println!("adversary cannot beat BBR with loss alone and attacks its probing.");
+}

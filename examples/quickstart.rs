@@ -1,0 +1,69 @@
+//! Quickstart: train a small RL adversary against the Buffer-Based ABR
+//! protocol, generate an adversarial trace, and show that it reproducibly
+//! hurts BB while leaving headroom an optimal protocol could use.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use abr::{optimal_qoe_dp, BufferBased, Video};
+use adversary::{
+    generate_abr_traces, random_abr_traces, replay_abr_trace, train_abr_adversary,
+    AbrAdversaryConfig, AbrAdversaryEnv, AdversaryTrainConfig,
+};
+
+fn main() {
+    println!("== adversarial-net quickstart ==\n");
+    let video = Video::cbr();
+    let cfg = AbrAdversaryConfig::default();
+
+    // 1. an adversary environment around the target protocol
+    let mut env =
+        AbrAdversaryEnv::new(BufferBased::pensieve_defaults(), video.clone(), cfg.clone());
+
+    // 2. train briefly (the paper trains for 600k steps; a few tens of
+    //    thousands already find BB's buffer-band weakness)
+    println!("training adversary vs BB (30k steps)...");
+    let train_cfg = AdversaryTrainConfig { total_steps: 30_000, ..Default::default() };
+    let (adversary, reports) = train_abr_adversary(&mut env, &train_cfg);
+    println!(
+        "adversary mean step reward: {:.3} -> {:.3}\n",
+        reports.first().unwrap().mean_step_reward,
+        reports.last().unwrap().mean_step_reward,
+    );
+
+    // 3. generate one deterministic adversarial trace
+    let trace = generate_abr_traces(&mut env, &adversary, 1, true, 42).pop().unwrap();
+    println!("adversarial bandwidth trace (Mbit/s, one value per chunk):");
+    for row in trace.chunks(12) {
+        println!("  {}", row.iter().map(|b| format!("{b:4.1}")).collect::<Vec<_>>().join(" "));
+    }
+
+    // 4. replay: the trace is a reproducible test case
+    let mut bb = BufferBased::pensieve_defaults();
+    let bb_qoe = replay_abr_trace(&trace, &mut bb, &video, &cfg);
+    let (opt_total, _) = optimal_qoe_dp(
+        &video,
+        &cfg.qoe,
+        &trace,
+        cfg.latency_ms / 1000.0,
+    );
+    let opt_qoe = opt_total / video.n_chunks() as f64;
+
+    // compare with what random traces do
+    let random = random_abr_traces(20, video.n_chunks(), 7);
+    let rand_bb: f64 = random
+        .iter()
+        .map(|t| replay_abr_trace(t, &mut BufferBased::pensieve_defaults(), &video, &cfg))
+        .sum::<f64>()
+        / random.len() as f64;
+
+    println!("\nper-chunk mean QoE:");
+    println!("  BB on the adversarial trace : {bb_qoe:7.3}");
+    println!("  offline optimum, same trace : {opt_qoe:7.3}");
+    println!("  BB on random traces (mean)  : {rand_bb:7.3}");
+    println!(
+        "\nthe adversary opened a {:.2} QoE/chunk gap between BB and the optimum",
+        opt_qoe - bb_qoe
+    );
+}

@@ -1,0 +1,62 @@
+//! The paper's §2.3 robustification pipeline, end to end at small scale:
+//! train Pensieve, pause at 90 %, train an adversary against the snapshot,
+//! inject its traces, resume — then compare against the plain baseline on
+//! held-out broadband and 3G-like corpora.
+//!
+//! (Figure 4 of the paper at full scale: `cargo run -p adv-bench --release
+//! --bin fig4`, optionally with `FULL=1`.)
+//!
+//! ```sh
+//! cargo run --release --example robust_pensieve
+//! ```
+
+use abr::{QoeParams, Video};
+use adversary::robustify::eval_pensieve;
+use adversary::{robustify_pensieve, AdversaryTrainConfig, RobustifyConfig};
+use traces::{fcc_like, hsdpa_like, GenConfig, Trace};
+
+fn main() {
+    println!("== adversarial training of Pensieve (miniature Fig. 4) ==\n");
+    let video = Video::cbr();
+    let qoe = QoeParams::default();
+    let gen_cfg = GenConfig::default();
+
+    let train: Vec<Trace> = (0..24).map(|i| fcc_like(i, &gen_cfg)).collect();
+    let test_bb: Vec<Trace> = (0..24).map(|i| fcc_like(500 + i, &gen_cfg)).collect();
+    let test_3g: Vec<Trace> = (0..24).map(|i| hsdpa_like(500 + i, &gen_cfg)).collect();
+
+    let cfg = RobustifyConfig {
+        total_steps: 120_000,
+        inject_at: 0.9,
+        n_adv_traces: 24,
+        adversary: AdversaryTrainConfig { total_steps: 30_000, ..Default::default() },
+        ..Default::default()
+    };
+    println!(
+        "training: {} steps, adversarial injection at {:.0}%, {} adversarial traces...",
+        cfg.total_steps,
+        cfg.inject_at * 100.0,
+        cfg.n_adv_traces
+    );
+    let out = robustify_pensieve(train, video.clone(), qoe.clone(), &cfg);
+
+    println!("\n{:>24} {:>12} {:>12} {:>10}", "test set [stat]", "baseline", "robust", "ratio");
+    for (label, corpus) in [("broadband", &test_bb), ("3g", &test_3g)] {
+        let base = eval_pensieve(&out.baseline, corpus, &video, &qoe);
+        let robust = eval_pensieve(&out.robust, corpus, &video, &qoe);
+        for (stat, b, r) in [
+            ("mean", nn::ops::mean(&base), nn::ops::mean(&robust)),
+            ("p5", nn::ops::percentile(&base, 5.0), nn::ops::percentile(&robust, 5.0)),
+        ] {
+            println!(
+                "{:>24} {:>12.3} {:>12.3} {:>10.2}",
+                format!("{label} [{stat}]"),
+                b,
+                r,
+                if b.abs() > 1e-9 { r / b } else { f64::NAN }
+            );
+        }
+    }
+    println!("\n({} adversarial traces were injected; at this miniature scale gains", out.adv_traces.len());
+    println!("are noisy — the fig4 binary runs the full experiment.)");
+}

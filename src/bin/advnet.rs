@@ -1,0 +1,217 @@
+//! `advnet` — command-line front end to the adversarial-networking
+//! framework. Hand-rolled argument parsing (no CLI dependency) with one
+//! subcommand per workflow:
+//!
+//! ```text
+//! advnet gen-corpus  <fcc|hsdpa|random> <count> <out.json> [seed]
+//! advnet stats       <traces.json>
+//! advnet attack-abr  <bb|rate|mpc> <n_traces> <out.json> [train_steps] [seed]
+//! advnet replay-abr  <bb|rate|mpc> <traces.json>
+//! advnet attack-cem  <bb|rate|mpc> <out.json> [generations] [seed]
+//! ```
+
+use abr::{AbrPolicy, BufferBased, Mpc, RateBased, Video};
+use adversary::{
+    cem_search, generate_abr_traces, replay_abr_trace, train_abr_adversary,
+    AbrAdversaryConfig, AbrAdversaryEnv, AdversaryTrainConfig, CemConfig,
+};
+use std::process::ExitCode;
+use traces::{GenConfig, Trace};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  advnet gen-corpus  <fcc|hsdpa|random> <count> <out.json> [seed]
+  advnet stats       <traces.json>
+  advnet attack-abr  <bb|rate|mpc> <n_traces> <out.json> [train_steps] [seed]
+  advnet replay-abr  <bb|rate|mpc> <traces.json>
+  advnet attack-cem  <bb|rate|mpc> <out.json> [generations] [seed]"
+    );
+    ExitCode::from(2)
+}
+
+fn protocol(name: &str) -> Option<Box<dyn AbrPolicy>> {
+    match name {
+        "bb" => Some(Box::new(BufferBased::pensieve_defaults())),
+        "rate" => Some(Box::new(RateBased::default())),
+        "mpc" => Some(Box::new(Mpc::default())),
+        _ => None,
+    }
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], i: usize, default: T) -> T {
+    args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    match cmd.as_str() {
+        "gen-corpus" => gen_corpus(&args),
+        "stats" => stats(&args),
+        "attack-abr" => attack_abr(&args),
+        "replay-abr" => replay_abr(&args),
+        "attack-cem" => attack_cem(&args),
+        _ => usage(),
+    }
+}
+
+fn gen_corpus(args: &[String]) -> ExitCode {
+    let (Some(kind), Some(count), Some(out)) = (args.get(1), args.get(2), args.get(3)) else {
+        return usage();
+    };
+    let count: usize = match count.parse() {
+        Ok(c) => c,
+        Err(_) => return usage(),
+    };
+    let seed: u64 = parse(args, 4, 0);
+    let cfg = GenConfig::default();
+    let corpus: Vec<Trace> = (0..count as u64)
+        .map(|i| match kind.as_str() {
+            "fcc" => traces::fcc_like(seed + i, &cfg),
+            "hsdpa" => traces::hsdpa_like(seed + i, &cfg),
+            "random" => traces::random_abr_trace(seed + i, 80, 4.0, cfg.latency_ms),
+            other => {
+                eprintln!("unknown corpus kind {other:?}");
+                std::process::exit(2);
+            }
+        })
+        .collect();
+    if let Err(e) = traces::io::save_traces(out, &corpus) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {count} {kind} traces to {out}");
+    ExitCode::SUCCESS
+}
+
+fn stats(args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1) else { return usage() };
+    let traces = match traces::io::load_traces(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{:>24} {:>9} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "name", "dur s", "mean bw", "min bw", "max bw", "jump", "loss"
+    );
+    for t in &traces {
+        let s = traces::TraceStats::of(t);
+        println!(
+            "{:>24} {:>9.1} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>9.4}",
+            t.name, s.duration_s, s.mean_bandwidth, s.min_bandwidth, s.max_bandwidth,
+            s.mean_bw_jump, s.mean_loss
+        );
+    }
+    println!("({} traces)", traces.len());
+    ExitCode::SUCCESS
+}
+
+fn attack_abr(args: &[String]) -> ExitCode {
+    let (Some(proto), Some(n), Some(out)) = (args.get(1), args.get(2), args.get(3)) else {
+        return usage();
+    };
+    let n: usize = match n.parse() {
+        Ok(n) => n,
+        Err(_) => return usage(),
+    };
+    let steps: usize = parse(args, 4, 60_000);
+    let seed: u64 = parse(args, 5, 0);
+    let video = Video::cbr();
+    let cfg = AbrAdversaryConfig::default();
+    let Some(target) = protocol(proto) else { return usage() };
+
+    // the environment is generic over the concrete policy; box it behind a
+    // small adapter so one code path serves all protocols
+    struct Dyn(Box<dyn AbrPolicy>);
+    impl AbrPolicy for Dyn {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn select(&mut self, obs: &abr::AbrObservation) -> usize {
+            self.0.select(obs)
+        }
+        fn reset(&mut self) {
+            self.0.reset()
+        }
+    }
+
+    eprintln!("training adversary vs {proto} for {steps} steps (seed {seed})...");
+    let mut env = AbrAdversaryEnv::new(Dyn(target), video.clone(), cfg.clone());
+    let tcfg = AdversaryTrainConfig {
+        total_steps: steps,
+        ppo: rl::PpoConfig { seed, ..AdversaryTrainConfig::default().ppo },
+        ..AdversaryTrainConfig::default()
+    };
+    let (adv, reports) = train_abr_adversary(&mut env, &tcfg);
+    eprintln!(
+        "adversary reward {:.3} -> {:.3}",
+        reports.first().map(|r| r.mean_step_reward).unwrap_or(f64::NAN),
+        reports.last().map(|r| r.mean_step_reward).unwrap_or(f64::NAN)
+    );
+    let raw = generate_abr_traces(&mut env, &adv, n, false, seed ^ 0xabc);
+    let corpus = adversary::abr_traces_to_corpus(&raw, &video, cfg.latency_ms, "adversarial");
+    if let Err(e) = traces::io::save_traces(out, &corpus) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {n} adversarial traces (target {proto}) to {out}");
+    ExitCode::SUCCESS
+}
+
+fn replay_abr(args: &[String]) -> ExitCode {
+    let (Some(proto), Some(path)) = (args.get(1), args.get(2)) else { return usage() };
+    let Some(mut target) = protocol(proto) else { return usage() };
+    let loaded = match traces::io::load_traces(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let video = Video::cbr();
+    let cfg = AbrAdversaryConfig::default();
+    let mut qoes = Vec::new();
+    for t in &loaded {
+        let bws: Vec<f64> = t.segments.iter().map(|s| s.bandwidth_mbps).collect();
+        let q = replay_abr_trace(&bws, target.as_mut(), &video, &cfg);
+        println!("{:>24}: QoE/chunk {q:>8.3}", t.name);
+        qoes.push(q);
+    }
+    println!(
+        "\n{proto} over {} traces: mean {:.3}, p5 {:.3}, median {:.3}",
+        qoes.len(),
+        nn::ops::mean(&qoes),
+        nn::ops::percentile(&qoes, 5.0),
+        nn::ops::percentile(&qoes, 50.0),
+    );
+    ExitCode::SUCCESS
+}
+
+fn attack_cem(args: &[String]) -> ExitCode {
+    let (Some(proto), Some(out)) = (args.get(1), args.get(2)) else { return usage() };
+    let Some(mut target) = protocol(proto) else { return usage() };
+    let generations: usize = parse(args, 3, 30);
+    let seed: u64 = parse(args, 4, 0);
+    let video = Video::cbr();
+    let cfg = AbrAdversaryConfig::default();
+    eprintln!("CEM search vs {proto} ({generations} generations, seed {seed})...");
+    let outcome = cem_search(
+        target.as_mut(),
+        &video,
+        &cfg,
+        &CemConfig { generations, seed, ..CemConfig::default() },
+    );
+    println!("best score (opt-gap/chunk − smoothing): {:.3}", outcome.score);
+    let corpus =
+        adversary::abr_traces_to_corpus(&[outcome.trace], &video, cfg.latency_ms, "cem");
+    if let Err(e) = traces::io::save_traces(out, &corpus) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote the trace to {out}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,44 @@
+//! Umbrella crate re-exporting the whole adversarial-networking workspace.
+//!
+//! See README.md for the architecture overview and DESIGN.md for the
+//! paper-to-module mapping.
+//!
+//! # Example: score a protocol on an adversarial-style trace
+//!
+//! ```
+//! use adversarial_net::abr::{BufferBased, Video};
+//! use adversarial_net::adversary::{replay_abr_trace, AbrAdversaryConfig};
+//!
+//! let video = Video::cbr();
+//! let cfg = AbrAdversaryConfig::default();
+//! // a hand-written bandwidth trace (Mbit/s per chunk)
+//! let trace: Vec<f64> = (0..video.n_chunks())
+//!     .map(|i| if i % 6 < 3 { 1.0 } else { 4.0 })
+//!     .collect();
+//! let qoe = replay_abr_trace(&trace, &mut BufferBased::pensieve_defaults(), &video, &cfg);
+//! assert!(qoe.is_finite());
+//! ```
+//!
+//! # Example: drive BBR through the packet simulator
+//!
+//! ```
+//! use adversarial_net::cc::Bbr;
+//! use adversarial_net::netsim::{FlowSim, LinkParams, SimConfig, SEC};
+//!
+//! let mut sim = FlowSim::new(
+//!     Box::new(Bbr::new()),
+//!     LinkParams::new(12.0, 25.0, 0.0),
+//!     SimConfig::default(),
+//! );
+//! sim.run_for(3 * SEC);
+//! let stats = sim.run_for(2 * SEC);
+//! assert!(stats.utilization > 0.8);
+//! ```
+
+pub use abr;
+pub use adversary;
+pub use cc;
+pub use netsim;
+pub use nn;
+pub use rl;
+pub use traces;

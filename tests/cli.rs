@@ -1,0 +1,90 @@
+//! End-to-end tests of the `advnet` command-line tool (Cargo builds the
+//! binary for integration tests and exposes its path via
+//! `CARGO_BIN_EXE_advnet`).
+
+use std::process::Command;
+
+fn advnet() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_advnet"))
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("advnet-cli-{tag}"));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = advnet().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = advnet().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn gen_corpus_and_stats_roundtrip() {
+    let dir = tmpdir("corpus");
+    let path = dir.join("hsdpa.json");
+    let out = advnet()
+        .args(["gen-corpus", "hsdpa", "4", path.to_str().unwrap(), "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(path.exists());
+
+    let out = advnet().args(["stats", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("hsdpa-like-7"));
+    assert!(stdout.contains("(4 traces)"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replay_reports_per_trace_qoe() {
+    let dir = tmpdir("replay");
+    let path = dir.join("random.json");
+    advnet()
+        .args(["gen-corpus", "random", "3", path.to_str().unwrap(), "1"])
+        .status()
+        .unwrap();
+    let out = advnet().args(["replay-abr", "mpc", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("QoE/chunk"));
+    assert!(stdout.contains("mpc over 3 traces"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cem_attack_writes_a_trace() {
+    let dir = tmpdir("cem");
+    let path = dir.join("cem.json");
+    // tiny search so the test stays fast
+    let out = advnet()
+        .args(["attack-cem", "bb", path.to_str().unwrap(), "3", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let traces = traces::io::load_traces(&path).unwrap();
+    assert_eq!(traces.len(), 1);
+    assert_eq!(traces[0].segments.len(), 48);
+    // every bandwidth inside the adversary's action space
+    assert!(traces[0]
+        .segments
+        .iter()
+        .all(|s| (0.8..=4.8).contains(&s.bandwidth_mbps)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_rejects_missing_file() {
+    let out = advnet().args(["stats", "/nonexistent/nowhere.json"]).output().unwrap();
+    assert!(!out.status.success());
+}
