@@ -15,7 +15,10 @@ use rand::Rng;
 use rl::{Action, ActionSpace, Env, Step};
 use traces::Trace;
 
-/// Pensieve training environment over a corpus of traces.
+/// Pensieve training environment over a corpus of traces. `Clone` yields
+/// an independent session over the same corpus, so training can fan the
+/// env out across parallel rollout workers.
+#[derive(Debug, Clone)]
 pub struct AbrTrainEnv {
     corpus: Vec<Trace>,
     video: Video,
@@ -105,8 +108,7 @@ pub fn train_pensieve(
     let mut env = AbrTrainEnv::new(corpus, video, qoe);
     let mut ppo = rl::Ppo::new_categorical(PENSIEVE_OBS_DIM, 6, &[64, 32], cfg);
     ppo.train(&mut env, steps);
-    let pensieve =
-        crate::protocols::Pensieve::new(ppo.policy.clone(), ppo.obs_norm.clone());
+    let pensieve = crate::protocols::Pensieve::new(ppo.policy.clone(), ppo.obs_norm.clone());
     (pensieve, ppo, env)
 }
 
@@ -158,9 +160,8 @@ mod tests {
 
     #[test]
     fn short_training_improves_reward() {
-        let corpus: Vec<Trace> = (0..8)
-            .map(|i| traces::random_abr_trace(i, 80, 4.0, 40.0))
-            .collect();
+        let corpus: Vec<Trace> =
+            (0..8).map(|i| traces::random_abr_trace(i, 80, 4.0, 40.0)).collect();
         let cfg = rl::PpoConfig {
             n_steps: 480,
             minibatch_size: 96,
@@ -174,10 +175,7 @@ mod tests {
         let reports = ppo.train(&mut env, 12_000);
         let early = reports[0].mean_step_reward;
         let late = reports.last().unwrap().mean_step_reward;
-        assert!(
-            late > early,
-            "training should improve QoE: {early} -> {late}"
-        );
+        assert!(late > early, "training should improve QoE: {early} -> {late}");
     }
 
     #[test]

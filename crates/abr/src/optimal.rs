@@ -73,8 +73,7 @@ pub fn windowed_optimal_qoe(
         for q in 0..video.n_qualities() {
             let (chunk_qoe, new_buffer) =
                 chunk_transition(video, qoe, chunk, q, prev_q, buffer, bw[0], latency_s);
-            let rest =
-                recurse(video, qoe, chunk + 1, &bw[1..], latency_s, new_buffer, Some(q));
+            let rest = recurse(video, qoe, chunk + 1, &bw[1..], latency_s, new_buffer, Some(q));
             best = best.max(chunk_qoe + rest);
         }
         best
@@ -198,10 +197,7 @@ mod tests {
                 buffer = nb;
                 prev = Some(q);
             }
-            assert!(
-                opt >= total - 1e-9,
-                "optimum {opt} beaten by constant quality {q}: {total}"
-            );
+            assert!(opt >= total - 1e-9, "optimum {opt} beaten by constant quality {q}: {total}");
         }
     }
 
@@ -217,9 +213,7 @@ mod tests {
     fn full_dp_beats_bb() {
         let video = Video::cbr();
         let qoe = QoeParams::default();
-        let bw: Vec<f64> = (0..48)
-            .map(|i| if i % 7 < 4 { 3.0 } else { 1.0 })
-            .collect();
+        let bw: Vec<f64> = (0..48).map(|i| if i % 7 < 4 { 3.0 } else { 1.0 }).collect();
         let (opt, schedule) = optimal_qoe_dp(&video, &qoe, &bw, 0.04);
         assert_eq!(schedule.len(), 48);
 
@@ -235,10 +229,7 @@ mod tests {
             total_bb += player.step(q, &mut net).qoe;
             i += 1;
         }
-        assert!(
-            opt > total_bb,
-            "offline optimum ({opt}) must beat BB ({total_bb})"
-        );
+        assert!(opt > total_bb, "offline optimum ({opt}) must beat BB ({total_bb})");
     }
 
     #[test]
@@ -273,10 +264,7 @@ mod tests {
     fn chunk_bandwidths_sample_trace() {
         use traces::{Segment, Trace};
         let video = Video::cbr();
-        let t = Trace::new(
-            "t",
-            vec![Segment::bw(96.0, 1.0, 40.0), Segment::bw(96.0, 3.0, 40.0)],
-        );
+        let t = Trace::new("t", vec![Segment::bw(96.0, 1.0, 40.0), Segment::bw(96.0, 3.0, 40.0)]);
         let bws = chunk_bandwidths_from_trace(&t, &video);
         assert_eq!(bws.len(), 48);
         assert!((bws[0] - 1.0).abs() < 1e-9);
@@ -287,19 +275,15 @@ mod tests {
     fn windowed_matches_dp_on_short_video() {
         // a 4-chunk video: windowed exhaustive and full DP must agree
         let bitrates = vec![300.0, 750.0, 1200.0, 1850.0, 2850.0, 4300.0];
-        let sizes: Vec<Vec<f64>> = (0..4)
-            .map(|_| bitrates.iter().map(|b| b * 1000.0 / 8.0 * 4.0).collect())
-            .collect();
+        let sizes: Vec<Vec<f64>> =
+            (0..4).map(|_| bitrates.iter().map(|b| b * 1000.0 / 8.0 * 4.0).collect()).collect();
         let video = Video::new(bitrates, sizes, 4.0);
         let qoe = QoeParams::default();
         let bw = [1.2, 2.0, 0.9, 3.5];
         let exhaustive = windowed_optimal_qoe(&video, &qoe, 0, &bw, 0.04, 0.0, None);
         let (dp, _) = optimal_qoe_dp(&video, &qoe, &bw, 0.04);
         // DP discretizes the buffer, so allow a small pessimism gap
-        assert!(
-            (exhaustive - dp).abs() < 0.3,
-            "exhaustive {exhaustive} vs dp {dp}"
-        );
+        assert!((exhaustive - dp).abs() < 0.3, "exhaustive {exhaustive} vs dp {dp}");
         assert!(dp <= exhaustive + 1e-9, "dp must not exceed the exact optimum");
     }
 }

@@ -32,6 +32,7 @@ pub trait Network {
 }
 
 /// Replay of a recorded [`traces::Trace`].
+#[derive(Debug, Clone)]
 pub struct TraceNetwork {
     cursor: TraceCursor,
 }
@@ -122,6 +123,7 @@ pub struct ChunkOutcome {
 
 /// A streaming session in progress. Owns a copy of the video model so the
 /// session can live inside long-lived training environments.
+#[derive(Debug, Clone)]
 pub struct Player {
     video: Video,
     qoe_params: QoeParams,
@@ -186,8 +188,7 @@ impl Player {
             last_quality: self.last_quality,
             buffer_s: self.buffer_s,
             throughput_mbps: self.throughput_hist[hist_from..].to_vec(),
-            download_s: self.download_hist
-                [self.download_hist.len().saturating_sub(HISTORY_LEN)..]
+            download_s: self.download_hist[self.download_hist.len().saturating_sub(HISTORY_LEN)..]
                 .to_vec(),
             next_sizes: if self.finished() {
                 vec![0.0; self.video.n_qualities()]
@@ -270,7 +271,10 @@ mod tests {
         let o = p.step(0, &mut net);
         // 150 kB over 100 Mbit/s ≈ 12 ms — no rebuffering after chunk 1
         assert!(o.download_s < 0.1);
-        assert!((o.rebuffer_s - o.download_s).abs() < 1e-12, "first chunk always stalls by dl time");
+        assert!(
+            (o.rebuffer_s - o.download_s).abs() < 1e-12,
+            "first chunk always stalls by dl time"
+        );
         assert!((p.buffer_s() - 4.0).abs() < 0.1);
     }
 

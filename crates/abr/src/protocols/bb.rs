@@ -57,10 +57,7 @@ impl AbrPolicy for BufferBased {
         let max_rate = *obs.bitrates_mbps.last().expect("non-empty ladder");
         let allowed = self.allowed_rate(obs.buffer_s, min_rate, max_rate);
         // highest quality whose bitrate does not exceed the allowed rate
-        obs.bitrates_mbps
-            .iter()
-            .rposition(|&r| r <= allowed)
-            .unwrap_or(0)
+        obs.bitrates_mbps.iter().rposition(|&r| r <= allowed).unwrap_or(0)
     }
 
     fn reset(&mut self) {}

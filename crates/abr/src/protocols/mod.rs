@@ -80,8 +80,8 @@ mod tests {
         for mut p in protos {
             let mut net = FixedConditions::new(20.0, 10.0);
             let outcomes = run_session(&video, p.as_mut(), &mut net, &qoe);
-            let tail_quality: f64 = outcomes[24..].iter().map(|o| o.quality as f64).sum::<f64>()
-                / 24.0;
+            let tail_quality: f64 =
+                outcomes[24..].iter().map(|o| o.quality as f64).sum::<f64>() / 24.0;
             assert!(tail_quality > 4.0, "{} mean tail quality = {tail_quality}", p.name());
         }
     }
@@ -99,8 +99,8 @@ mod tests {
         for mut p in protos {
             let mut net = FixedConditions::new(0.4, 40.0);
             let outcomes = run_session(&video, p.as_mut(), &mut net, &qoe);
-            let tail_quality: f64 = outcomes[24..].iter().map(|o| o.quality as f64).sum::<f64>()
-                / 24.0;
+            let tail_quality: f64 =
+                outcomes[24..].iter().map(|o| o.quality as f64).sum::<f64>() / 24.0;
             assert!(tail_quality < 1.5, "{} mean tail quality = {tail_quality}", p.name());
         }
     }

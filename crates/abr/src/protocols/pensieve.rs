@@ -154,8 +154,8 @@ mod tests {
         let policy =
             PolicyKind::Categorical(CategoricalPolicy::new(&[PENSIEVE_OBS_DIM, 16, 6], &mut rng));
         let mut norm = RunningMeanStd::new(PENSIEVE_OBS_DIM);
-        norm.observe(&vec![1.0; PENSIEVE_OBS_DIM]);
-        norm.observe(&vec![-1.0; PENSIEVE_OBS_DIM]);
+        norm.observe(&[1.0; PENSIEVE_OBS_DIM]);
+        norm.observe(&[-1.0; PENSIEVE_OBS_DIM]);
         let p = Pensieve::new(policy, Some(norm));
         assert!(!p.obs_norm.as_ref().unwrap().updating);
     }

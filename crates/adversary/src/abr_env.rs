@@ -136,7 +136,10 @@ struct WindowEntry {
 /// The online ABR adversary environment (implements [`rl::Env`]).
 ///
 /// Owns the target protocol, the video, and the streaming session. One
-/// episode is one full video; one step is one chunk.
+/// episode is one full video; one step is one chunk. `Clone` (for
+/// `Clone` targets) yields an independent session, so the env can be
+/// fanned out across [`exec`]-driven rollout workers.
+#[derive(Debug, Clone)]
 pub struct AbrAdversaryEnv<P: AbrPolicy> {
     target: P,
     video: Video,
@@ -193,8 +196,7 @@ impl<P: AbrPolicy> AbrAdversaryEnv<P> {
         // most recent entry last, zero-padded at the front
         let offset = OBS_HISTORY - self.history.len();
         for (i, entry) in self.history.iter().enumerate() {
-            obs[(offset + i) * OBS_FIELDS..(offset + i + 1) * OBS_FIELDS]
-                .copy_from_slice(entry);
+            obs[(offset + i) * OBS_FIELDS..(offset + i + 1) * OBS_FIELDS].copy_from_slice(entry);
         }
         obs
     }

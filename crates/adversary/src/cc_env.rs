@@ -19,6 +19,7 @@ use nn::ops::{scale_from_unit, scale_to_unit};
 use rand::rngs::StdRng;
 use rl::{Action, ActionSpace, Env, Step};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Adversary control granularity (paper: 30 ms).
 pub const INTERVAL: Time = 30 * MS;
@@ -77,6 +78,7 @@ impl CcActionSpace {
 }
 
 /// Configuration of the CC adversary environment.
+#[derive(Debug, Clone)]
 pub struct CcAdversaryConfig {
     /// Action constraints (Table 1 by default).
     pub space: CcActionSpace,
@@ -159,8 +161,10 @@ impl CcTrace {
 ///
 /// A fresh protocol instance and simulator are built per episode from the
 /// supplied factory (the protocol carries state such as BBR's filters).
+/// The factory is shared behind an [`Arc`] so the environment can be
+/// cloned into `exec`-driven rollout workers.
 pub struct CcAdversaryEnv {
-    make_cc: Box<dyn Fn() -> Box<dyn CongestionControl>>,
+    make_cc: Arc<dyn Fn() -> Box<dyn CongestionControl> + Send + Sync>,
     cfg: CcAdversaryConfig,
     sim: Option<FlowSim>,
     step_count: usize,
@@ -174,11 +178,11 @@ pub struct CcAdversaryEnv {
 
 impl CcAdversaryEnv {
     pub fn new(
-        make_cc: Box<dyn Fn() -> Box<dyn CongestionControl>>,
+        make_cc: Box<dyn Fn() -> Box<dyn CongestionControl> + Send + Sync>,
         cfg: CcAdversaryConfig,
     ) -> Self {
         CcAdversaryEnv {
-            make_cc,
+            make_cc: Arc::from(make_cc),
             cfg,
             sim: None,
             step_count: 0,
@@ -195,6 +199,12 @@ impl CcAdversaryEnv {
         &self.trace
     }
 
+    /// Replace the simulator seed base (rollout workers decorrelate their
+    /// clones with this before the first episode).
+    pub fn set_sim_seed(&mut self, seed: u64) {
+        self.cfg.sim.seed = seed;
+    }
+
     /// Smoothing factor `S`: normalized deviation of the current bandwidth
     /// and latency from their EWMAs.
     fn smoothing(&self, p: &LinkParams) -> f64 {
@@ -202,6 +212,28 @@ impl CcAdversaryEnv {
         let (lat_lo, lat_hi) = self.cfg.space.latency_ms;
         (p.bandwidth_mbps - self.ewma_bw).abs() / (bw_hi - bw_lo)
             + (p.latency_ms - self.ewma_lat).abs() / (lat_hi - lat_lo)
+    }
+}
+
+/// A clone is an independent environment sharing the protocol factory: it
+/// starts before its first episode (the in-flight simulator, if any, is
+/// not carried over — `reset` rebuilds it), which is exactly the state a
+/// rollout worker wants. Note clones also restart the per-episode
+/// simulator-seed sequence; use [`CcAdversaryEnv::set_sim_seed`] to
+/// decorrelate packet-level randomness across workers if needed.
+impl Clone for CcAdversaryEnv {
+    fn clone(&self) -> Self {
+        CcAdversaryEnv {
+            make_cc: Arc::clone(&self.make_cc),
+            cfg: self.cfg.clone(),
+            sim: None,
+            step_count: 0,
+            episode: 0,
+            ewma_bw: 0.0,
+            ewma_lat: 0.0,
+            last_obs: [0.0; 2],
+            trace: CcTrace::default(),
+        }
     }
 }
 
@@ -253,8 +285,7 @@ impl Env for CcAdversaryEnv {
         self.ewma_bw = (1.0 - a) * self.ewma_bw + a * p.bandwidth_mbps;
         self.ewma_lat = (1.0 - a) * self.ewma_lat + a * p.latency_ms;
 
-        let reward =
-            1.0 - utilization - p.loss_rate - self.cfg.smoothing_coef * smoothing;
+        let reward = 1.0 - utilization - p.loss_rate - self.cfg.smoothing_coef * smoothing;
 
         // observation: utilization and queuing delay (normalized to ~O(1))
         let qd = sim.queue_delay_ms();
@@ -381,7 +412,8 @@ mod tests {
             let mut total = 0.0;
             for i in 0..100 {
                 let bw = 6.0 + (i % 10) as f64;
-                total += e.step(&CcActionSpace::default().action_for(bw, 20.0, 0.02), &mut rng).reward;
+                total +=
+                    e.step(&CcActionSpace::default().action_for(bw, 20.0, 0.02), &mut rng).reward;
             }
             total
         };

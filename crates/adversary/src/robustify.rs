@@ -87,7 +87,7 @@ pub fn robustify_pensieve(
     // baseline: the full budget on the clean corpus
     let mut baseline_env = AbrTrainEnv::new(corpus.clone(), video.clone(), qoe.clone());
     let mut baseline_ppo = new_pensieve_trainer(cfg);
-    baseline_ppo.train(&mut baseline_env, cfg.total_steps);
+    baseline_ppo.train_vec(&mut baseline_env, cfg.total_steps);
     let baseline = Pensieve::new(baseline_ppo.policy.clone(), baseline_ppo.obs_norm.clone());
 
     // stages 1-4 (§2.3)
@@ -98,6 +98,10 @@ pub fn robustify_pensieve(
 /// Run the pipeline once per injection point, training the (identical)
 /// baseline only once. Returns the baseline and, per injection fraction,
 /// the robustified model with its injected traces.
+///
+/// The per-injection-point branches are independent end-to-end training
+/// runs, so they execute in parallel via [`exec::par_map`]; results come
+/// back in `inject_points` order regardless of scheduling.
 pub fn robustify_variants(
     corpus: Vec<Trace>,
     video: Video,
@@ -107,17 +111,15 @@ pub fn robustify_variants(
 ) -> (Pensieve, Vec<(f64, Pensieve, Vec<Trace>)>) {
     let mut baseline_env = AbrTrainEnv::new(corpus.clone(), video.clone(), qoe.clone());
     let mut baseline_ppo = new_pensieve_trainer(cfg);
-    baseline_ppo.train(&mut baseline_env, cfg.total_steps);
+    baseline_ppo.train_vec(&mut baseline_env, cfg.total_steps);
     let baseline = Pensieve::new(baseline_ppo.policy.clone(), baseline_ppo.obs_norm.clone());
 
-    let variants = inject_points
-        .iter()
-        .map(|&inject_at| {
+    let variants =
+        exec::par_map(inject_points.to_vec(), exec::default_workers(), |_, inject_at| {
             let cfg = RobustifyConfig { inject_at, ..cfg.clone() };
             let out = run_robust_branch(corpus.clone(), video.clone(), qoe.clone(), &cfg);
             (inject_at, out.0, out.1)
-        })
-        .collect();
+        });
     (baseline, variants)
 }
 
@@ -131,7 +133,7 @@ fn run_robust_branch(
     let phase1 = (cfg.total_steps as f64 * cfg.inject_at) as usize;
     let mut env = AbrTrainEnv::new(corpus.clone(), video.clone(), qoe.clone());
     let mut ppo = new_pensieve_trainer(cfg);
-    ppo.train(&mut env, phase1);
+    ppo.train_vec(&mut env, phase1);
 
     let partial = Pensieve::new(ppo.policy.clone(), ppo.obs_norm.clone());
     let mut adv_env = AbrAdversaryEnv::new(partial, video.clone(), cfg.adv_env.clone());
@@ -145,11 +147,15 @@ fn run_robust_branch(
     let mut augmented = corpus;
     augmented.extend(adv_traces.iter().cloned());
     env.set_corpus(augmented);
-    ppo.train(&mut env, cfg.total_steps - phase1);
+    ppo.train_vec(&mut env, cfg.total_steps - phase1);
     (Pensieve::new(ppo.policy.clone(), ppo.obs_norm.clone()), adv_traces)
 }
 
 /// Evaluate a Pensieve model's per-video mean QoE over a test corpus.
+///
+/// Traces replay independently, so the corpus is fanned out over
+/// [`exec::par_map`] (each worker replays on its own model clone); the
+/// QoE vector is in corpus order, identical to a serial replay.
 pub fn eval_pensieve(
     model: &Pensieve,
     test_corpus: &[Trace],
@@ -157,14 +163,11 @@ pub fn eval_pensieve(
     qoe: &QoeParams,
 ) -> Vec<f64> {
     use abr::{mean_qoe, run_session, TraceNetwork};
-    let mut model = model.clone();
-    test_corpus
-        .iter()
-        .map(|t| {
-            let mut net = TraceNetwork::new(t);
-            mean_qoe(&run_session(video, &mut model, &mut net, qoe))
-        })
-        .collect()
+    exec::par_map(test_corpus.to_vec(), exec::default_workers(), |_, t| {
+        let mut model = model.clone();
+        let mut net = TraceNetwork::new(&t);
+        mean_qoe(&run_session(video, &mut model, &mut net, qoe))
+    })
 }
 
 #[cfg(test)]
@@ -185,7 +188,12 @@ mod tests {
             n_adv_traces: 4,
             adversary: AdversaryTrainConfig {
                 total_steps: 2_000,
-                ppo: PpoConfig { n_steps: 480, minibatch_size: 96, epochs: 3, ..PpoConfig::default() },
+                ppo: PpoConfig {
+                    n_steps: 480,
+                    minibatch_size: 96,
+                    epochs: 3,
+                    ..PpoConfig::default()
+                },
                 ..AdversaryTrainConfig::default()
             },
             pensieve_ppo: PpoConfig {

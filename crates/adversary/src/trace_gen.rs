@@ -21,19 +21,31 @@ pub type AbrTrace = Vec<f64>;
 /// `deterministic` selects the policy mode (no exploration noise); traces
 /// from a stochastic rollout differ per episode, which is how the paper
 /// produces 200 distinct traces from one adversary.
-pub fn generate_abr_traces<P: AbrPolicy>(
+pub fn generate_abr_traces<P: AbrPolicy + Clone + Send>(
     env: &mut AbrAdversaryEnv<P>,
     adversary: &Ppo,
     n: usize,
     deterministic: bool,
     seed: u64,
 ) -> Vec<AbrTrace> {
-    generate_abr_traces_with(env, &adversary.policy, adversary.obs_norm.as_ref(), n, deterministic, seed)
+    generate_abr_traces_with(
+        env,
+        &adversary.policy,
+        adversary.obs_norm.as_ref(),
+        n,
+        deterministic,
+        seed,
+    )
 }
 
 /// As [`generate_abr_traces`] but from a bare (saved) policy and its frozen
 /// observation statistics — no trainer required.
-pub fn generate_abr_traces_with<P: AbrPolicy>(
+///
+/// Episodes are rolled in parallel via [`exec::par_map`]: episode `i` runs
+/// on its own clone of `env` with an RNG stream derived as
+/// `exec::split_seed(seed, i)`, so the returned traces are deterministic
+/// in `seed` and independent of both worker count and thread scheduling.
+pub fn generate_abr_traces_with<P: AbrPolicy + Clone + Send>(
     env: &mut AbrAdversaryEnv<P>,
     policy: &PolicyKind,
     obs_norm: Option<&RunningMeanStd>,
@@ -41,15 +53,15 @@ pub fn generate_abr_traces_with<P: AbrPolicy>(
     deterministic: bool,
     seed: u64,
 ) -> Vec<AbrTrace> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
+    let episodes: Vec<AbrAdversaryEnv<P>> = (0..n).map(|_| env.clone()).collect();
+    exec::par_map(episodes, exec::default_workers(), |i, mut ep_env| {
+        let mut rng = StdRng::seed_from_u64(exec::split_seed(seed, i as u64));
         // rollout_episode drives the env via the policy with the trainer's
         // frozen observation statistics
-        let _stats = rollout_episode(env, policy, obs_norm, deterministic, 10_000, &mut rng);
-        out.push(env.episode_trace().to_vec());
-    }
-    out
+        let _stats =
+            rollout_episode(&mut ep_env, policy, obs_norm, deterministic, 10_000, &mut rng);
+        ep_env.episode_trace().to_vec()
+    })
 }
 
 /// Replay a chunk-indexed bandwidth trace against `protocol`, returning the
@@ -191,8 +203,7 @@ mod tests {
     fn different_protocols_score_differently() {
         let video = Video::cbr();
         let cfg = AbrAdversaryConfig::default();
-        let trace: AbrTrace =
-            (0..48).map(|i| if i % 6 < 3 { 1.0 } else { 4.0 }).collect();
+        let trace: AbrTrace = (0..48).map(|i| if i % 6 < 3 { 1.0 } else { 4.0 }).collect();
         let bb = replay_abr_trace(&trace, &mut BufferBased::pensieve_defaults(), &video, &cfg);
         let mpc = replay_abr_trace(&trace, &mut Mpc::default(), &video, &cfg);
         let rate = replay_abr_trace(&trace, &mut RateBased::default(), &video, &cfg);

@@ -37,23 +37,31 @@ impl Default for AdversaryTrainConfig {
 /// Train an ABR adversary against `target` (paper §3: two hidden layers of
 /// 32 and 16 neurons). Returns the trainer (policy + normalization) and the
 /// per-iteration reports.
-pub fn train_abr_adversary<P: AbrPolicy>(
+///
+/// Rollouts go through the `exec`-backed [`Ppo::train_vec`] path:
+/// `cfg.ppo.n_envs` environment clones collect in parallel, merged
+/// deterministically. The default `n_envs = 1` is bit-identical to the
+/// serial trainer.
+pub fn train_abr_adversary<P: AbrPolicy + Clone + Send>(
     env: &mut AbrAdversaryEnv<P>,
     cfg: &AdversaryTrainConfig,
 ) -> (Ppo, Vec<TrainReport>) {
     let mut ppo = Ppo::new_gaussian(OBS_DIM, 1, &[32, 16], cfg.init_std, cfg.ppo.clone());
-    let reports = ppo.train(env, cfg.total_steps);
+    let reports = ppo.train_vec(env, cfg.total_steps);
     (ppo, reports)
 }
 
 /// Train a CC adversary (paper §4: "a simple neural network with only one
 /// hidden layer of 4 neurons").
+///
+/// Like [`train_abr_adversary`], collection runs through
+/// [`Ppo::train_vec`] with `cfg.ppo.n_envs` parallel env clones.
 pub fn train_cc_adversary(
     env: &mut CcAdversaryEnv,
     cfg: &AdversaryTrainConfig,
 ) -> (Ppo, Vec<TrainReport>) {
     let mut ppo = Ppo::new_gaussian(2, 3, &[4], cfg.init_std, cfg.ppo.clone());
-    let reports = ppo.train(env, cfg.total_steps);
+    let reports = ppo.train_vec(env, cfg.total_steps);
     (ppo, reports)
 }
 

@@ -42,8 +42,10 @@ pub struct AbrEvalData {
 impl AbrEvalData {
     pub fn set(&self, name: &str) -> &TraceSetEval {
         self.sets.iter().find(|s| s.name == name).unwrap_or_else(|| {
-            panic!("no trace set named {name:?} (have: {:?})",
-                self.sets.iter().map(|s| &s.name).collect::<Vec<_>>())
+            panic!(
+                "no trace set named {name:?} (have: {:?})",
+                self.sets.iter().map(|s| &s.name).collect::<Vec<_>>()
+            )
         })
     }
 }
@@ -82,9 +84,8 @@ pub fn run(scale: Scale) -> AbrEvalData {
     // traces so the policy has no catastrophic out-of-distribution holes
     // for the adversary to drive it into.
     eprintln!("[abr_eval] training pensieve ({} steps)...", scale.pensieve_steps());
-    let mut corpus: Vec<traces::Trace> = (0..80)
-        .map(|i| traces::random_abr_trace(1000 + i, 80, 4.0, adv_cfg.latency_ms))
-        .collect();
+    let mut corpus: Vec<traces::Trace> =
+        (0..80).map(|i| traces::random_abr_trace(1000 + i, 80, 4.0, adv_cfg.latency_ms)).collect();
     for i in 0..10u64 {
         let bw = 0.8 + 0.15 * i as f64;
         corpus.push(traces::Trace::new(
@@ -123,16 +124,27 @@ pub fn run(scale: Scale) -> AbrEvalData {
     let (mpc_adv, _) = train_abr_adversary(&mut mpc_env, &train_cfg);
 
     eprintln!("[abr_eval] training adversary vs Pensieve ({} steps)...", train_cfg.total_steps);
-    let mut pen_env =
-        AbrAdversaryEnv::new(pensieve.clone(), video.clone(), adv_cfg.clone());
+    let mut pen_env = AbrAdversaryEnv::new(pensieve.clone(), video.clone(), adv_cfg.clone());
     let (pen_adv, _) = train_abr_adversary(&mut pen_env, &train_cfg);
 
     // ---- 3. trace sets
     eprintln!("[abr_eval] generating {n} traces per set...");
-    let mpc_traces =
-        generate_abr_traces_with(&mut mpc_env, &mpc_adv.policy, mpc_adv.obs_norm.as_ref(), n, false, 7001);
-    let pen_traces =
-        generate_abr_traces_with(&mut pen_env, &pen_adv.policy, pen_adv.obs_norm.as_ref(), n, false, 7002);
+    let mpc_traces = generate_abr_traces_with(
+        &mut mpc_env,
+        &mpc_adv.policy,
+        mpc_adv.obs_norm.as_ref(),
+        n,
+        false,
+        7001,
+    );
+    let pen_traces = generate_abr_traces_with(
+        &mut pen_env,
+        &pen_adv.policy,
+        pen_adv.obs_norm.as_ref(),
+        n,
+        false,
+        7002,
+    );
     let random_traces = random_abr_traces(n, video.n_chunks(), 7003);
 
     // ---- 4. cross-evaluation
@@ -146,6 +158,10 @@ pub fn run(scale: Scale) -> AbrEvalData {
 }
 
 /// Replay every protocol on every trace of a set.
+///
+/// Replays are independent (`run_session` resets the protocol per trace),
+/// so each protocol's traces fan out over [`exec::par_map`] with a fresh
+/// protocol instance per replay; QoE vectors stay in trace order.
 pub fn evaluate_set(
     name: &str,
     traces_in: Vec<AbrTrace>,
@@ -154,16 +170,17 @@ pub fn evaluate_set(
     cfg: &AbrAdversaryConfig,
 ) -> TraceSetEval {
     let mut qoe = BTreeMap::new();
-    let mut protos: Vec<(&str, Box<dyn AbrPolicy>)> = vec![
-        ("pensieve", Box::new(pensieve.clone())),
-        ("mpc", Box::new(Mpc::default())),
-        ("bb", Box::new(BufferBased::pensieve_defaults())),
+    type Factory<'a> = Box<dyn Fn() -> Box<dyn AbrPolicy> + Sync + 'a>;
+    let protos: Vec<(&str, Factory)> = vec![
+        ("pensieve", Box::new(|| Box::new(pensieve.clone()))),
+        ("mpc", Box::new(|| Box::new(Mpc::default()))),
+        ("bb", Box::new(|| Box::new(BufferBased::pensieve_defaults()))),
     ];
-    for (pname, proto) in protos.iter_mut() {
-        let values: Vec<f64> = traces_in
-            .iter()
-            .map(|t| replay_abr_trace(t, proto.as_mut(), video, cfg))
-            .collect();
+    for (pname, make) in &protos {
+        let values = exec::par_map(traces_in.clone(), exec::default_workers(), |_, t| {
+            let mut proto = make();
+            replay_abr_trace(&t, proto.as_mut(), video, cfg)
+        });
         qoe.insert(pname.to_string(), values);
     }
     TraceSetEval { name: name.to_string(), traces: traces_in, qoe }
@@ -187,7 +204,7 @@ mod tests {
         let ts = random_abr_traces(4, 48, 3);
         let eval = evaluate_set("random", ts, &pensieve, &video, &cfg);
         assert_eq!(eval.qoe.len(), 3);
-        for (_, v) in &eval.qoe {
+        for v in eval.qoe.values() {
             assert_eq!(v.len(), 4);
             assert!(v.iter().all(|q| q.is_finite()));
         }

@@ -14,8 +14,8 @@
 use abr::{Mpc, QoeParams, Video};
 use adv_bench::{banner, results_dir, Scale};
 use adversary::{
-    generate_abr_traces_with, replay_abr_trace_detailed, train_abr_adversary,
-    AbrAdversaryConfig, AbrAdversaryEnv, AdversaryTrainConfig,
+    generate_abr_traces_with, replay_abr_trace_detailed, train_abr_adversary, AbrAdversaryConfig,
+    AbrAdversaryEnv, AdversaryTrainConfig,
 };
 
 struct GoalResult {

@@ -24,10 +24,7 @@ fn main() {
     let steps = scale.adversary_steps() / 3;
     let n_traces = 20;
 
-    println!(
-        "{:>10} {:>14} {:>14} {:>14}",
-        "lambda", "bb_qoe", "opt_gap/chunk", "mean |Δbw|"
-    );
+    println!("{:>10} {:>14} {:>14} {:>14}", "lambda", "bb_qoe", "opt_gap/chunk", "mean |Δbw|");
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
     for lambda in [0.0, 0.25, 1.0, 4.0] {
         let cfg = AbrAdversaryConfig { smoothing_coef: lambda, ..AbrAdversaryConfig::default() };
@@ -50,20 +47,13 @@ fn main() {
         let mut jump = 0.0;
         for t in &traces {
             let q = replay_abr_trace(t, &mut BufferBased::pensieve_defaults(), &video, &cfg);
-            let (opt, _) =
-                abr::optimal_qoe_dp(&video, &cfg.qoe, t, cfg.latency_ms / 1000.0);
+            let (opt, _) = abr::optimal_qoe_dp(&video, &cfg.qoe, t, cfg.latency_ms / 1000.0);
             bb_qoe += q;
             gap += opt / video.n_chunks() as f64 - q;
-            jump += t.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>()
-                / (t.len() - 1) as f64;
+            jump += t.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (t.len() - 1) as f64;
         }
         let n = n_traces as f64;
-        println!(
-            "{lambda:>10.2} {:>14.3} {:>14.3} {:>14.3}",
-            bb_qoe / n,
-            gap / n,
-            jump / n
-        );
+        println!("{lambda:>10.2} {:>14.3} {:>14.3} {:>14.3}", bb_qoe / n, gap / n, jump / n);
         rows.push((format!("lambda_{lambda}|bb_qoe"), 0.0, bb_qoe / n));
         rows.push((format!("lambda_{lambda}|opt_gap"), 0.0, gap / n));
         rows.push((format!("lambda_{lambda}|mean_bw_jump"), 0.0, jump / n));

@@ -20,15 +20,31 @@ fn budget(scale: Scale) -> usize {
     scale.adversary_steps() / 3
 }
 
-fn best_random(target: &mut dyn AbrPolicy, video: &Video, cfg: &AbrAdversaryConfig, chunks: usize) -> f64 {
+/// Random-search baseline. Scoring a trace is independent of every other
+/// trace, so the candidates fan out over [`exec::par_map`], each worker
+/// scoring against its own clone of the target.
+fn best_random<P: AbrPolicy + Clone + Send + Sync>(
+    target: &P,
+    video: &Video,
+    cfg: &AbrAdversaryConfig,
+    chunks: usize,
+) -> f64 {
     let n_traces = chunks / video.n_chunks();
-    random_abr_traces(n_traces, video.n_chunks(), 77)
-        .iter()
-        .map(|t| score_trace(t, target, video, cfg, 1.0))
-        .fold(f64::NEG_INFINITY, f64::max)
+    let candidates = random_abr_traces(n_traces, video.n_chunks(), 77);
+    exec::par_map(candidates, exec::default_workers(), |_, t| {
+        let mut target = target.clone();
+        score_trace(&t, &mut target, video, cfg, 1.0)
+    })
+    .into_iter()
+    .fold(f64::NEG_INFINITY, f64::max)
 }
 
-fn cem_best(target: &mut dyn AbrPolicy, video: &Video, cfg: &AbrAdversaryConfig, chunks: usize) -> f64 {
+fn cem_best(
+    target: &mut dyn AbrPolicy,
+    video: &Video,
+    cfg: &AbrAdversaryConfig,
+    chunks: usize,
+) -> f64 {
     let evals = chunks / video.n_chunks();
     let population = 64;
     let generations = (evals / population).max(2);
@@ -36,15 +52,14 @@ fn cem_best(target: &mut dyn AbrPolicy, video: &Video, cfg: &AbrAdversaryConfig,
     cem_search(target, video, cfg, &cem).score
 }
 
-fn online_best<P: AbrPolicy + Clone>(
+fn online_best<P: AbrPolicy + Clone + Send>(
     target: P,
     video: &Video,
     cfg: &AbrAdversaryConfig,
     chunks: usize,
 ) -> f64 {
     let mut env = AbrAdversaryEnv::new(target.clone(), video.clone(), cfg.clone());
-    let train_cfg =
-        AdversaryTrainConfig { total_steps: chunks, ..AdversaryTrainConfig::default() };
+    let train_cfg = AdversaryTrainConfig { total_steps: chunks, ..AdversaryTrainConfig::default() };
     let (adv, _) = train_abr_adversary(&mut env, &train_cfg);
     // best of a handful of sampled traces, scored the same way
     let traces =
@@ -67,7 +82,7 @@ fn main() {
 
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
     // BB
-    let r = best_random(&mut BufferBased::pensieve_defaults(), &video, &cfg, chunks);
+    let r = best_random(&BufferBased::pensieve_defaults(), &video, &cfg, chunks);
     let c = cem_best(&mut BufferBased::pensieve_defaults(), &video, &cfg, chunks);
     let o = online_best(BufferBased::pensieve_defaults(), &video, &cfg, chunks);
     println!("{:>10} {r:>12.3} {c:>12.3} {o:>12.3}", "bb");
@@ -75,7 +90,7 @@ fn main() {
         rows.push((format!("bb|{m}"), 0.0, v));
     }
     // MPC
-    let r = best_random(&mut Mpc::default(), &video, &cfg, chunks);
+    let r = best_random(&Mpc::default(), &video, &cfg, chunks);
     let c = cem_best(&mut Mpc::default(), &video, &cfg, chunks);
     let o = online_best(Mpc::default(), &video, &cfg, chunks);
     println!("{:>10} {r:>12.3} {c:>12.3} {o:>12.3}", "mpc");

@@ -11,10 +11,9 @@ use adversary::{
 use cc::Bbr;
 
 fn main() {
-    for (gamma, lambda, std0, steps, seed, repeat) in [
-        (0.99, 0.97, 1.0, 300_000usize, 17u64, 10usize),
-        (0.99, 0.97, 1.0, 300_000, 23, 10),
-    ] {
+    for (gamma, lambda, std0, steps, seed, repeat) in
+        [(0.99, 0.97, 1.0, 300_000usize, 17u64, 10usize), (0.99, 0.97, 1.0, 300_000, 23, 10)]
+    {
         let mut env = CcAdversaryEnv::new(
             Box::new(|| Box::new(Bbr::new())),
             CcAdversaryConfig {

@@ -23,7 +23,7 @@ use adversary::{
 use cc::{Bbr, Copa, Cubic, Reno, Vivace};
 use netsim::{CongestionControl, FlowSim, LinkParams, SimConfig, MS};
 
-type Factory = Box<dyn Fn() -> Box<dyn CongestionControl>>;
+type Factory = Box<dyn Fn() -> Box<dyn CongestionControl> + Send + Sync>;
 
 fn protocols() -> Vec<(&'static str, Factory)> {
     vec![
@@ -54,68 +54,83 @@ fn main() {
     banner(&format!("Extension — CC adversary cross matrix ({} scale)", scale.tag()));
     let steps = scale.adversary_steps().clamp(150_000, 300_000);
 
-    // one adversary per target protocol
-    let mut schedules: Vec<(&'static str, Vec<LinkParams>)> = Vec::new();
-    for (i, (name, _)) in protocols().iter().enumerate() {
-        eprintln!("[ext_cc_cross] training adversary vs {name} ({steps} steps)...");
-        let factory: Factory = match *name {
-            "bbr" => Box::new(|| Box::new(Bbr::new())),
-            "cubic" => Box::new(|| Box::new(Cubic::new())),
-            "reno" => Box::new(|| Box::new(Reno::new())),
-            "copa" => Box::new(|| Box::new(Copa::new())),
-            _ => Box::new(|| Box::new(Vivace::new())),
-        };
-        // the tuned recipe from cc_adv: 300 ms action persistence and wide
-        // initial exploration (see EXPERIMENTS.md Fig. 5 notes)
-        let mut env = CcAdversaryEnv::new(
-            factory,
-            CcAdversaryConfig {
-                episode_steps: 100,
-                action_repeat: 10,
-                ..CcAdversaryConfig::default()
-            },
-        );
-        let cfg = AdversaryTrainConfig {
-            total_steps: steps,
-            ppo: rl::PpoConfig {
-                n_steps: 6000,
-                minibatch_size: 250,
-                epochs: 8,
-                lr: 3e-4,
-                gamma: 0.99,
-                lambda: 0.97,
-                ent_coef: 0.0005,
-                seed: 23 + i as u64,
-                ..rl::PpoConfig::default()
-            },
-            init_std: 1.0,
-        };
-        let (ppo, _) = train_cc_adversary(&mut env, &cfg);
-        let trace =
-            generate_cc_trace_with(&mut env, &ppo.policy, ppo.obs_norm.as_ref(), false, 900 + i as u64);
-        schedules.push((name, trace.params));
-    }
+    // one adversary per target protocol; the five training runs are
+    // independent, so they fan out over exec::par_map (each with its own
+    // fixed seed — results are in protocol order and scheduling-invariant)
+    let names: Vec<&'static str> = protocols().iter().map(|(n, _)| *n).collect();
+    let mut schedules: Vec<(&'static str, Vec<LinkParams>)> =
+        exec::par_map(names, exec::default_workers(), |i, name| {
+            eprintln!("[ext_cc_cross] training adversary vs {name} ({steps} steps)...");
+            let factory: Factory = match name {
+                "bbr" => Box::new(|| Box::new(Bbr::new())),
+                "cubic" => Box::new(|| Box::new(Cubic::new())),
+                "reno" => Box::new(|| Box::new(Reno::new())),
+                "copa" => Box::new(|| Box::new(Copa::new())),
+                _ => Box::new(|| Box::new(Vivace::new())),
+            };
+            // the tuned recipe from cc_adv: 300 ms action persistence and
+            // wide initial exploration (see EXPERIMENTS.md Fig. 5 notes)
+            let mut env = CcAdversaryEnv::new(
+                factory,
+                CcAdversaryConfig {
+                    episode_steps: 100,
+                    action_repeat: 10,
+                    ..CcAdversaryConfig::default()
+                },
+            );
+            let cfg = AdversaryTrainConfig {
+                total_steps: steps,
+                ppo: rl::PpoConfig {
+                    n_steps: 6000,
+                    minibatch_size: 250,
+                    epochs: 8,
+                    lr: 3e-4,
+                    gamma: 0.99,
+                    lambda: 0.97,
+                    ent_coef: 0.0005,
+                    seed: 23 + i as u64,
+                    ..rl::PpoConfig::default()
+                },
+                init_std: 1.0,
+            };
+            let (ppo, _) = train_cc_adversary(&mut env, &cfg);
+            let trace = generate_cc_trace_with(
+                &mut env,
+                &ppo.policy,
+                ppo.obs_norm.as_ref(),
+                false,
+                900 + i as u64,
+            );
+            (name, trace.params)
+        });
     // loss-free random baseline (bandwidth/latency jitter only)
     let rnd = traces::random_cc_trace(912, 1000);
-    let random_params: Vec<LinkParams> = rnd
-        .segments
-        .iter()
-        .map(|s| LinkParams::new(s.bandwidth_mbps, s.latency_ms, 0.0))
-        .collect();
+    let random_params: Vec<LinkParams> =
+        rnd.segments.iter().map(|s| LinkParams::new(s.bandwidth_mbps, s.latency_ms, 0.0)).collect();
     schedules.push(("random(no-loss)", random_params));
 
-    // the matrix
+    // the matrix: every (schedule, protocol) replay is independent, so
+    // all cells run in parallel and come back in row-major order
     let protos = protocols();
+    let cells: Vec<(usize, usize)> =
+        (0..schedules.len()).flat_map(|a| (0..protos.len()).map(move |p| (a, p))).collect();
+    let schedules_ref = &schedules;
+    let protos_ref = &protos;
+    let utils = exec::par_map(cells, exec::default_workers(), |_, (a, p)| {
+        replay(&schedules_ref[a].1, protos_ref[p].1.as_ref())
+    });
+
     print!("\n{:>16}", "adversary \\ run");
     for (pname, _) in &protos {
         print!(" {pname:>8}");
     }
     println!();
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
-    for (aname, params) in &schedules {
+    let mut cell = utils.into_iter();
+    for (aname, _) in &schedules {
         print!("{aname:>16}");
-        for (pname, make) in &protos {
-            let u = replay(params, make.as_ref());
+        for (pname, _) in &protos {
+            let u = cell.next().expect("one utilization per matrix cell");
             print!(" {:>7.1}%", 100.0 * u);
             rows.push((format!("{aname}->{pname}"), 0.0, u));
         }

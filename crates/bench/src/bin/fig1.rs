@@ -34,8 +34,7 @@ fn main() {
             }
         }
         let path = results_dir().join(format!("fig1{sub}.csv"));
-        traces::io::write_csv_series(&path, "protocol,qoe,cdf", &rows)
-            .expect("write fig1 csv");
+        traces::io::write_csv_series(&path, "protocol,qoe,cdf", &rows).expect("write fig1 csv");
         println!("wrote {}", path.display());
     }
 

@@ -25,10 +25,7 @@ fn main() {
     ];
 
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
-    println!(
-        "{:>34} {:>8} {:>8} {:>8} {:>14}",
-        "pair", "mean", "p95", "max", "target-worse %"
-    );
+    println!("{:>34} {:>8} {:>8} {:>8} {:>14}", "pair", "mean", "p95", "max", "target-worse %");
     for (label, set_name, target, other) in pairs {
         let set = data.set(set_name);
         let s = RatioSummary::compute(&set.qoe[target], &set.qoe[other]);
@@ -39,9 +36,12 @@ fn main() {
             s.max,
             100.0 * s.target_worse_frac
         );
-        for (stat, v) in
-            [("mean", s.mean), ("p95", s.p95), ("max", s.max), ("target_worse_frac", s.target_worse_frac)]
-        {
+        for (stat, v) in [
+            ("mean", s.mean),
+            ("p95", s.p95),
+            ("max", s.max),
+            ("target_worse_frac", s.target_worse_frac),
+        ] {
             rows.push((format!("{label}|{stat}"), 0.0, v));
         }
     }

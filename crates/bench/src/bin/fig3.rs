@@ -12,8 +12,8 @@
 use abr::{optimal_qoe_dp, AbrPolicy, BufferBased, QoeParams, Video};
 use adv_bench::{banner, results_dir, Scale};
 use adversary::{
-    generate_abr_traces_with, replay_abr_trace_detailed, train_abr_adversary,
-    AbrAdversaryConfig, AbrAdversaryEnv, AdversaryTrainConfig,
+    generate_abr_traces_with, replay_abr_trace_detailed, train_abr_adversary, AbrAdversaryConfig,
+    AbrAdversaryEnv, AdversaryTrainConfig,
 };
 
 fn main() {

@@ -29,8 +29,7 @@ fn main() {
     let broadband_test: Vec<Trace> =
         (0..n as u64).map(|i| fcc_like(10_000 + i, &gen_cfg)).collect();
     let mobile_train: Vec<Trace> = (0..n as u64).map(|i| hsdpa_like(i, &gen_cfg)).collect();
-    let mobile_test: Vec<Trace> =
-        (0..n as u64).map(|i| hsdpa_like(10_000 + i, &gen_cfg)).collect();
+    let mobile_test: Vec<Trace> = (0..n as u64).map(|i| hsdpa_like(10_000 + i, &gen_cfg)).collect();
 
     // keep the adversarial fraction of the corpus modest — the paper
     // injects the traces late precisely "to avoid over-fitting to
@@ -68,11 +67,7 @@ fn main() {
                 let robust = eval_pensieve(robust_model, test_corpus, &video, &qoe);
                 let stats = [
                     ("mean", nn::ops::mean(&base), nn::ops::mean(&robust)),
-                    (
-                        "p5",
-                        nn::ops::percentile(&base, 5.0),
-                        nn::ops::percentile(&robust, 5.0),
-                    ),
+                    ("p5", nn::ops::percentile(&base, 5.0), nn::ops::percentile(&robust, 5.0)),
                 ];
                 for (stat, b, r) in stats {
                     println!(
@@ -83,11 +78,7 @@ fn main() {
                         )
                     );
                     rows.push((format!("{combo}|without_adv|{stat}"), 0.0, b));
-                    rows.push((
-                        format!("{combo}|adv_at_{:.0}|{stat}", inject_at * 100.0),
-                        0.0,
-                        r,
-                    ));
+                    rows.push((format!("{combo}|adv_at_{:.0}|{stat}", inject_at * 100.0), 0.0, r));
                 }
             }
         }

@@ -47,11 +47,7 @@ fn main() {
     let mut rand_capacity = 0.0;
     let mut rand_delivered = 0.0;
     for seg in &random.segments {
-        sim.set_link(netsim::LinkParams::new(
-            seg.bandwidth_mbps,
-            seg.latency_ms,
-            seg.loss_rate,
-        ));
+        sim.set_link(netsim::LinkParams::new(seg.bandwidth_mbps, seg.latency_ms, seg.loss_rate));
         let st = sim.run_for(30 * netsim::MS);
         rand_capacity += st.capacity_bytes;
         rand_delivered += st.delivered_bytes as f64;

@@ -28,7 +28,10 @@ fn main() {
     // are recorded (see EXPERIMENTS.md)
     let played = generate_cc_trace_with(&mut env, &adv.policy, adv.obs_norm.as_ref(), false, 601);
 
-    println!("\n{:>9} {:>10} {:>10} {:>10} {:>12}", "interval", "bw_mbps", "lat_ms", "loss", "tput_mbps");
+    println!(
+        "\n{:>9} {:>10} {:>10} {:>10} {:>12}",
+        "interval", "bw_mbps", "lat_ms", "loss", "tput_mbps"
+    );
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
     for (i, p) in trace.params.iter().enumerate() {
         rows.push(("det_bandwidth_mbps".into(), i as f64, p.bandwidth_mbps));

@@ -29,20 +29,36 @@ fn main() {
     assert_eq!(space.latency_ms, (15.0, 60.0), "paper Table 1: latency");
     assert_eq!(space.loss_rate, (0.0, 0.10), "paper Table 1: loss");
 
-    // fuzz the clipper: no raw action may escape the box
-    let mut rng = StdRng::seed_from_u64(1);
-    for _ in 0..100_000 {
-        let raw = [
-            rng.gen_range(-100.0..100.0),
-            rng.gen_range(-100.0..100.0),
-            rng.gen_range(-10.0..10.0),
-        ];
-        let p = space.to_params(&raw);
-        assert!((6.0..=24.0).contains(&p.bandwidth_mbps));
-        assert!((15.0..=60.0).contains(&p.latency_ms));
-        assert!((0.0..=0.10).contains(&p.loss_rate));
-    }
-    println!("verified against the paper's ranges; 100k random raw actions all clip inside the box");
+    // fuzz the clipper: no raw action may escape the box. The shards run
+    // in parallel via exec::par_map, each on its own seed-split RNG
+    // stream, so the fuzz corpus is identical for any worker count.
+    let shards: Vec<u64> = (0..8).collect();
+    let space_ref = &space;
+    let violations: usize = exec::par_map(shards, exec::default_workers(), |_, shard| {
+        let mut rng = StdRng::seed_from_u64(exec::split_seed(1, shard));
+        let mut bad = 0;
+        for _ in 0..12_500 {
+            let raw = [
+                rng.gen_range(-100.0..100.0),
+                rng.gen_range(-100.0..100.0),
+                rng.gen_range(-10.0..10.0),
+            ];
+            let p = space_ref.to_params(&raw);
+            if !(6.0..=24.0).contains(&p.bandwidth_mbps)
+                || !(15.0..=60.0).contains(&p.latency_ms)
+                || !(0.0..=0.10).contains(&p.loss_rate)
+            {
+                bad += 1;
+            }
+        }
+        bad
+    })
+    .into_iter()
+    .sum();
+    assert_eq!(violations, 0, "raw actions escaped the Table 1 box");
+    println!(
+        "verified against the paper's ranges; 100k random raw actions all clip inside the box"
+    );
 
     let rows = vec![
         ("bandwidth_mbps_min".to_string(), 0.0, space.bandwidth_mbps.0),

@@ -20,7 +20,12 @@ fn sweep_entropy_and_steps() {
         let corpus: Vec<traces::Trace> =
             (0..80).map(|i| traces::random_abr_trace(1000 + i, 80, 4.0, 80.0)).collect();
         let cfg = rl::PpoConfig {
-            n_steps: 1920, minibatch_size: 96, epochs: 5, lr, ent_coef: ent, seed: 41,
+            n_steps: 1920,
+            minibatch_size: 96,
+            epochs: 5,
+            lr,
+            ent_coef: ent,
+            seed: 41,
             ..rl::PpoConfig::default()
         };
         let (p, _, _) = abr::env::train_pensieve(corpus, video.clone(), qoe.clone(), steps, cfg);
@@ -29,8 +34,10 @@ fn sweep_entropy_and_steps() {
     }
     let cfgref = adversary::AbrAdversaryConfig::default();
     let traces_r = adversary::random_abr_traces(30, video.n_chunks(), 999);
-    let mpc: f64 = traces_r.iter()
+    let mpc: f64 = traces_r
+        .iter()
         .map(|t| adversary::replay_abr_trace(t, &mut abr::Mpc::default(), &video, &cfgref))
-        .sum::<f64>() / traces_r.len() as f64;
+        .sum::<f64>()
+        / traces_r.len() as f64;
     println!("mpc reference: {mpc:.3}");
 }

@@ -47,9 +47,15 @@ pub enum BbrState {
     Startup,
     Drain,
     /// `phase` indexes [`PROBE_BW_GAINS`]; `since` is when it began.
-    ProbeBw { phase: usize, since: f64 },
+    ProbeBw {
+        phase: usize,
+        since: f64,
+    },
     /// `since` is entry time; `prior_probe_bw_phase` restores the cycle.
-    ProbeRtt { since: f64, prior_probe_bw_phase: Option<usize> },
+    ProbeRtt {
+        since: f64,
+        prior_probe_bw_phase: Option<usize>,
+    },
 }
 
 /// BBR congestion control.
@@ -202,8 +208,7 @@ impl Bbr {
                 let elapsed = now - since;
                 let advance = if (self.pacing_gain - 0.75).abs() < 1e-9 {
                     // leave the drain phase as soon as the queue is drained
-                    elapsed > self.rt_prop_s()
-                        || (self.inflight_bytes as f64) <= self.bdp_bytes()
+                    elapsed > self.rt_prop_s() || (self.inflight_bytes as f64) <= self.bdp_bytes()
                 } else {
                     elapsed > self.rt_prop_s()
                 };
@@ -236,8 +241,8 @@ impl Bbr {
 
         // ProbeRTT entry: RTprop sample stale
         if !matches!(self.state, BbrState::ProbeRtt { .. }) {
-            let stale = self.rt_prop_est_s.is_finite()
-                && now - self.rt_prop_stamp_s > RTPROP_WINDOW_S;
+            let stale =
+                self.rt_prop_est_s.is_finite() && now - self.rt_prop_stamp_s > RTPROP_WINDOW_S;
             if stale {
                 let prior = match self.state {
                     BbrState::ProbeBw { phase, .. } => Some(phase),

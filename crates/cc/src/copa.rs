@@ -160,13 +160,12 @@ mod tests {
     #[test]
     fn keeps_delay_lower_than_cubic() {
         let run = |cc: Box<dyn netsim::CongestionControl>| {
-            let mut sim =
-                FlowSim::new(cc, LinkParams::new(12.0, 25.0, 0.0), SimConfig::default());
+            let mut sim = FlowSim::new(cc, LinkParams::new(12.0, 25.0, 0.0), SimConfig::default());
             sim.run_for(5 * SEC);
             sim.run_for(10 * SEC).avg_queue_delay_ms
         };
-        let copa_delay = run(Box::new(Copa::new()));
-        let cubic_delay = run(Box::new(crate::Cubic::new()));
+        let copa_delay = run(Box::<Copa>::default());
+        let cubic_delay = run(Box::<crate::Cubic>::default());
         assert!(
             copa_delay < cubic_delay,
             "delay-based Copa ({copa_delay:.1} ms) should hold a smaller queue than Cubic ({cubic_delay:.1} ms)"

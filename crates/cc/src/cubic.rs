@@ -76,11 +76,8 @@ impl CongestionControl for Cubic {
     }
 
     fn on_ack(&mut self, ack: &AckEvent) {
-        self.srtt_s = if self.srtt_s == 0.0 {
-            ack.rtt_s
-        } else {
-            0.875 * self.srtt_s + 0.125 * ack.rtt_s
-        };
+        self.srtt_s =
+            if self.srtt_s == 0.0 { ack.rtt_s } else { 0.875 * self.srtt_s + 0.125 * ack.rtt_s };
         if self.in_slow_start() {
             self.cwnd += 1.0;
             return;

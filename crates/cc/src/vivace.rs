@@ -155,7 +155,7 @@ impl Vivace {
                 // empirical gradient over the 2ε rate spread
                 let grad = (u_up - u_down) / (2.0 * EPSILON * self.rate_mbps).max(1e-6);
                 let mut step = 0.05 * grad; // base step, Mbit/s per utility-unit
-                // confidence amplification on persistent direction
+                                            // confidence amplification on persistent direction
                 if step * self.prev_step_mbps > 0.0 {
                     self.consecutive_same_direction += 1;
                     step *= 1.0 + 0.5 * self.consecutive_same_direction.min(8) as f64;
@@ -293,10 +293,6 @@ mod tests {
                 delivered_at_send: 0,
             });
         }
-        assert!(
-            v.rate_mbps() > 2.0 * r0,
-            "rate should grow from {r0} (now {})",
-            v.rate_mbps()
-        );
+        assert!(v.rate_mbps() > 2.0 * r0, "rate should grow from {r0} (now {})", v.rate_mbps());
     }
 }

@@ -1,57 +1,68 @@
 // Diagnostic: track BBR internals while replaying adversary-like conditions.
 use cc::Bbr;
 use netsim::{AckEvent, CongestionControl, FlowSim, LinkParams, SimConfig, MS};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 struct Spy {
     inner: Bbr,
-    log: Rc<RefCell<Vec<String>>>,
+    log: Arc<Mutex<Vec<String>>>,
     last_log: f64,
 }
 impl CongestionControl for Spy {
-    fn name(&self) -> &str { "spy" }
+    fn name(&self) -> &str {
+        "spy"
+    }
     fn on_ack(&mut self, ack: &AckEvent) {
         self.inner.on_ack(ack);
         if ack.now_s - self.last_log > 0.5 {
             self.last_log = ack.now_s;
-            self.log.borrow_mut().push(format!(
+            self.log.lock().unwrap().push(format!(
                 "t={:5.2} state={:?} btlbw={:6.2}Mbps rtprop={:.0}ms pacing={:6.2}Mbps cwnd={:5.1} rate_sample={:6.2}",
                 ack.now_s, self.inner.state(), self.inner.btl_bw_bps()/1e6,
                 self.inner.rt_prop_s()*1e3, self.inner.pacing_rate_bps()/1e6,
                 self.inner.cwnd_packets(), ack.delivery_rate_bps/1e6));
         }
     }
-    fn on_loss(&mut self, l: usize, t: f64) { self.inner.on_loss(l, t) }
+    fn on_loss(&mut self, l: usize, t: f64) {
+        self.inner.on_loss(l, t)
+    }
     fn on_rto(&mut self, t: f64) {
-        self.log.borrow_mut().push(format!("t={t:5.2} RTO"));
+        self.log.lock().unwrap().push(format!("t={t:5.2} RTO"));
         self.inner.on_rto(t)
     }
-    fn pacing_rate_bps(&self) -> f64 { self.inner.pacing_rate_bps() }
-    fn cwnd_packets(&self) -> f64 { self.inner.cwnd_packets() }
+    fn pacing_rate_bps(&self) -> f64 {
+        self.inner.pacing_rate_bps()
+    }
+    fn cwnd_packets(&self) -> f64 {
+        self.inner.cwnd_packets()
+    }
 }
 
 #[test]
 #[ignore]
 fn spy_on_bbr() {
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let spy = Spy { inner: Bbr::new(), log: log.clone(), last_log: -1.0 };
-    let mut sim = FlowSim::new(Box::new(spy), LinkParams::new(20.0, 30.0, 0.10), SimConfig::default());
+    let mut sim =
+        FlowSim::new(Box::new(spy), LinkParams::new(20.0, 30.0, 0.10), SimConfig::default());
     for i in 0..500 {
         let lat = if i % 4 < 2 { 15.0 } else { 60.0 };
         sim.set_link(LinkParams::new(22.0, lat, 0.10));
         sim.run_for(30 * MS);
     }
-    for line in log.borrow().iter() { println!("{line}"); }
+    for line in log.lock().unwrap().iter() {
+        println!("{line}");
+    }
 }
 
 #[test]
 #[ignore]
 fn recovery_after_crush() {
     use rand::{Rng, SeedableRng};
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     let spy = Spy { inner: Bbr::new(), log: log.clone(), last_log: -1.0 };
-    let mut sim = FlowSim::new(Box::new(spy), LinkParams::new(20.0, 30.0, 0.0), SimConfig::default());
+    let mut sim =
+        FlowSim::new(Box::new(spy), LinkParams::new(20.0, 30.0, 0.0), SimConfig::default());
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     // phase 1: 5 s crush (latency oscillation + loss)
     for i in 0..167 {
@@ -60,15 +71,19 @@ fn recovery_after_crush() {
         sim.run_for(30 * MS);
     }
     // phase 2: 20 s of mild jitter (like the noisy learned policy)
-    let mut total_del = 0u64; let mut total_cap = 0.0;
+    let mut total_del = 0u64;
+    let mut total_cap = 0.0;
     for _ in 0..667 {
         let bw = rng.gen_range(20.0..24.0);
         let lat = rng.gen_range(50.0..60.0);
         let loss = if rng.gen::<f64>() < 0.1 { 0.04 } else { 0.0 };
         sim.set_link(LinkParams::new(bw, lat, loss));
         let st = sim.run_for(30 * MS);
-        total_del += st.delivered_bytes; total_cap += st.capacity_bytes;
+        total_del += st.delivered_bytes;
+        total_cap += st.capacity_bytes;
     }
-    for line in log.borrow().iter() { println!("{line}"); }
+    for line in log.lock().unwrap().iter() {
+        println!("{line}");
+    }
     println!("phase-2 utilization: {:.1}%", 100.0 * total_del as f64 / total_cap);
 }

@@ -4,7 +4,8 @@ use netsim::{FlowSim, LinkParams, SimConfig, MS};
 #[test]
 #[ignore]
 fn probe() {
-    let mut sim = FlowSim::new(Box::new(Bbr::new()), LinkParams::new(12.0, 25.0, 0.0), SimConfig::default());
+    let mut sim =
+        FlowSim::new(Box::new(Bbr::new()), LinkParams::new(12.0, 25.0, 0.0), SimConfig::default());
     for i in 0..100 {
         let st = sim.run_for(100 * MS);
         if i % 2 == 0 {

@@ -26,7 +26,11 @@ fn run(steps: usize, mut ctl: impl FnMut(usize, f64, f64) -> LinkParams) -> f64 
 fn sweep_probe_starvation_threshold() {
     for thr in [0.3, 0.45, 0.55, 0.7, 0.85] {
         let u = run(1000, |_, util, _| {
-            if util > thr { LinkParams::new(6.0, 30.0, 0.0) } else { LinkParams::new(24.0, 30.0, 0.0) }
+            if util > thr {
+                LinkParams::new(6.0, 30.0, 0.0)
+            } else {
+                LinkParams::new(24.0, 30.0, 0.0)
+            }
         });
         println!("starve thr={thr}: util {:.1}%", u * 100.0);
     }
@@ -38,14 +42,22 @@ fn sweep_rtprop_pin() {
     // pin by periodic dips instead of threshold-reactive
     for period in [100usize, 200, 300] {
         let u = run(1000, |i, _, _| {
-            if i % period < 2 { LinkParams::new(24.0, 15.0, 0.0) } else { LinkParams::new(24.0, 60.0, 0.0) }
+            if i % period < 2 {
+                LinkParams::new(24.0, 15.0, 0.0)
+            } else {
+                LinkParams::new(24.0, 60.0, 0.0)
+            }
         });
         println!("pin period={period} (x30ms): util {:.1}%", u * 100.0);
     }
     // threshold-reactive with low trigger
     for thr in [0.3, 0.5, 0.7] {
         let u = run(1000, |_, util, _| {
-            if util > thr { LinkParams::new(24.0, 15.0, 0.0) } else { LinkParams::new(24.0, 60.0, 0.0) }
+            if util > thr {
+                LinkParams::new(24.0, 15.0, 0.0)
+            } else {
+                LinkParams::new(24.0, 60.0, 0.0)
+            }
         });
         println!("pin reactive thr={thr}: util {:.1}%", u * 100.0);
     }

@@ -1,0 +1,241 @@
+//! Offline, in-tree substitute for `criterion` (the subset this workspace
+//! uses): `Criterion::bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize` and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Methodology (simplified from upstream): a short warm-up, then batches of
+//! iterations are timed until a wall-clock budget is exhausted; the report
+//! prints the median, minimum and maximum per-iteration time. Respects
+//! `--bench` CLI filters well enough for `cargo bench <name>` to select
+//! benchmarks, and `CRITERION_MEASURE_MS`/`CRITERION_WARMUP_MS` tune the
+//! budgets (e.g. for CI smoke runs).
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collects per-iteration timings for one benchmark.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    measure_budget: Duration,
+    warmup_budget: Duration,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // warm-up: let caches/allocators settle, estimate per-iter cost
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup_budget {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        let per_iter = warm_start
+            .elapsed()
+            .checked_div(iters.max(1) as u32)
+            .unwrap_or(Duration::from_nanos(1));
+        // batch enough iterations that one sample is ≥ ~50 µs of work
+        let batch = (Duration::from_micros(50).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u32;
+        let start = Instant::now();
+        while start.elapsed() < self.measure_budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / batch);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warmup_budget {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let start = Instant::now();
+        let mut spent = Duration::ZERO;
+        while spent < self.measure_budget && start.elapsed() < 4 * self.measure_budget {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            let dt = t0.elapsed();
+            self.samples.push(dt);
+            spent += dt;
+        }
+    }
+}
+
+/// Benchmark registry/driver (subset of upstream `Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    measure_budget: Duration,
+    warmup_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = |var: &str, default_ms: u64| {
+            Duration::from_millis(
+                std::env::var(var).ok().and_then(|s| s.parse().ok()).unwrap_or(default_ms),
+            )
+        };
+        Criterion {
+            filter: None,
+            measure_budget: ms("CRITERION_MEASURE_MS", 400),
+            warmup_budget: ms("CRITERION_WARMUP_MS", 100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Honor `cargo bench -- <filter>`-style positional filters.
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut positional = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                // harness flags libtest/criterion accept; ignore values
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "--exact" => {}
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" => {
+                    let _ = it.next();
+                }
+                flag if flag.starts_with("--") => {}
+                pos => positional.push(pos.to_string()),
+            }
+        }
+        self.filter = positional.into_iter().next();
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            measure_budget: self.measure_budget,
+            warmup_budget: self.warmup_budget,
+        };
+        f(&mut bencher);
+        report(name, &samples);
+        self
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<44} (no samples collected)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    println!(
+        "{name:<44} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max),
+        samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into one group runner, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        std::env::set_var("CRITERION_MEASURE_MS", "20");
+        std::env::set_var("CRITERION_WARMUP_MS", "5");
+        let mut c = Criterion::default();
+        let mut ran = 0_u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box((0..100).sum::<u64>())
+            })
+        });
+        assert!(ran > 0, "routine never executed");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        std::env::set_var("CRITERION_MEASURE_MS", "10");
+        std::env::set_var("CRITERION_WARMUP_MS", "2");
+        let mut c = Criterion::default();
+        let mut setups = 0_u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1_u64; 64]
+                },
+                |v| std::hint::black_box(v.iter().sum::<u64>()),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(setups > 0, "setup never executed");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.500 ms");
+    }
+}

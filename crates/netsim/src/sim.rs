@@ -34,8 +34,10 @@ pub struct AckEvent {
 ///
 /// Implementations are pure state machines: the simulator calls the `on_*`
 /// notifications and consults [`CongestionControl::pacing_rate_bps`] /
-/// [`CongestionControl::cwnd_packets`] before each transmission.
-pub trait CongestionControl {
+/// [`CongestionControl::cwnd_packets`] before each transmission. `Send` is
+/// a supertrait so simulators (and the adversary environments that own
+/// them) can move across `exec` rollout worker threads.
+pub trait CongestionControl: Send {
     /// Short protocol name ("bbr", "cubic", "reno").
     fn name(&self) -> &str;
 
@@ -338,13 +340,10 @@ impl FlowSim {
         self.acc.packets_delivered += 1;
         self.acc.sojourn_sum_s += to_secs(self.now - pkt.sent_at);
         self.acc.sojourn_samples += 1;
-        let ack_at =
-            (self.now + 2 * self.params.propagation()).max(self.last_ack_arrival + 1);
+        let ack_at = (self.now + 2 * self.params.propagation()).max(self.last_ack_arrival + 1);
         self.last_ack_arrival = ack_at;
-        self.events.push(
-            ack_at,
-            EventKind::AckArrival { seq: pkt.seq, delivered: self.delivered_bytes },
-        );
+        self.events
+            .push(ack_at, EventKind::AckArrival { seq: pkt.seq, delivered: self.delivered_bytes });
         if !self.queue.is_empty() {
             self.start_service();
         }
@@ -369,8 +368,7 @@ impl FlowSim {
         // (b) RACK-style time threshold: anything sent more than
         //     srtt × 1.5 before the packet this ACK confirms must have been
         //     lost (packets are delivered in order by the FIFO bottleneck).
-        let rack_cutoff =
-            pkt.sent_at.saturating_sub((0.5 * self.srtt_s * SEC as f64) as Time);
+        let rack_cutoff = pkt.sent_at.saturating_sub((0.5 * self.srtt_s * SEC as f64) as Time);
         let lost: Vec<u64> = self
             .outstanding
             .iter()
@@ -387,8 +385,7 @@ impl FlowSim {
         let ack = AckEvent {
             now_s: to_secs(self.now),
             rtt_s,
-            delivery_rate_bps: (self.acked_bytes - pkt.delivered_at_send) as f64 * 8.0
-                / span_s,
+            delivery_rate_bps: (self.acked_bytes - pkt.delivered_at_send) as f64 * 8.0 / span_s,
             newly_acked_bytes: pkt.size_bytes,
             inflight_bytes: self.inflight_bytes,
             delivered_bytes: self.acked_bytes,
@@ -412,7 +409,8 @@ impl FlowSim {
             return;
         }
         self.rto_armed_at = self.now;
-        self.events.push(self.now + self.rto_duration(), EventKind::RtoCheck { armed_at: self.now });
+        self.events
+            .push(self.now + self.rto_duration(), EventKind::RtoCheck { armed_at: self.now });
     }
 
     fn rto_check(&mut self, armed_at: Time) {
@@ -571,11 +569,7 @@ mod tests {
         s.run_for(SEC); // settle
         let after = s.run_for(2 * SEC);
         assert!(before.throughput_mbps > 20.0, "{}", before.throughput_mbps);
-        assert!(
-            (after.throughput_mbps - 6.0).abs() < 0.5,
-            "after cut: {}",
-            after.throughput_mbps
-        );
+        assert!((after.throughput_mbps - 6.0).abs() < 0.5, "after cut: {}", after.throughput_mbps);
     }
 
     #[test]

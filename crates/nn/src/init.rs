@@ -48,8 +48,7 @@ mod tests {
     fn init_scale_shrinks_with_fan() {
         let mut rng = StdRng::seed_from_u64(3);
         let big = scaled_gaussian(100, 100, &mut rng);
-        let rms =
-            (big.sq_norm() / (big.rows() * big.cols()) as f64).sqrt();
+        let rms = (big.sq_norm() / (big.rows() * big.cols()) as f64).sqrt();
         let expected = (2.0 / 200.0_f64).sqrt();
         assert!((rms - expected).abs() / expected < 0.2, "rms = {rms}");
     }

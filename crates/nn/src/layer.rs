@@ -63,11 +63,7 @@ pub struct Dense {
 impl Dense {
     /// New layer with orthogonal-ish (scaled Gaussian) init and zero biases.
     pub fn new(inputs: usize, outputs: usize, act: Activation, rng: &mut StdRng) -> Self {
-        Dense {
-            w: init::scaled_gaussian(outputs, inputs, rng),
-            b: vec![0.0; outputs],
-            act,
-        }
+        Dense { w: init::scaled_gaussian(outputs, inputs, rng), b: vec![0.0; outputs], act }
     }
 
     pub fn inputs(&self) -> usize {

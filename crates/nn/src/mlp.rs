@@ -65,10 +65,7 @@ impl Mlp {
 
     /// Total number of scalar parameters.
     pub fn param_count(&self) -> usize {
-        self.layers
-            .iter()
-            .map(|l| l.w.rows() * l.w.cols() + l.b.len())
-            .sum()
+        self.layers.iter().map(|l| l.w.rows() * l.w.cols() + l.b.len()).sum()
     }
 
     /// Allocate a cache sized for this network.
@@ -184,12 +181,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let net = Mlp::new(sizes, act, &mut rng);
         let x: Vec<f64> = (0..sizes[0]).map(|i| (i as f64 * 0.37).sin()).collect();
-        let coeffs: Vec<f64> = (0..*sizes.last().unwrap())
-            .map(|i| 1.0 + 0.5 * i as f64)
-            .collect();
-        let loss = |n: &Mlp| -> f64 {
-            n.forward(&x).iter().zip(coeffs.iter()).map(|(y, c)| y * c).sum()
-        };
+        let coeffs: Vec<f64> = (0..*sizes.last().unwrap()).map(|i| 1.0 + 0.5 * i as f64).collect();
+        let loss =
+            |n: &Mlp| -> f64 { n.forward(&x).iter().zip(coeffs.iter()).map(|(y, c)| y * c).sum() };
 
         let mut cache = net.new_cache();
         net.forward_cached(&x, &mut cache);

@@ -163,11 +163,12 @@ mod tests {
     fn regression_loss_after_training(use_adam: bool) -> (f64, f64) {
         let mut rng = StdRng::seed_from_u64(123);
         let mut net = Mlp::new(&[1, 16, 1], Activation::Tanh, &mut rng);
-        let data: Vec<(f64, f64)> =
-            (0..64).map(|i| {
+        let data: Vec<(f64, f64)> = (0..64)
+            .map(|i| {
                 let x = -1.0 + 2.0 * i as f64 / 63.0;
                 (x, (3.0 * x).sin() * 0.5)
-            }).collect();
+            })
+            .collect();
         let loss = |net: &Mlp| -> f64 {
             data.iter()
                 .map(|(x, y)| {

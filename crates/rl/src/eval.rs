@@ -35,22 +35,14 @@ pub fn rollout_episode<E: Env>(
     rng: &mut StdRng,
 ) -> EpisodeStats {
     let mut raw_obs = env.reset(rng);
-    let mut stats = EpisodeStats {
-        total_reward: 0.0,
-        steps: 0,
-        rewards: Vec::new(),
-        actions: Vec::new(),
-    };
+    let mut stats =
+        EpisodeStats { total_reward: 0.0, steps: 0, rewards: Vec::new(), actions: Vec::new() };
     for _ in 0..max_steps {
         let obs = match obs_norm {
             Some(n) => n.normalize(&raw_obs),
             None => raw_obs.clone(),
         };
-        let action = if deterministic {
-            policy.mode(&obs)
-        } else {
-            policy.sample(&obs, rng).0
-        };
+        let action = if deterministic { policy.mode(&obs) } else { policy.sample(&obs, rng).0 };
         let step = env.step(&action, rng);
         stats.total_reward += step.reward;
         stats.rewards.push(step.reward);

@@ -54,10 +54,7 @@ impl GaussianPolicy {
     }
 
     fn stds(&self) -> Vec<f64> {
-        self.log_std
-            .iter()
-            .map(|l| l.clamp(LOG_STD_MIN, LOG_STD_MAX).exp())
-            .collect()
+        self.log_std.iter().map(|l| l.clamp(LOG_STD_MIN, LOG_STD_MAX).exp()).collect()
     }
 
     /// Accumulate ∂L/∂θ given upstream coefficients:
@@ -285,8 +282,7 @@ mod tests {
         let obs = [0.5];
         let mean = p.mean_net.forward(&obs)[0];
         let n = 5000;
-        let samples: Vec<f64> =
-            (0..n).map(|_| p.sample(&obs, &mut r).0.vector()[0]).collect();
+        let samples: Vec<f64> = (0..n).map(|_| p.sample(&obs, &mut r).0.vector()[0]).collect();
         let m = samples.iter().sum::<f64>() / n as f64;
         let v = samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
         assert!((m - mean).abs() < 0.02, "sample mean {m} vs {mean}");
@@ -377,12 +373,8 @@ mod tests {
         let p = CategoricalPolicy::new(&[2, 6, 4], &mut r);
         let obs = [1.0, -1.0];
         let probs = p.probs(&obs);
-        let argmax = probs
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let argmax =
+            probs.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(p.mode(&obs).index(), argmax);
     }
 

@@ -46,6 +46,11 @@ pub struct PpoConfig {
     pub normalize_reward: bool,
     /// RNG seed for exploration and shuffling.
     pub seed: u64,
+    /// Parallel environment clones used by [`Ppo::train_vec`]; each collects
+    /// `n_steps / n_envs` transitions per iteration on its own worker
+    /// thread with its own seed-split RNG stream. `1` (the default) selects
+    /// the serial collection path, bit-identical to [`Ppo::train`].
+    pub n_envs: usize,
 }
 
 impl Default for PpoConfig {
@@ -64,6 +69,7 @@ impl Default for PpoConfig {
             normalize_obs: true,
             normalize_reward: true,
             seed: 0,
+            n_envs: 1,
         }
     }
 }
@@ -85,6 +91,14 @@ impl PpoConfig {
         assert!(self.ent_coef >= 0.0, "entropy coefficient must be non-negative");
         assert!(self.vf_coef >= 0.0, "value coefficient must be non-negative");
         assert!(self.max_grad_norm > 0.0, "max_grad_norm must be positive");
+        assert!(self.n_envs >= 1, "n_envs must be at least 1");
+        assert!(
+            self.n_steps.is_multiple_of(self.n_envs),
+            "n_steps ({}) must divide evenly across n_envs ({}) so every \
+             worker collects the same segment length",
+            self.n_steps,
+            self.n_envs
+        );
     }
 }
 
@@ -152,11 +166,23 @@ pub struct TrainReport {
     pub policy_loss: f64,
     /// Mean value loss of the final epoch.
     pub value_loss: f64,
+    /// Environment clones that collected this iteration's rollout.
+    pub n_envs: usize,
+    /// Wall-clock seconds spent collecting the rollout.
+    pub rollout_wall_s: f64,
+    /// Collection throughput: `n_steps / rollout_wall_s`.
+    pub rollout_steps_per_s: f64,
+    /// Wall-clock seconds per worker, in worker order (one entry when
+    /// collection is serial). Timing fields vary run to run; everything
+    /// else in the report is deterministic for a given seed.
+    pub worker_wall_s: Vec<f64>,
 }
 
 /// Write per-iteration training reports as CSV (`iteration,total_steps,
 /// mean_step_reward,mean_episode_reward,episodes,entropy,policy_loss,
-/// value_loss`) — the learning curves behind every trained artifact.
+/// value_loss,n_envs,rollout_wall_s,rollout_steps_per_s`) — the learning
+/// curves behind every trained artifact. Per-worker wall times stay in the
+/// structured [`TrainReport`]; the CSV carries only the aggregate timing.
 pub fn save_reports_csv(
     reports: &[TrainReport],
     path: impl AsRef<std::path::Path>,
@@ -167,11 +193,11 @@ pub fn save_reports_csv(
         }
     }
     let mut out = String::from(
-        "iteration,total_steps,mean_step_reward,mean_episode_reward,episodes,entropy,policy_loss,value_loss\n",
+        "iteration,total_steps,mean_step_reward,mean_episode_reward,episodes,entropy,policy_loss,value_loss,n_envs,rollout_wall_s,rollout_steps_per_s\n",
     );
     for r in reports {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
             r.iteration,
             r.total_steps,
             r.mean_step_reward,
@@ -179,7 +205,10 @@ pub fn save_reports_csv(
             r.episodes_completed,
             r.entropy,
             r.policy_loss,
-            r.value_loss
+            r.value_loss,
+            r.n_envs,
+            r.rollout_wall_s,
+            r.rollout_steps_per_s
         ));
     }
     std::fs::write(path, out)
@@ -203,6 +232,27 @@ pub struct Ppo {
     ret_stats: RunningMeanStd,
     total_steps: usize,
     iteration: usize,
+}
+
+/// Per-worker environment state for [`Ppo::train_vec`]: one env clone, its
+/// own RNG stream, the raw observation carried across iterations, and its
+/// own discounted-return accumulator for reward normalization.
+struct EnvSlot<E> {
+    env: E,
+    rng: StdRng,
+    cur_obs: Option<Vec<f64>>,
+    ret_acc: f64,
+}
+
+/// What one worker hands back from a rollout segment: the raw observations
+/// it acted on (in step order, for the merge-time statistics update),
+/// transitions carrying *raw* rewards, the bootstrap value after the final
+/// transition, and the summed policy entropy.
+struct SegOut {
+    raw_obs: Vec<Vec<f64>>,
+    transitions: Vec<Transition>,
+    last_value: f64,
+    entropy_acc: f64,
 }
 
 impl Ppo {
@@ -253,8 +303,7 @@ impl Ppo {
             PolicyKind::Categorical(_) => None,
         };
         let obs_dim = policy.net().input_dim();
-        let obs_norm =
-            if cfg.normalize_obs { Some(RunningMeanStd::new(obs_dim)) } else { None };
+        let obs_norm = if cfg.normalize_obs { Some(RunningMeanStd::new(obs_dim)) } else { None };
         Ppo {
             policy,
             value,
@@ -296,10 +345,52 @@ impl Ppo {
         reports
     }
 
+    /// Train with `cfg.n_envs` parallel environment clones.
+    ///
+    /// With `n_envs == 1` this delegates to [`Ppo::train`] and is
+    /// bit-identical to it. With `n_envs > 1`, `env` is cloned into
+    /// `n_envs` slots, each driven on its own worker thread with its own
+    /// RNG stream derived from `cfg.seed` via [`exec::split_seed`]; every
+    /// slot collects `n_steps / n_envs` transitions per iteration against
+    /// a frozen snapshot of the policy and observation statistics, and the
+    /// segments are merged in fixed slot order. The result is deterministic
+    /// for a given `(seed, n_envs)` — independent of thread scheduling —
+    /// but numerically different from the serial path, because observation
+    /// statistics update per batch instead of per step.
+    ///
+    /// Slots (env state, RNG streams, episode continuations) persist across
+    /// iterations within one call but are rebuilt per call, so repeated
+    /// invocations with a fresh trainer reproduce exactly.
+    pub fn train_vec<E: Env + Clone + Send>(
+        &mut self,
+        env: &mut E,
+        total_steps: usize,
+    ) -> Vec<TrainReport> {
+        if self.cfg.n_envs <= 1 {
+            return self.train(env, total_steps);
+        }
+        let mut slots: Vec<EnvSlot<E>> = (0..self.cfg.n_envs)
+            .map(|w| EnvSlot {
+                env: env.clone(),
+                rng: StdRng::seed_from_u64(exec::split_seed(self.cfg.seed, w as u64)),
+                cur_obs: None,
+                ret_acc: 0.0,
+            })
+            .collect();
+        let mut reports = Vec::new();
+        let start = self.total_steps;
+        while self.total_steps - start < total_steps {
+            reports.push(self.train_iteration_vec(&mut slots));
+        }
+        reports
+    }
+
     /// One collect + update cycle.
     pub fn train_iteration<E: Env>(&mut self, env: &mut E) -> TrainReport {
         self.iteration += 1;
+        let t0 = std::time::Instant::now();
         let (buf, raw_step_reward, ep_rewards, mean_entropy) = self.collect_rollout(env);
+        let rollout_wall_s = t0.elapsed().as_secs_f64();
         let (policy_loss, value_loss) = self.update(&buf);
         TrainReport {
             iteration: self.iteration,
@@ -310,16 +401,17 @@ impl Ppo {
             entropy: mean_entropy,
             policy_loss,
             value_loss,
+            n_envs: 1,
+            rollout_wall_s,
+            rollout_steps_per_s: self.cfg.n_steps as f64 / rollout_wall_s.max(1e-12),
+            worker_wall_s: vec![rollout_wall_s],
         }
     }
 
     /// Collect `cfg.n_steps` transitions, continuing episodes across
     /// iterations. Returns the buffer (with GAE computed), mean raw step
     /// reward, completed-episode raw rewards, and mean entropy.
-    fn collect_rollout<E: Env>(
-        &mut self,
-        env: &mut E,
-    ) -> (RolloutBuffer, f64, Vec<f64>, f64) {
+    fn collect_rollout<E: Env>(&mut self, env: &mut E) -> (RolloutBuffer, f64, Vec<f64>, f64) {
         let n = self.cfg.n_steps;
         let mut buf = RolloutBuffer::with_capacity(n);
         let mut raw_rewards = Vec::with_capacity(n);
@@ -374,18 +466,182 @@ impl Ppo {
         (buf, mean_raw, ep_rewards, entropy_acc / n as f64)
     }
 
+    /// One collect + update cycle over parallel env slots.
+    fn train_iteration_vec<E: Env + Clone + Send>(
+        &mut self,
+        slots: &mut [EnvSlot<E>],
+    ) -> TrainReport {
+        self.iteration += 1;
+        let t0 = std::time::Instant::now();
+        let (buf, raw_step_reward, ep_rewards, mean_entropy, worker_wall_s) =
+            self.collect_rollout_vec(slots);
+        let rollout_wall_s = t0.elapsed().as_secs_f64();
+        let (policy_loss, value_loss) = self.update(&buf);
+        TrainReport {
+            iteration: self.iteration,
+            total_steps: self.total_steps,
+            mean_step_reward: raw_step_reward,
+            mean_episode_reward: nn::ops::mean(&ep_rewards),
+            episodes_completed: ep_rewards.len(),
+            entropy: mean_entropy,
+            policy_loss,
+            value_loss,
+            n_envs: slots.len(),
+            rollout_wall_s,
+            rollout_steps_per_s: self.cfg.n_steps as f64 / rollout_wall_s.max(1e-12),
+            worker_wall_s,
+        }
+    }
+
+    /// Collect `cfg.n_steps` transitions split evenly across `slots`, each
+    /// slot stepped on its own worker thread against a read-only snapshot
+    /// of the policy, value net, and observation statistics.
+    ///
+    /// Workers record *raw* rewards and frozen-normalized observations;
+    /// everything order-sensitive — observation-statistics updates, reward
+    /// scaling against the shared return std, GAE, advantage
+    /// normalization — happens at merge time in fixed slot order, which is
+    /// what makes the result independent of thread scheduling. Returns the
+    /// merged buffer, mean raw step reward, completed-episode raw rewards,
+    /// mean entropy, and per-worker wall-clock seconds.
+    fn collect_rollout_vec<E: Env + Clone + Send>(
+        &mut self,
+        slots: &mut [EnvSlot<E>],
+    ) -> (RolloutBuffer, f64, Vec<f64>, f64, Vec<f64>) {
+        let n = self.cfg.n_steps;
+        let seg = n / slots.len();
+        let policy = &self.policy;
+        let value_net = &self.value;
+        let frozen = self.obs_norm.clone();
+
+        let job = |_w: usize, slot: &mut EnvSlot<E>| -> SegOut {
+            let mut raw_obs_log = Vec::with_capacity(seg);
+            let mut transitions = Vec::with_capacity(seg);
+            let mut entropy_acc = 0.0;
+            let mut raw_obs = match slot.cur_obs.take() {
+                Some(o) => o,
+                None => slot.env.reset(&mut slot.rng),
+            };
+            for _ in 0..seg {
+                let obs = match &frozen {
+                    Some(norm) => norm.normalize(&raw_obs),
+                    None => raw_obs.clone(),
+                };
+                let (action, log_prob) = policy.sample(&obs, &mut slot.rng);
+                entropy_acc += policy.entropy(&obs);
+                let value = value_net.value(&obs);
+                let step = slot.env.step(&action, &mut slot.rng);
+                let next_raw = if step.done { slot.env.reset(&mut slot.rng) } else { step.obs };
+                raw_obs_log.push(std::mem::replace(&mut raw_obs, next_raw));
+                transitions.push(Transition {
+                    obs,
+                    action,
+                    // Raw reward; scaled deterministically at merge time.
+                    reward: step.reward,
+                    done: step.done,
+                    log_prob,
+                    value,
+                });
+            }
+            let last_norm = match &frozen {
+                Some(norm) => norm.normalize(&raw_obs),
+                None => raw_obs.clone(),
+            };
+            let last_value = value_net.value(&last_norm);
+            slot.cur_obs = Some(raw_obs);
+            SegOut { raw_obs: raw_obs_log, transitions, last_value, entropy_acc }
+        };
+        let run = exec::run_on_slots(slots, job);
+        let worker_wall_s: Vec<f64> = run.stats.iter().map(|s| s.wall_s).collect();
+
+        // Merge in fixed slot order: batch the observation-statistics
+        // update, then scale rewards sequentially and compute GAE per
+        // segment (each segment bootstraps from its own last value).
+        if let Some(norm) = &mut self.obs_norm {
+            for seg_out in &run.results {
+                for o in &seg_out.raw_obs {
+                    norm.observe(o);
+                }
+            }
+        }
+        let mut buf = RolloutBuffer::with_capacity(n);
+        let mut raw_sum = 0.0;
+        let mut ep_rewards = Vec::new();
+        let mut entropy_total = 0.0;
+        for (slot, seg_out) in slots.iter_mut().zip(run.results) {
+            entropy_total += seg_out.entropy_acc;
+            let mut seg_buf = RolloutBuffer::with_capacity(seg);
+            // Episode-reward accounting restarts each iteration, mirroring
+            // the serial path's treatment of episodes that span iterations.
+            let mut cur_ep_reward = 0.0;
+            for mut t in seg_out.transitions {
+                let raw = t.reward;
+                raw_sum += raw;
+                cur_ep_reward += raw;
+                t.reward = Self::scale_reward_impl(
+                    self.cfg.normalize_reward,
+                    self.cfg.gamma,
+                    &mut slot.ret_acc,
+                    &mut self.ret_stats,
+                    raw,
+                    t.done,
+                );
+                if t.done {
+                    ep_rewards.push(cur_ep_reward);
+                    cur_ep_reward = 0.0;
+                }
+                seg_buf.transitions.push(t);
+            }
+            seg_buf.last_value = seg_out.last_value;
+            seg_buf.compute_gae(self.cfg.gamma, self.cfg.lambda);
+            buf.transitions.extend(seg_buf.transitions);
+            buf.advantages.extend(seg_buf.advantages);
+            buf.returns.extend(seg_buf.returns);
+            self.total_steps += seg;
+        }
+        buf.normalize_advantages();
+        (
+            buf,
+            raw_sum / (seg * slots.len()) as f64,
+            ep_rewards,
+            entropy_total / n as f64,
+            worker_wall_s,
+        )
+    }
+
     /// VecNormalize-style reward scaling by the running std of the
     /// discounted return.
     fn scale_reward(&mut self, r: f64, done: bool) -> f64 {
-        if !self.cfg.normalize_reward {
+        Self::scale_reward_impl(
+            self.cfg.normalize_reward,
+            self.cfg.gamma,
+            &mut self.ret_acc,
+            &mut self.ret_stats,
+            r,
+            done,
+        )
+    }
+
+    /// Shared implementation of [`Ppo::scale_reward`]: the parallel path
+    /// applies it at merge time with each env slot's own discounted-return
+    /// accumulator against the single shared `ret_stats`.
+    fn scale_reward_impl(
+        normalize: bool,
+        gamma: f64,
+        ret_acc: &mut f64,
+        ret_stats: &mut RunningMeanStd,
+        r: f64,
+        done: bool,
+    ) -> f64 {
+        if !normalize {
             return r;
         }
-        self.ret_acc = self.cfg.gamma * self.ret_acc + r;
-        self.ret_stats.observe(&[self.ret_acc]);
+        *ret_acc = gamma * *ret_acc + r;
+        ret_stats.observe(&[*ret_acc]);
         if done {
-            self.ret_acc = 0.0;
+            *ret_acc = 0.0;
         }
-        let std = self.ret_stats.std()[0];
+        let std = ret_stats.std()[0];
         (r / std.max(1e-4)).clamp(-10.0, 10.0)
     }
 
@@ -423,8 +679,7 @@ impl Ppo {
                     let logp_new = self.policy.log_prob(&t.obs, &t.action);
                     let ratio = (logp_new - t.log_prob).exp();
                     let unclipped = ratio * adv;
-                    let clipped =
-                        ratio.clamp(1.0 - self.cfg.clip, 1.0 + self.cfg.clip) * adv;
+                    let clipped = ratio.clamp(1.0 - self.cfg.clip, 1.0 + self.cfg.clip) * adv;
                     let surrogate = unclipped.min(clipped);
                     ploss += -surrogate;
                     // Gradient flows only when the unclipped branch is

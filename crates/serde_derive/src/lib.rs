@@ -1,0 +1,361 @@
+//! Offline, in-tree substitute for `serde_derive`.
+//!
+//! Generates impls of the workspace's Value-tree `serde::Serialize` /
+//! `serde::Deserialize` facade (see `crates/serde`). Because the real
+//! `syn`/`quote` stack cannot be fetched offline, the input item is parsed
+//! directly from the compiler's `proc_macro::TokenStream`:
+//!
+//! * named-field structs — serialized as objects in declaration order;
+//! * enums with unit variants — serialized as the variant-name string;
+//! * enums with newtype variants — serialized as `{"Variant": inner}`.
+//!
+//! That is every shape the workspace derives. Anything fancier (generics,
+//! tuple structs, struct variants, serde attributes) produces a
+//! `compile_error!` naming what is unsupported, so a future use of an
+//! uncovered feature fails loudly at the definition site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match which {
+            Which::Serialize => gen_serialize(&item),
+            Which::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<(String, VariantKind)> },
+}
+
+#[derive(PartialEq)]
+enum VariantKind {
+    Unit,
+    Newtype,
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    i: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { toks: stream.into_iter().collect(), i: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    /// Skip `#[...]` attributes (including expanded doc comments).
+    fn skip_attrs(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.i += 1; // '#'
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Bracket {
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.i += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.i += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("serde_derive: expected {what}, found {other:?}")),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+    let kw = c.expect_ident("`struct` or `enum`")?;
+    let name = c.expect_ident("type name")?;
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive (in-tree stub): generic type `{name}` is not supported"
+            ));
+        }
+    }
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "serde_derive (in-tree stub): `{name}` must have a braced body \
+                 (tuple/unit structs are not supported)"
+            ))
+        }
+    };
+    match kw.as_str() {
+        "struct" => Ok(Item::Struct { name, fields: parse_fields(body)? }),
+        "enum" => Ok(Item::Enum { name, variants: parse_variants(body)? }),
+        other => Err(format!("serde_derive: cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        let field = c.expect_ident("field name")?;
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("serde_derive: expected `:` after field `{field}`")),
+        }
+        // skip the type: commas nested in `<...>` are not field separators
+        let mut angle_depth = 0_i32;
+        while let Some(tok) = c.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        c.i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            c.i += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, VariantKind)>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident("variant name")?;
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let payload = Cursor::new(g.stream());
+                let mut depth = 0_i32;
+                for tok in &payload.toks {
+                    if let TokenTree::Punct(p) = tok {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 => {
+                                return Err(format!(
+                                    "serde_derive (in-tree stub): multi-field tuple variant \
+                                     `{name}` is not supported"
+                                ))
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                c.i += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde_derive (in-tree stub): struct variant `{name}` is not supported"
+                ))
+            }
+            _ => VariantKind::Unit,
+        };
+        // skip an optional `= discriminant`, then the separating comma
+        while let Some(tok) = c.peek() {
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    c.i += 1;
+                    break;
+                }
+            }
+            c.i += 1;
+        }
+        variants.push((name, kind));
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, kind)| match kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    ),
+                    VariantKind::Newtype => format!(
+                        "{name}::{v}(inner) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({v:?}), \
+                              ::serde::Serialize::to_value(inner)),\
+                         ]),"
+                    ),
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(v, {f:?}))\
+                             .map_err(|e| ::serde::field_err({name:?}, {f:?}, e))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if v.as_object().is_none() {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::concat!(\"expected object for \", {name:?})));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, k)| *k == VariantKind::Unit)
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let newtype_arms: String = variants
+                .iter()
+                .filter(|(_, k)| *k == VariantKind::Newtype)
+                .map(|(v, _)| {
+                    format!(
+                        "{v:?} => ::std::result::Result::Ok(\
+                             {name}::{v}(::serde::Deserialize::from_value(inner)?)),"
+                    )
+                })
+                .collect();
+            let str_arm = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant {{other:?}} for {name}\"))),\n\
+                     }},"
+                )
+            };
+            let obj_arm = if newtype_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         match tag.as_str() {{\n\
+                             {newtype_arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown variant {{other:?}} for {name}\"))),\n\
+                         }}\n\
+                     }}"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             {str_arm}\n\
+                             {obj_arm}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"invalid value {{other:?}} for enum {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! Offline, in-tree substitute for `serde_json` (the subset this workspace
+//! uses): [`to_string`], [`to_string_pretty`] and [`from_str`] over the
+//! `serde` facade's [`Value`] tree.
+//!
+//! Wire compatibility notes:
+//! * floats print via Rust's shortest-roundtrip `Display`, so every value
+//!   re-parses bit-exactly (the behavior the workspace previously got from
+//!   serde_json's `float_roundtrip` feature);
+//! * NaN/Infinity serialize as `null` (as upstream serde_json does for
+//!   non-finite floats in lossy mode) and `null` deserializes to NaN when a
+//!   float is requested — `TrainReport.mean_episode_reward` relies on this;
+//! * the parser accepts the full JSON grammar, including everything in the
+//!   cached artifacts under `results/`.
+
+pub use serde::Error;
+use serde::Value;
+
+/// Serialize to compact JSON. Infallible for tree-shaped data; the
+/// `Result` mirrors the upstream signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to human-readable JSON with two-space indentation.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into any `serde::Deserialize` type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = Parser::new(s).parse_document()?;
+    T::from_value(&value)
+}
+
+// ------------------------------------------------------------------ writer
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(unit) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(unit);
+        }
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    // Rust's Display is shortest-roundtrip; integral floats print without a
+    // fraction ("4"), which re-parses as an integer Value — the serde
+    // facade's numeric Deserialize impls accept either representation.
+    out.push_str(&x.to_string());
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ------------------------------------------------------------------ parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn parse_document(&mut self) -> Result<Value, Error> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters after JSON document"));
+        }
+        Ok(v)
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::custom(format!("JSON parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("invalid literal, expected `{lit}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.err(&format!("unexpected character {:?}", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            // surrogate pairs for astral-plane characters
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.parse_hex4()?;
+                                    let combined = 0x10000
+                                        + (((cp - 0xD800) as u32) << 10)
+                                        + (lo - 0xDC00) as u32;
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp as u32)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                        }
+                        other => {
+                            return Err(self.err(&format!("invalid escape \\{}", other as char)))
+                        }
+                    }
+                }
+                // multi-byte UTF-8: copy the full sequence through
+                b if b < 0x80 => out.push(b as char),
+                b => {
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid UTF-8 in string")),
+                    };
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, Error> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|c| std::str::from_utf8(c).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let cp = u16::from_str_radix(chunk, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Some(digits) = text.strip_prefix('-') {
+                if let Ok(n) = digits.parse::<u64>() {
+                    if n == 0 {
+                        return Ok(Value::F64(-0.0)); // keep the sign bit of -0
+                    }
+                    if let Ok(i) = i64::try_from(n) {
+                        return Ok(Value::I64(-i));
+                    }
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>().map(Value::F64).map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(to_string(&1.5_f64).unwrap(), "1.5");
+        assert_eq!(to_string(&4.0_f64).unwrap(), "4");
+        assert_eq!(from_str::<f64>("4").unwrap(), 4.0);
+        assert_eq!(from_str::<f64>("1.5e2").unwrap(), 150.0);
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+        assert_eq!(from_str::<i64>("-12").unwrap(), -12);
+        assert_eq!(to_string(&true).unwrap(), "true");
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        for &x in &[0.1_f64, 1.0 / 3.0, 2.2250738585072014e-308, 1.7976931348623157e308, -0.0] {
+            let back: f64 = from_str(&to_string(&x).unwrap()).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} did not roundtrip");
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_roundtrip() {
+        let s = "a \"quoted\" line\nwith\ttabs \\ and unicode: héllo 🌍".to_string();
+        let back: String = from_str(&to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(from_str::<String>(r#""é🌍""#).unwrap(), "é🌍");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1.0_f64, 2.0_f64), (3.5, -0.25)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[[1,2],[3.5,-0.25]]");
+        let back: Vec<(f64, f64)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+        let opt: Option<Vec<f64>> = None;
+        assert_eq!(to_string(&opt).unwrap(), "null");
+        assert_eq!(from_str::<Option<Vec<f64>>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let v = serde::Value::Object(vec![
+            ("name".into(), serde::Value::Str("trace".into())),
+            (
+                "segments".into(),
+                serde::Value::Array(vec![serde::Value::F64(1.25), serde::Value::Null]),
+            ),
+            ("empty".into(), serde::Value::Array(vec![])),
+        ]);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"segments\": ["));
+        let back: serde::Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn whitespace_and_errors() {
+        assert_eq!(from_str::<Vec<u64>>(" [ 1 , 2 , 3 ] ").unwrap(), vec![1, 2, 3]);
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<Vec<u64>>("[1,]").is_err());
+        assert!(from_str::<bool>("tru").is_err());
+        assert!(from_str::<String>("\"abc").is_err());
+    }
+}

@@ -107,7 +107,12 @@ pub fn hsdpa_like(seed: u64, cfg: &GenConfig) -> Trace {
 /// Random ABR trace: bandwidth uniform in the adversary's action range
 /// (0.8–4.8 Mbit/s per the paper, one draw per chunk slot). This is the
 /// paper's random baseline for Figs. 1c and 2.
-pub fn random_abr_trace(seed: u64, n_segments: usize, granularity_s: f64, latency_ms: f64) -> Trace {
+pub fn random_abr_trace(
+    seed: u64,
+    n_segments: usize,
+    granularity_s: f64,
+    latency_ms: f64,
+) -> Trace {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xab00_0000_0000_0000);
     let segments = (0..n_segments)
         .map(|_| Segment::bw(granularity_s, rng.gen_range(0.8..4.8), latency_ms))
@@ -167,10 +172,7 @@ mod tests {
         let overall = nn_mean(&means);
         assert!(overall < 2.5, "hsdpa-like mean bw = {overall}");
         // at least some traces must contain near-outage conditions
-        let outage_traces = traces
-            .iter()
-            .filter(|t| TraceStats::of(t).min_bandwidth < 0.2)
-            .count();
+        let outage_traces = traces.iter().filter(|t| TraceStats::of(t).min_bandwidth < 0.2).count();
         assert!(outage_traces > 10, "only {outage_traces}/40 traces have outages");
     }
 

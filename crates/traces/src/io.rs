@@ -64,7 +64,15 @@ mod tests {
         let path = dir.join("set.json");
         let traces = vec![
             Trace::new("a", vec![Segment::bw(1.0, 2.0, 30.0)]),
-            Trace::new("b", vec![Segment { duration_s: 0.03, bandwidth_mbps: 10.0, latency_ms: 20.0, loss_rate: 0.05 }]),
+            Trace::new(
+                "b",
+                vec![Segment {
+                    duration_s: 0.03,
+                    bandwidth_mbps: 10.0,
+                    latency_ms: 20.0,
+                    loss_rate: 0.05,
+                }],
+            ),
         ];
         save_traces(&path, &traces).unwrap();
         let back = load_traces(&path).unwrap();

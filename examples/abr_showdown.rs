@@ -6,7 +6,9 @@
 //! cargo run --release --example abr_showdown
 //! ```
 
-use abr::{mean_qoe, run_session, AbrPolicy, BufferBased, Mpc, QoeParams, RateBased, TraceNetwork, Video};
+use abr::{
+    mean_qoe, run_session, AbrPolicy, BufferBased, Mpc, QoeParams, RateBased, TraceNetwork, Video,
+};
 use traces::{fcc_like, hsdpa_like, GenConfig, Trace};
 
 fn protocols() -> Vec<Box<dyn AbrPolicy>> {
@@ -48,8 +50,7 @@ fn main() {
 
     let broadband: Vec<Trace> = (0..40).map(|i| fcc_like(i, &cfg)).collect();
     let mobile: Vec<Trace> = (0..40).map(|i| hsdpa_like(i, &cfg)).collect();
-    let random: Vec<Trace> =
-        (0..40).map(|i| traces::random_abr_trace(i, 80, 4.0, 80.0)).collect();
+    let random: Vec<Trace> = (0..40).map(|i| traces::random_abr_trace(i, 80, 4.0, 80.0)).collect();
 
     eval_corpus("FCC-broadband-like", &broadband, &video, &qoe);
     eval_corpus("Norway-3G-like", &mobile, &video, &qoe);

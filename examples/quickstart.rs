@@ -42,12 +42,7 @@ fn main() {
     // 4. replay: the trace is a reproducible test case
     let mut bb = BufferBased::pensieve_defaults();
     let bb_qoe = replay_abr_trace(&trace, &mut bb, &video, &cfg);
-    let (opt_total, _) = optimal_qoe_dp(
-        &video,
-        &cfg.qoe,
-        &trace,
-        cfg.latency_ms / 1000.0,
-    );
+    let (opt_total, _) = optimal_qoe_dp(&video, &cfg.qoe, &trace, cfg.latency_ms / 1000.0);
     let opt_qoe = opt_total / video.n_chunks() as f64;
 
     // compare with what random traces do

@@ -57,6 +57,9 @@ fn main() {
             );
         }
     }
-    println!("\n({} adversarial traces were injected; at this miniature scale gains", out.adv_traces.len());
+    println!(
+        "\n({} adversarial traces were injected; at this miniature scale gains",
+        out.adv_traces.len()
+    );
     println!("are noisy — the fig4 binary runs the full experiment.)");
 }

@@ -12,8 +12,8 @@
 
 use abr::{AbrPolicy, BufferBased, Mpc, RateBased, Video};
 use adversary::{
-    cem_search, generate_abr_traces, replay_abr_trace, train_abr_adversary,
-    AbrAdversaryConfig, AbrAdversaryEnv, AdversaryTrainConfig, CemConfig,
+    cem_search, generate_abr_traces, replay_abr_trace, train_abr_adversary, AbrAdversaryConfig,
+    AbrAdversaryEnv, AdversaryTrainConfig, CemConfig,
 };
 use std::process::ExitCode;
 use traces::{GenConfig, Trace};
@@ -36,6 +36,50 @@ fn protocol(name: &str) -> Option<Box<dyn AbrPolicy>> {
         "rate" => Some(Box::new(RateBased::default())),
         "mpc" => Some(Box::new(Mpc::default())),
         _ => None,
+    }
+}
+
+/// Closed-world protocol selection for workflows that need a `Clone + Send`
+/// target (adversary training fans the env out across rollout workers).
+#[derive(Clone)]
+enum Proto {
+    Bb(BufferBased),
+    Rate(RateBased),
+    Mpc(Mpc),
+}
+
+impl Proto {
+    fn parse(name: &str) -> Option<Self> {
+        match name {
+            "bb" => Some(Proto::Bb(BufferBased::pensieve_defaults())),
+            "rate" => Some(Proto::Rate(RateBased::default())),
+            "mpc" => Some(Proto::Mpc(Mpc::default())),
+            _ => None,
+        }
+    }
+}
+
+impl AbrPolicy for Proto {
+    fn name(&self) -> &str {
+        match self {
+            Proto::Bb(p) => p.name(),
+            Proto::Rate(p) => p.name(),
+            Proto::Mpc(p) => p.name(),
+        }
+    }
+    fn select(&mut self, obs: &abr::AbrObservation) -> usize {
+        match self {
+            Proto::Bb(p) => p.select(obs),
+            Proto::Rate(p) => p.select(obs),
+            Proto::Mpc(p) => p.select(obs),
+        }
+    }
+    fn reset(&mut self) {
+        match self {
+            Proto::Bb(p) => p.reset(),
+            Proto::Rate(p) => p.reset(),
+            Proto::Mpc(p) => p.reset(),
+        }
     }
 }
 
@@ -102,8 +146,13 @@ fn stats(args: &[String]) -> ExitCode {
         let s = traces::TraceStats::of(t);
         println!(
             "{:>24} {:>9.1} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>9.4}",
-            t.name, s.duration_s, s.mean_bandwidth, s.min_bandwidth, s.max_bandwidth,
-            s.mean_bw_jump, s.mean_loss
+            t.name,
+            s.duration_s,
+            s.mean_bandwidth,
+            s.min_bandwidth,
+            s.max_bandwidth,
+            s.mean_bw_jump,
+            s.mean_loss
         );
     }
     println!("({} traces)", traces.len());
@@ -122,25 +171,10 @@ fn attack_abr(args: &[String]) -> ExitCode {
     let seed: u64 = parse(args, 5, 0);
     let video = Video::cbr();
     let cfg = AbrAdversaryConfig::default();
-    let Some(target) = protocol(proto) else { return usage() };
-
-    // the environment is generic over the concrete policy; box it behind a
-    // small adapter so one code path serves all protocols
-    struct Dyn(Box<dyn AbrPolicy>);
-    impl AbrPolicy for Dyn {
-        fn name(&self) -> &str {
-            self.0.name()
-        }
-        fn select(&mut self, obs: &abr::AbrObservation) -> usize {
-            self.0.select(obs)
-        }
-        fn reset(&mut self) {
-            self.0.reset()
-        }
-    }
+    let Some(target) = Proto::parse(proto) else { return usage() };
 
     eprintln!("training adversary vs {proto} for {steps} steps (seed {seed})...");
-    let mut env = AbrAdversaryEnv::new(Dyn(target), video.clone(), cfg.clone());
+    let mut env = AbrAdversaryEnv::new(target, video.clone(), cfg.clone());
     let tcfg = AdversaryTrainConfig {
         total_steps: steps,
         ppo: rl::PpoConfig { seed, ..AdversaryTrainConfig::default().ppo },
@@ -206,8 +240,7 @@ fn attack_cem(args: &[String]) -> ExitCode {
         &CemConfig { generations, seed, ..CemConfig::default() },
     );
     println!("best score (opt-gap/chunk − smoothing): {:.3}", outcome.score);
-    let corpus =
-        adversary::abr_traces_to_corpus(&[outcome.trace], &video, cfg.latency_ms, "cem");
+    let corpus = adversary::abr_traces_to_corpus(&[outcome.trace], &video, cfg.latency_ms, "cem");
     if let Err(e) = traces::io::save_traces(out, &corpus) {
         eprintln!("cannot write {out}: {e}");
         return ExitCode::FAILURE;

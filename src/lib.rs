@@ -38,6 +38,7 @@
 pub use abr;
 pub use adversary;
 pub use cc;
+pub use exec;
 pub use netsim;
 pub use nn;
 pub use rl;

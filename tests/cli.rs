@@ -31,10 +31,8 @@ fn unknown_subcommand_fails() {
 fn gen_corpus_and_stats_roundtrip() {
     let dir = tmpdir("corpus");
     let path = dir.join("hsdpa.json");
-    let out = advnet()
-        .args(["gen-corpus", "hsdpa", "4", path.to_str().unwrap(), "7"])
-        .output()
-        .unwrap();
+    let out =
+        advnet().args(["gen-corpus", "hsdpa", "4", path.to_str().unwrap(), "7"]).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(path.exists());
 
@@ -50,10 +48,7 @@ fn gen_corpus_and_stats_roundtrip() {
 fn replay_reports_per_trace_qoe() {
     let dir = tmpdir("replay");
     let path = dir.join("random.json");
-    advnet()
-        .args(["gen-corpus", "random", "3", path.to_str().unwrap(), "1"])
-        .status()
-        .unwrap();
+    advnet().args(["gen-corpus", "random", "3", path.to_str().unwrap(), "1"]).status().unwrap();
     let out = advnet().args(["replay-abr", "mpc", path.to_str().unwrap()]).output().unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -67,19 +62,14 @@ fn cem_attack_writes_a_trace() {
     let dir = tmpdir("cem");
     let path = dir.join("cem.json");
     // tiny search so the test stays fast
-    let out = advnet()
-        .args(["attack-cem", "bb", path.to_str().unwrap(), "3", "5"])
-        .output()
-        .unwrap();
+    let out =
+        advnet().args(["attack-cem", "bb", path.to_str().unwrap(), "3", "5"]).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let traces = traces::io::load_traces(&path).unwrap();
     assert_eq!(traces.len(), 1);
     assert_eq!(traces[0].segments.len(), 48);
     // every bandwidth inside the adversary's action space
-    assert!(traces[0]
-        .segments
-        .iter()
-        .all(|s| (0.8..=4.8).contains(&s.bandwidth_mbps)));
+    assert!(traces[0].segments.iter().all(|s| (0.8..=4.8).contains(&s.bandwidth_mbps)));
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -101,8 +101,7 @@ fn traces_roundtrip_through_json() {
 
     // replay through the chunk-indexed view: segment k's bandwidth is the
     // bandwidth of chunk k
-    let recovered: Vec<f64> =
-        loaded[0].segments.iter().map(|s| s.bandwidth_mbps).collect();
+    let recovered: Vec<f64> = loaded[0].segments.iter().map(|s| s.bandwidth_mbps).collect();
     assert_eq!(recovered, raw[0]);
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -163,8 +162,7 @@ fn eq1_reward_vanishes_for_optimal_play() {
 
     let video = Video::cbr();
     let cfg = AbrAdversaryConfig::default();
-    let mut bb_env =
-        AbrAdversaryEnv::new(BufferBased::pensieve_defaults(), video, cfg);
+    let mut bb_env = AbrAdversaryEnv::new(BufferBased::pensieve_defaults(), video, cfg);
     let mut rng2 = rand::rngs::StdRng::seed_from_u64(0);
     bb_env.reset(&mut rng2);
     let mut bb_rewards = Vec::new();

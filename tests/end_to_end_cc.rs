@@ -47,7 +47,7 @@ fn scripted_probe_attack_reduces_bbr_utilization() {
         let s = env.step(&space.action_for(15.0, 30.0, 0.0), &mut rng);
         benign_util.push(s.obs[0]);
     }
-    let benign = nn::ops::mean(&benign_util[200..].to_vec());
+    let benign = nn::ops::mean(&benign_util[200..]);
 
     // attack: periodically pin RTprop low, otherwise inflate latency
     env.reset(&mut rng);
@@ -61,7 +61,7 @@ fn scripted_probe_attack_reduces_bbr_utilization() {
         let s = env.step(&a, &mut rng);
         attack_util.push(s.obs[0]);
     }
-    let attacked = nn::ops::mean(&attack_util[200..].to_vec());
+    let attacked = nn::ops::mean(&attack_util[200..]);
 
     assert!(benign > 0.85, "benign utilization {benign:.3}");
     assert!(
@@ -110,10 +110,7 @@ fn conditions_are_protocol_specific() {
     };
     let bbr = run(Box::new(Bbr::new()));
     let cubic = run(Box::new(Cubic::new()));
-    assert!(
-        bbr > cubic + 0.25,
-        "2% loss should split BBR ({bbr:.3}) from Cubic ({cubic:.3})"
-    );
+    assert!(bbr > cubic + 0.25, "2% loss should split BBR ({bbr:.3}) from Cubic ({cubic:.3})");
 
     // and the environment happily drives Cubic too
     let mut env = CcAdversaryEnv::new(
