@@ -12,7 +12,8 @@ use crate::qoe::QoeParams;
 use crate::video::Video;
 use rand::rngs::StdRng;
 use rand::Rng;
-use rl::{Action, ActionSpace, Env, Step};
+use rl::{Action, ActionSpace, Env, Snapshot, Step};
+use serde::{Deserialize, Serialize, Value};
 use traces::Trace;
 
 /// Pensieve training environment over a corpus of traces. `Clone` yields
@@ -28,6 +29,20 @@ pub struct AbrTrainEnv {
     pub reward_scale: f64,
     player: Option<Player>,
     net: Option<TraceNetwork>,
+    /// Episode replay log for [`Snapshot`]: which trace/offset the current
+    /// episode started on, and the quality index of every step so far. The
+    /// simulator is deterministic, so (trace, offset, actions) reconstructs
+    /// the player and network exactly.
+    ep: EpisodeLog,
+}
+
+/// Mid-episode position, serialized into training checkpoints.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct EpisodeLog {
+    started: bool,
+    trace_idx: usize,
+    offset: f64,
+    qualities: Vec<usize>,
 }
 
 impl AbrTrainEnv {
@@ -37,7 +52,15 @@ impl AbrTrainEnv {
         for t in &corpus {
             t.validate();
         }
-        AbrTrainEnv { corpus, video, qoe, reward_scale: 1.0, player: None, net: None }
+        AbrTrainEnv {
+            corpus,
+            video,
+            qoe,
+            reward_scale: 1.0,
+            player: None,
+            net: None,
+            ep: EpisodeLog::default(),
+        }
     }
 
     /// Replace the corpus (used by the adversarial-training pipeline when
@@ -73,8 +96,10 @@ impl Env for AbrTrainEnv {
     }
 
     fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
-        let trace = &self.corpus[rng.gen_range(0..self.corpus.len())];
+        let trace_idx = rng.gen_range(0..self.corpus.len());
+        let trace = &self.corpus[trace_idx];
         let offset = rng.gen_range(0.0..trace.duration_s());
+        self.ep = EpisodeLog { started: true, trace_idx, offset, qualities: Vec::new() };
         self.net = Some(TraceNetwork::starting_at(trace, offset));
         self.player = Some(Player::new(&self.video, self.qoe.clone()));
         self.observation()
@@ -84,6 +109,7 @@ impl Env for AbrTrainEnv {
         let player = self.player.as_mut().expect("reset() before step");
         let net = self.net.as_mut().expect("reset() before step");
         let quality = action.index().min(self.video.n_qualities() - 1);
+        self.ep.qualities.push(quality);
         let outcome = player.step(quality, net);
         let done = player.finished();
         let obs = {
@@ -92,6 +118,42 @@ impl Env for AbrTrainEnv {
             pensieve_features(&player.observation(net))
         };
         Step { obs, reward: outcome.qoe * self.reward_scale, done }
+    }
+}
+
+impl Snapshot for AbrTrainEnv {
+    /// The episode log alone pins the full simulator state: the player and
+    /// network are deterministic functions of (trace, offset, actions).
+    fn snapshot(&self) -> Value {
+        self.ep.to_value()
+    }
+
+    /// Rebuild the mid-episode player/network by replaying the recorded
+    /// quality decisions against the recorded trace position.
+    fn restore(&mut self, v: &Value) -> Result<(), serde::Error> {
+        let ep = EpisodeLog::from_value(v)?;
+        if !ep.started {
+            self.player = None;
+            self.net = None;
+            self.ep = ep;
+            return Ok(());
+        }
+        if ep.trace_idx >= self.corpus.len() {
+            return Err(serde::Error::custom(format!(
+                "snapshot trace index {} out of range for corpus of {} traces",
+                ep.trace_idx,
+                self.corpus.len()
+            )));
+        }
+        let mut net = TraceNetwork::starting_at(&self.corpus[ep.trace_idx], ep.offset);
+        let mut player = Player::new(&self.video, self.qoe.clone());
+        for &q in &ep.qualities {
+            player.step(q, &mut net);
+        }
+        self.net = Some(net);
+        self.player = Some(player);
+        self.ep = ep;
+        Ok(())
     }
 }
 
@@ -182,5 +244,61 @@ mod tests {
     #[should_panic(expected = "must not be empty")]
     fn empty_corpus_rejected() {
         AbrTrainEnv::new(vec![], Video::cbr(), QoeParams::default());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_mid_episode_exactly() {
+        let mut env = AbrTrainEnv::new(tiny_corpus(), Video::cbr(), QoeParams::default());
+        let mut rng = StdRng::seed_from_u64(9);
+        env.reset(&mut rng);
+        for q in [0, 3, 1, 5, 2] {
+            env.step(&Action::Discrete(q), &mut rng);
+        }
+
+        // Restore onto a pristine clone and step both in lockstep.
+        let snap = env.snapshot();
+        let mut twin = AbrTrainEnv::new(tiny_corpus(), Video::cbr(), QoeParams::default());
+        twin.restore(&snap).unwrap();
+
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        loop {
+            let a = env.step(&Action::Discrete(2), &mut rng_a);
+            let b = twin.step(&Action::Discrete(2), &mut rng_b);
+            assert_eq!(a.obs, b.obs);
+            assert_eq!(a.reward.to_bits(), b.reward.to_bits());
+            assert_eq!(a.done, b.done);
+            if a.done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_of_unstarted_env_restores_to_unstarted() {
+        let env = AbrTrainEnv::new(tiny_corpus(), Video::cbr(), QoeParams::default());
+        let snap = env.snapshot();
+        let mut other = AbrTrainEnv::new(tiny_corpus(), Video::cbr(), QoeParams::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        other.reset(&mut rng);
+        other.restore(&snap).unwrap();
+        assert!(other.player.is_none() && other.net.is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_out_of_range_trace() {
+        let mut env = AbrTrainEnv::new(tiny_corpus(), Video::cbr(), QoeParams::default());
+        let mut rng = StdRng::seed_from_u64(9);
+        env.reset(&mut rng);
+        let snap = env.snapshot();
+        let mut small =
+            AbrTrainEnv::new(vec![tiny_corpus().remove(0)], Video::cbr(), QoeParams::default());
+        // Force the recorded index out of range for the smaller corpus.
+        if env.ep.trace_idx == 0 {
+            small.restore(&snap).unwrap(); // index 0 still fits
+        }
+        let mut ep = env.ep.clone();
+        ep.trace_idx = 5;
+        assert!(small.restore(&ep.to_value()).is_err());
     }
 }

@@ -17,7 +17,9 @@
 use abr::{AbrPolicy, Network, Player, QoeParams, Video};
 use nn::ops::{scale_from_unit, scale_to_unit};
 use rand::rngs::StdRng;
-use rl::{Action, ActionSpace, Env, Step};
+use rand::SeedableRng;
+use rl::{Action, ActionSpace, Env, Snapshot, Step};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::VecDeque;
 
 /// Features per history entry: bitrate, buffer, 6 chunk sizes, remaining,
@@ -267,7 +269,15 @@ impl<P: AbrPolicy> Env for AbrAdversaryEnv<P> {
     }
 
     fn step(&mut self, action: &Action, _rng: &mut StdRng) -> Step {
-        let bw = bandwidth_from_action(action.vector()[0]);
+        self.advance(bandwidth_from_action(action.vector()[0]))
+    }
+}
+
+impl<P: AbrPolicy> AbrAdversaryEnv<P> {
+    /// One chunk download at the given (already clipped) bandwidth. Split
+    /// out of [`Env::step`] so [`Snapshot::restore`] can replay recorded
+    /// bandwidths bit-exactly, without a lossy action-space roundtrip.
+    fn advance(&mut self, bw: f64) -> Step {
         self.net.push(bw);
         self.episode_bws.push(bw);
 
@@ -298,6 +308,36 @@ impl<P: AbrPolicy> Env for AbrAdversaryEnv<P> {
         self.record_observation();
         let done = self.player.as_ref().expect("player").finished();
         Step { obs: self.flat_observation(), reward, done }
+    }
+}
+
+/// Serialized mid-episode position: everything else (player, window,
+/// history, target state) is a deterministic function of the replayed
+/// bandwidths, since `reset` and `step` draw no randomness.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct AbrAdvSnap {
+    started: bool,
+    bws: Vec<f64>,
+}
+
+impl<P: AbrPolicy> Snapshot for AbrAdversaryEnv<P> {
+    fn snapshot(&self) -> Value {
+        AbrAdvSnap { started: self.player.is_some(), bws: self.episode_bws.clone() }.to_value()
+    }
+
+    fn restore(&mut self, v: &Value) -> Result<(), serde::Error> {
+        let snap = AbrAdvSnap::from_value(v)?;
+        // reset/step ignore the RNG, so a dummy stream is sufficient
+        let mut rng = StdRng::seed_from_u64(0);
+        if !snap.started {
+            self.player = None;
+            return Ok(());
+        }
+        self.reset(&mut rng);
+        for &bw in &snap.bws {
+            self.advance(bw);
+        }
+        Ok(())
     }
 }
 
@@ -393,6 +433,44 @@ mod tests {
         assert!((net.download(1e6) - 4.0).abs() < 1e-9);
         assert!((net.download(1e6) - 2.0).abs() < 1e-9);
         assert!((net.download(1e6) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_mid_episode_exactly() {
+        let mut e = env();
+        let mut rng = StdRng::seed_from_u64(4);
+        e.reset(&mut rng);
+        for bw in [1.0, 4.5, 2.2, 0.9, 3.3] {
+            e.step(&action_for_bandwidth(bw), &mut rng);
+        }
+
+        let snap = e.snapshot();
+        let mut twin = env();
+        twin.restore(&snap).unwrap();
+        assert_eq!(twin.episode_trace(), e.episode_trace());
+        assert_eq!(twin.episode_qoe(), e.episode_qoe());
+
+        loop {
+            let a = e.step(&action_for_bandwidth(2.0), &mut rng);
+            let b = twin.step(&action_for_bandwidth(2.0), &mut rng);
+            assert_eq!(a.obs, b.obs);
+            assert_eq!(a.reward.to_bits(), b.reward.to_bits());
+            assert_eq!(a.done, b.done);
+            if a.done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_of_unstarted_env_restores_to_unstarted() {
+        let e = env();
+        let snap = e.snapshot();
+        let mut other = env();
+        let mut rng = StdRng::seed_from_u64(0);
+        other.reset(&mut rng);
+        other.restore(&snap).unwrap();
+        assert!(other.player.is_none());
     }
 
     #[test]

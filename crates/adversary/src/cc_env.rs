@@ -17,8 +17,9 @@
 use netsim::{CongestionControl, FlowSim, LinkParams, SimConfig, Time, MS};
 use nn::ops::{scale_from_unit, scale_to_unit};
 use rand::rngs::StdRng;
-use rl::{Action, ActionSpace, Env, Step};
-use serde::{Deserialize, Serialize};
+use rand::SeedableRng;
+use rl::{Action, ActionSpace, Env, Snapshot, Step};
+use serde::{Deserialize, Serialize, Value};
 use std::sync::Arc;
 
 /// Adversary control granularity (paper: 30 ms).
@@ -174,6 +175,11 @@ pub struct CcAdversaryEnv {
     last_obs: [f64; 2],
     /// Trace of the current/last episode.
     trace: CcTrace,
+    /// Raw policy actions this episode (flat triples), the replay log for
+    /// [`Snapshot`]: the simulator is seeded per episode and `reset`/`step`
+    /// draw nothing from the policy RNG, so (sim seed, episode, actions)
+    /// reconstructs the full state.
+    ep_actions: Vec<f64>,
 }
 
 impl CcAdversaryEnv {
@@ -191,6 +197,7 @@ impl CcAdversaryEnv {
             ewma_lat: 0.0,
             last_obs: [0.0; 2],
             trace: CcTrace::default(),
+            ep_actions: Vec::new(),
         }
     }
 
@@ -233,6 +240,7 @@ impl Clone for CcAdversaryEnv {
             ewma_lat: 0.0,
             last_obs: [0.0; 2],
             trace: CcTrace::default(),
+            ep_actions: Vec::new(),
         }
     }
 }
@@ -261,10 +269,12 @@ impl Env for CcAdversaryEnv {
         self.ewma_lat = mid.latency_ms;
         self.last_obs = [0.0, 0.0];
         self.trace = CcTrace::default();
+        self.ep_actions.clear();
         vec![0.0, 0.0]
     }
 
     fn step(&mut self, action: &Action, _rng: &mut StdRng) -> Step {
+        self.ep_actions.extend_from_slice(action.vector());
         let p = self.cfg.space.from_unit(action.vector());
         let smoothing = self.smoothing(&p);
         let sim = self.sim.as_mut().expect("reset() before step()");
@@ -297,6 +307,70 @@ impl Env for CcAdversaryEnv {
             reward,
             done: self.step_count >= self.cfg.episode_steps,
         }
+    }
+
+    /// Give each rollout-worker clone its own per-episode simulator seed
+    /// sequence. XORing preserves the user-configured base seed while
+    /// separating the packet-level randomness of sibling workers.
+    fn decorrelate(&mut self, stream_seed: u64) {
+        let mixed = self.cfg.sim.seed ^ stream_seed;
+        self.set_sim_seed(mixed);
+    }
+}
+
+/// Serialized mid-episode position. The simulator itself is not stored:
+/// it is a deterministic function of (sim seed, episode counter, replayed
+/// actions), since `reset` seeds it as `sim_seed ^ episode` and neither
+/// `reset` nor `step` draws from the policy RNG.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct CcAdvSnap {
+    started: bool,
+    sim_seed: u64,
+    episode: u64,
+    /// Flat raw action triples, chunked back into 3-vectors on replay.
+    actions: Vec<f64>,
+}
+
+impl Snapshot for CcAdversaryEnv {
+    fn snapshot(&self) -> Value {
+        CcAdvSnap {
+            started: self.sim.is_some(),
+            sim_seed: self.cfg.sim.seed,
+            episode: self.episode,
+            actions: self.ep_actions.clone(),
+        }
+        .to_value()
+    }
+
+    fn restore(&mut self, v: &Value) -> Result<(), serde::Error> {
+        let snap = CcAdvSnap::from_value(v)?;
+        if !snap.actions.len().is_multiple_of(3) {
+            return Err(serde::Error::custom(format!(
+                "CC action log has {} values, expected a multiple of 3",
+                snap.actions.len()
+            )));
+        }
+        self.cfg.sim.seed = snap.sim_seed;
+        self.episode = snap.episode;
+        if !snap.started {
+            self.sim = None;
+            self.step_count = 0;
+            return Ok(());
+        }
+        if snap.episode == 0 {
+            return Err(serde::Error::custom(
+                "CC snapshot claims a started episode but its counter is 0",
+            ));
+        }
+        // reset() advances the episode counter before seeding, so rewind by
+        // one and let it rebuild the simulator with the recorded seed.
+        self.episode = snap.episode - 1;
+        let mut rng = StdRng::seed_from_u64(0); // reset/step ignore the RNG
+        self.reset(&mut rng);
+        for raw in snap.actions.chunks(3) {
+            self.step(&Action::Continuous(raw.to_vec()), &mut rng);
+        }
+        Ok(())
     }
 }
 
@@ -401,6 +475,76 @@ mod tests {
         assert_eq!(t.segments.len(), 10);
         assert!((t.duration_s() - 0.3).abs() < 1e-9);
         assert_eq!(t.segments[0].bandwidth_mbps, 8.0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_mid_episode_exactly() {
+        let mut e = env(40);
+        let mut rng = StdRng::seed_from_u64(2);
+        // advance into the second episode so the counter matters
+        e.reset(&mut rng);
+        for _ in 0..40 {
+            e.step(&CcActionSpace::default().action_for(9.0, 25.0, 0.01), &mut rng);
+        }
+        e.reset(&mut rng);
+        for i in 0..7 {
+            let bw = 6.0 + i as f64;
+            e.step(&CcActionSpace::default().action_for(bw, 20.0, 0.02), &mut rng);
+        }
+
+        let snap = e.snapshot();
+        let mut twin = env(40);
+        twin.restore(&snap).unwrap();
+
+        for i in 0..10 {
+            let bw = 24.0 - i as f64;
+            let act = CcActionSpace::default().action_for(bw, 40.0, 0.0);
+            let a = e.step(&act, &mut rng);
+            let b = twin.step(&act, &mut rng);
+            assert_eq!(a.obs, b.obs, "step {i}");
+            assert_eq!(a.reward.to_bits(), b.reward.to_bits(), "step {i}");
+            assert_eq!(a.done, b.done, "step {i}");
+        }
+        assert_eq!(e.episode_trace().params.len(), twin.episode_trace().params.len());
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_malformed_logs() {
+        let e = env(10);
+        let snap = e.snapshot(); // unstarted
+        let mut other = env(10);
+        other.restore(&snap).unwrap();
+        assert!(other.sim.is_none());
+
+        let bad = CcAdvSnap { started: true, sim_seed: 1, episode: 1, actions: vec![0.0; 4] };
+        assert!(other.restore(&bad.to_value()).is_err(), "len not a multiple of 3");
+        let bad = CcAdvSnap { started: true, sim_seed: 1, episode: 0, actions: vec![] };
+        assert!(other.restore(&bad.to_value()).is_err(), "started with episode 0");
+    }
+
+    #[test]
+    fn decorrelate_changes_episode_noise_but_stays_deterministic() {
+        let run = |stream_seed: Option<u64>| {
+            let mut e = env(60);
+            if let Some(s) = stream_seed {
+                e.decorrelate(s);
+            }
+            let mut rng = StdRng::seed_from_u64(0);
+            e.reset(&mut rng);
+            let mut total = 0.0;
+            for i in 0..60 {
+                let bw = 6.0 + (i % 13) as f64;
+                total +=
+                    e.step(&CcActionSpace::default().action_for(bw, 20.0, 0.05), &mut rng).reward;
+            }
+            total
+        };
+        assert_eq!(run(Some(11)), run(Some(11)), "decorrelated runs stay deterministic");
+        assert_ne!(
+            run(Some(11)),
+            run(Some(12)),
+            "different stream seeds must draw different packet-level noise"
+        );
     }
 
     #[test]

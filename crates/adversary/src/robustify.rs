@@ -8,12 +8,13 @@
 //! avoid over-fitting to adversarial examples".
 
 use crate::abr_env::{AbrAdversaryConfig, AbrAdversaryEnv};
-use crate::trace_gen::{abr_traces_to_corpus, generate_abr_traces};
-use crate::train::{train_abr_adversary, AdversaryTrainConfig};
+use crate::trace_gen::{abr_traces_to_corpus, try_generate_abr_traces_with};
+use crate::train::{try_train_abr_adversary, AdversaryTrainConfig};
 use abr::env::AbrTrainEnv;
 use abr::protocols::pensieve::PENSIEVE_OBS_DIM;
 use abr::{Pensieve, QoeParams, Video};
-use rl::{Ppo, PpoConfig};
+use rl::{Checkpointer, Ppo, PpoConfig, TrainError};
+use std::path::PathBuf;
 use traces::Trace;
 
 /// Configuration of the adversarial-training experiment (Fig. 4).
@@ -33,6 +34,23 @@ pub struct RobustifyConfig {
     /// Adversary environment settings (QoE, latency, reward window).
     pub adv_env: AbrAdversaryConfig,
     pub seed: u64,
+    /// When set, every training leg of the pipeline (baseline, partial
+    /// protocol, adversary, resumed protocol) writes crash-safe
+    /// checkpoints into this directory and auto-resumes from them on a
+    /// rerun. Delete the directory to start the experiment over.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Iterations between checkpoint writes for every leg.
+    pub checkpoint_every: usize,
+}
+
+impl RobustifyConfig {
+    /// Checkpointer for one named training leg, if checkpointing is on.
+    fn checkpointer(&self, name: &str) -> Option<Checkpointer> {
+        self.checkpoint_dir.as_ref().map(|dir| {
+            let _ = std::fs::create_dir_all(dir);
+            Checkpointer::new(dir.join(format!("{name}.ckpt")), self.checkpoint_every)
+        })
+    }
 }
 
 impl Default for RobustifyConfig {
@@ -52,7 +70,22 @@ impl Default for RobustifyConfig {
             },
             adv_env: AbrAdversaryConfig::default(),
             seed: 0,
+            checkpoint_dir: None,
+            checkpoint_every: 5,
         }
+    }
+}
+
+/// Run one training leg, checkpointed when configured.
+fn train_leg(
+    ppo: &mut Ppo,
+    env: &mut AbrTrainEnv,
+    steps: usize,
+    ck: Option<Checkpointer>,
+) -> Result<(), TrainError> {
+    match ck {
+        Some(ck) => ppo.train_checkpointed(env, steps, &ck).map(|_| ()),
+        None => ppo.try_train_vec(env, steps).map(|_| ()),
     }
 }
 
@@ -83,16 +116,35 @@ pub fn robustify_pensieve(
     qoe: QoeParams,
     cfg: &RobustifyConfig,
 ) -> RobustifyOutcome {
+    try_robustify_pensieve(corpus, video, qoe, cfg)
+        .unwrap_or_else(|e| panic!("robustify pipeline failed: {e}"))
+}
+
+/// Fallible [`robustify_pensieve`]: divergence, worker, and checkpoint
+/// failures surface as [`TrainError`]. With `cfg.checkpoint_dir` set, a
+/// crashed run picks up from its last checkpoints when re-invoked with
+/// the same inputs.
+pub fn try_robustify_pensieve(
+    corpus: Vec<Trace>,
+    video: Video,
+    qoe: QoeParams,
+    cfg: &RobustifyConfig,
+) -> Result<RobustifyOutcome, TrainError> {
     assert!((0.0..1.0).contains(&cfg.inject_at), "inject_at must be in [0,1)");
     // baseline: the full budget on the clean corpus
     let mut baseline_env = AbrTrainEnv::new(corpus.clone(), video.clone(), qoe.clone());
     let mut baseline_ppo = new_pensieve_trainer(cfg);
-    baseline_ppo.train_vec(&mut baseline_env, cfg.total_steps);
+    train_leg(
+        &mut baseline_ppo,
+        &mut baseline_env,
+        cfg.total_steps,
+        cfg.checkpointer("pensieve-baseline"),
+    )?;
     let baseline = Pensieve::new(baseline_ppo.policy.clone(), baseline_ppo.obs_norm.clone());
 
     // stages 1-4 (§2.3)
-    let (robust, adv_traces) = run_robust_branch(corpus, video, qoe, cfg);
-    RobustifyOutcome { baseline, robust, adv_traces }
+    let (robust, adv_traces) = try_run_robust_branch(corpus, video, qoe, cfg)?;
+    Ok(RobustifyOutcome { baseline, robust, adv_traces })
 }
 
 /// Run the pipeline once per injection point, training the (identical)
@@ -109,46 +161,88 @@ pub fn robustify_variants(
     cfg: &RobustifyConfig,
     inject_points: &[f64],
 ) -> (Pensieve, Vec<(f64, Pensieve, Vec<Trace>)>) {
-    let mut baseline_env = AbrTrainEnv::new(corpus.clone(), video.clone(), qoe.clone());
-    let mut baseline_ppo = new_pensieve_trainer(cfg);
-    baseline_ppo.train_vec(&mut baseline_env, cfg.total_steps);
-    let baseline = Pensieve::new(baseline_ppo.policy.clone(), baseline_ppo.obs_norm.clone());
-
-    let variants =
-        exec::par_map(inject_points.to_vec(), exec::default_workers(), |_, inject_at| {
-            let cfg = RobustifyConfig { inject_at, ..cfg.clone() };
-            let out = run_robust_branch(corpus.clone(), video.clone(), qoe.clone(), &cfg);
-            (inject_at, out.0, out.1)
-        });
-    (baseline, variants)
+    try_robustify_variants(corpus, video, qoe, cfg, inject_points)
+        .unwrap_or_else(|e| panic!("robustify variants failed: {e}"))
 }
 
-/// Stages 1–4 of the pipeline (everything except the baseline).
-fn run_robust_branch(
+/// Fallible [`robustify_variants`]: a panicking branch is reported as a
+/// structured error (lowest branch index wins) instead of tearing down
+/// the process, and divergence/checkpoint failures propagate.
+#[allow(clippy::type_complexity)]
+pub fn try_robustify_variants(
     corpus: Vec<Trace>,
     video: Video,
     qoe: QoeParams,
     cfg: &RobustifyConfig,
-) -> (Pensieve, Vec<Trace>) {
+    inject_points: &[f64],
+) -> Result<(Pensieve, Vec<(f64, Pensieve, Vec<Trace>)>), TrainError> {
+    let mut baseline_env = AbrTrainEnv::new(corpus.clone(), video.clone(), qoe.clone());
+    let mut baseline_ppo = new_pensieve_trainer(cfg);
+    train_leg(
+        &mut baseline_ppo,
+        &mut baseline_env,
+        cfg.total_steps,
+        cfg.checkpointer("pensieve-baseline"),
+    )?;
+    let baseline = Pensieve::new(baseline_ppo.policy.clone(), baseline_ppo.obs_norm.clone());
+
+    let variants =
+        exec::try_par_map(inject_points.to_vec(), exec::default_workers(), 0, |_, inject_at| {
+            let cfg = RobustifyConfig { inject_at, ..cfg.clone() };
+            try_run_robust_branch(corpus.clone(), video.clone(), qoe.clone(), &cfg)
+                .map(|out| (inject_at, out.0, out.1))
+        })?
+        .into_iter()
+        .collect::<Result<Vec<_>, TrainError>>()?;
+    Ok((baseline, variants))
+}
+
+/// Stages 1–4 of the pipeline (everything except the baseline).
+///
+/// Each leg gets its own checkpoint file keyed by the injection fraction,
+/// so [`robustify_variants`] branches never collide.
+fn try_run_robust_branch(
+    corpus: Vec<Trace>,
+    video: Video,
+    qoe: QoeParams,
+    cfg: &RobustifyConfig,
+) -> Result<(Pensieve, Vec<Trace>), TrainError> {
     let phase1 = (cfg.total_steps as f64 * cfg.inject_at) as usize;
+    let pct = (cfg.inject_at * 100.0).round() as u32;
     let mut env = AbrTrainEnv::new(corpus.clone(), video.clone(), qoe.clone());
     let mut ppo = new_pensieve_trainer(cfg);
-    ppo.train_vec(&mut env, phase1);
+    train_leg(&mut ppo, &mut env, phase1, cfg.checkpointer(&format!("pensieve-phase1-{pct}")))?;
 
     let partial = Pensieve::new(ppo.policy.clone(), ppo.obs_norm.clone());
     let mut adv_env = AbrAdversaryEnv::new(partial, video.clone(), cfg.adv_env.clone());
-    let (adversary, _) = train_abr_adversary(&mut adv_env, &cfg.adversary);
+    let mut adv_cfg = cfg.adversary.clone();
+    if let Some(ck) = cfg.checkpointer(&format!("adversary-{pct}")) {
+        adv_cfg.checkpoint_path = Some(ck.path);
+        adv_cfg.checkpoint_every = cfg.checkpoint_every;
+    }
+    let (adversary, _) = try_train_abr_adversary(&mut adv_env, &adv_cfg)?;
 
-    let raw_traces =
-        generate_abr_traces(&mut adv_env, &adversary, cfg.n_adv_traces, false, cfg.seed ^ 0xad);
+    let raw_traces = try_generate_abr_traces_with(
+        &mut adv_env,
+        &adversary.policy,
+        adversary.obs_norm.as_ref(),
+        cfg.n_adv_traces,
+        false,
+        cfg.seed ^ 0xad,
+    )?;
     let adv_traces =
         abr_traces_to_corpus(&raw_traces, &video, cfg.adv_env.latency_ms, "adversarial");
 
     let mut augmented = corpus;
     augmented.extend(adv_traces.iter().cloned());
     env.set_corpus(augmented);
-    ppo.train_vec(&mut env, cfg.total_steps - phase1);
-    (Pensieve::new(ppo.policy.clone(), ppo.obs_norm.clone()), adv_traces)
+    train_leg(
+        &mut ppo,
+        &mut env,
+        cfg.total_steps - phase1,
+        cfg.checkpointer(&format!("pensieve-phase2-{pct}")),
+    )?;
+    Ok((Pensieve::new(ppo.policy.clone(), ppo.obs_norm.clone()), adv_traces))
 }
 
 /// Evaluate a Pensieve model's per-video mean QoE over a test corpus.

@@ -41,10 +41,8 @@ pub fn generate_abr_traces<P: AbrPolicy + Clone + Send>(
 /// As [`generate_abr_traces`] but from a bare (saved) policy and its frozen
 /// observation statistics — no trainer required.
 ///
-/// Episodes are rolled in parallel via [`exec::par_map`]: episode `i` runs
-/// on its own clone of `env` with an RNG stream derived as
-/// `exec::split_seed(seed, i)`, so the returned traces are deterministic
-/// in `seed` and independent of both worker count and thread scheduling.
+/// Panics on exhausted worker retries; see
+/// [`try_generate_abr_traces_with`] for the fallible form.
 pub fn generate_abr_traces_with<P: AbrPolicy + Clone + Send>(
     env: &mut AbrAdversaryEnv<P>,
     policy: &PolicyKind,
@@ -53,8 +51,29 @@ pub fn generate_abr_traces_with<P: AbrPolicy + Clone + Send>(
     deterministic: bool,
     seed: u64,
 ) -> Vec<AbrTrace> {
+    try_generate_abr_traces_with(env, policy, obs_norm, n, deterministic, seed)
+        .unwrap_or_else(|e| panic!("adversarial trace generation failed: {e}"))
+}
+
+/// Fault-isolated parallel trace generation.
+///
+/// Episodes are rolled via [`exec::try_par_map`]: episode `i` runs on its
+/// own clone of `env` with an RNG stream derived as
+/// `exec::split_seed(seed, i)`, so the returned traces are deterministic
+/// in `seed` and independent of both worker count and thread scheduling.
+/// A panicking episode is retried once on a fresh clone; an episode that
+/// keeps failing surfaces as a structured [`exec::ExecError`] instead of
+/// tearing the whole batch down.
+pub fn try_generate_abr_traces_with<P: AbrPolicy + Clone + Send>(
+    env: &mut AbrAdversaryEnv<P>,
+    policy: &PolicyKind,
+    obs_norm: Option<&RunningMeanStd>,
+    n: usize,
+    deterministic: bool,
+    seed: u64,
+) -> Result<Vec<AbrTrace>, exec::ExecError> {
     let episodes: Vec<AbrAdversaryEnv<P>> = (0..n).map(|_| env.clone()).collect();
-    exec::par_map(episodes, exec::default_workers(), |i, mut ep_env| {
+    exec::try_par_map(episodes, exec::default_workers(), 1, |i, mut ep_env| {
         let mut rng = StdRng::seed_from_u64(exec::split_seed(seed, i as u64));
         // rollout_episode drives the env via the policy with the trainer's
         // frozen observation statistics

@@ -4,7 +4,8 @@
 use crate::abr_env::{AbrAdversaryEnv, OBS_DIM};
 use crate::cc_env::CcAdversaryEnv;
 use abr::AbrPolicy;
-use rl::{Ppo, PpoConfig, TrainReport};
+use rl::{Checkpointer, Ppo, PpoConfig, TrainError, TrainReport};
+use std::path::PathBuf;
 
 /// Knobs for adversary training.
 #[derive(Debug, Clone)]
@@ -15,6 +16,14 @@ pub struct AdversaryTrainConfig {
     pub ppo: PpoConfig,
     /// Initial exploration std of the Gaussian policy.
     pub init_std: f64,
+    /// When set, training is crash-safe: a checkpoint is written to this
+    /// path every [`checkpoint_every`](Self::checkpoint_every) iterations
+    /// and a rerun auto-resumes from it bit-identically (the file is the
+    /// unit of recovery — delete it to start over).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Iterations between checkpoint writes (only with
+    /// [`checkpoint_path`](Self::checkpoint_path); clamped to ≥ 1).
+    pub checkpoint_every: usize,
 }
 
 impl Default for AdversaryTrainConfig {
@@ -30,6 +39,8 @@ impl Default for AdversaryTrainConfig {
                 ..PpoConfig::default()
             },
             init_std: 0.8,
+            checkpoint_path: None,
+            checkpoint_every: 1,
         }
     }
 }
@@ -46,9 +57,21 @@ pub fn train_abr_adversary<P: AbrPolicy + Clone + Send>(
     env: &mut AbrAdversaryEnv<P>,
     cfg: &AdversaryTrainConfig,
 ) -> (Ppo, Vec<TrainReport>) {
+    try_train_abr_adversary(env, cfg)
+        .unwrap_or_else(|e| panic!("ABR adversary training failed: {e}"))
+}
+
+/// Fallible [`train_abr_adversary`]: surfaces divergence, worker, and
+/// checkpoint errors as [`TrainError`] instead of panicking. With
+/// `cfg.checkpoint_path` set, training runs through
+/// [`Ppo::train_checkpointed`] — crash-safe and auto-resuming.
+pub fn try_train_abr_adversary<P: AbrPolicy + Clone + Send>(
+    env: &mut AbrAdversaryEnv<P>,
+    cfg: &AdversaryTrainConfig,
+) -> Result<(Ppo, Vec<TrainReport>), TrainError> {
     let mut ppo = Ppo::new_gaussian(OBS_DIM, 1, &[32, 16], cfg.init_std, cfg.ppo.clone());
-    let reports = ppo.train_vec(env, cfg.total_steps);
-    (ppo, reports)
+    let reports = run_training(&mut ppo, env, cfg)?;
+    Ok((ppo, reports))
 }
 
 /// Train a CC adversary (paper §4: "a simple neural network with only one
@@ -60,9 +83,37 @@ pub fn train_cc_adversary(
     env: &mut CcAdversaryEnv,
     cfg: &AdversaryTrainConfig,
 ) -> (Ppo, Vec<TrainReport>) {
+    try_train_cc_adversary(env, cfg).unwrap_or_else(|e| panic!("CC adversary training failed: {e}"))
+}
+
+/// Fallible [`train_cc_adversary`], with the same crash-safe checkpoint
+/// wiring as [`try_train_abr_adversary`].
+pub fn try_train_cc_adversary(
+    env: &mut CcAdversaryEnv,
+    cfg: &AdversaryTrainConfig,
+) -> Result<(Ppo, Vec<TrainReport>), TrainError> {
     let mut ppo = Ppo::new_gaussian(2, 3, &[4], cfg.init_std, cfg.ppo.clone());
-    let reports = ppo.train_vec(env, cfg.total_steps);
-    (ppo, reports)
+    let reports = run_training(&mut ppo, env, cfg)?;
+    Ok((ppo, reports))
+}
+
+/// Shared training driver: checkpointed when a path is configured,
+/// plain vectorized otherwise.
+fn run_training<E>(
+    ppo: &mut Ppo,
+    env: &mut E,
+    cfg: &AdversaryTrainConfig,
+) -> Result<Vec<TrainReport>, TrainError>
+where
+    E: rl::Env + Clone + Send + rl::Snapshot,
+{
+    match &cfg.checkpoint_path {
+        Some(path) => {
+            let ck = Checkpointer::new(path.clone(), cfg.checkpoint_every);
+            ppo.train_checkpointed(env, cfg.total_steps, &ck)
+        }
+        None => ppo.try_train_vec(env, cfg.total_steps),
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 use crate::{results_dir, Scale};
 use abr::{AbrPolicy, BufferBased, Mpc, Pensieve, QoeParams, Video};
 use adversary::{
-    generate_abr_traces_with, random_abr_traces, replay_abr_trace, train_abr_adversary,
+    generate_abr_traces_with, random_abr_traces, replay_abr_trace, try_train_abr_adversary,
     AbrAdversaryConfig, AbrAdversaryEnv, AbrTrace, AdversaryTrainConfig,
 };
 use serde::{Deserialize, Serialize};
@@ -114,18 +114,32 @@ pub fn run(scale: Scale) -> AbrEvalData {
         ppo_cfg,
     );
 
-    // ---- 2. adversaries
-    let train_cfg = AdversaryTrainConfig {
+    // ---- 2. adversaries — each crash-safe with its own checkpoint file,
+    // removed once training finishes (the JSON cache then takes over).
+    let train_cfg = |tag: &str| AdversaryTrainConfig {
         total_steps: scale.adversary_steps(),
+        checkpoint_path: Some(results_dir().join(format!("abr_adv_{tag}_{}.ckpt", scale.tag()))),
+        checkpoint_every: 5,
         ..AdversaryTrainConfig::default()
     };
-    eprintln!("[abr_eval] training adversary vs MPC ({} steps)...", train_cfg.total_steps);
+    let steps = scale.adversary_steps();
+    eprintln!("[abr_eval] training adversary vs MPC ({steps} steps)...");
     let mut mpc_env = AbrAdversaryEnv::new(Mpc::default(), video.clone(), adv_cfg.clone());
-    let (mpc_adv, _) = train_abr_adversary(&mut mpc_env, &train_cfg);
+    let mpc_cfg = train_cfg("mpc");
+    let (mpc_adv, _) = try_train_abr_adversary(&mut mpc_env, &mpc_cfg)
+        .unwrap_or_else(|e| panic!("[abr_eval] MPC adversary training failed: {e}"));
+    if let Some(p) = mpc_cfg.checkpoint_path {
+        std::fs::remove_file(p).ok();
+    }
 
-    eprintln!("[abr_eval] training adversary vs Pensieve ({} steps)...", train_cfg.total_steps);
+    eprintln!("[abr_eval] training adversary vs Pensieve ({steps} steps)...");
     let mut pen_env = AbrAdversaryEnv::new(pensieve.clone(), video.clone(), adv_cfg.clone());
-    let (pen_adv, _) = train_abr_adversary(&mut pen_env, &train_cfg);
+    let pen_cfg = train_cfg("pensieve");
+    let (pen_adv, _) = try_train_abr_adversary(&mut pen_env, &pen_cfg)
+        .unwrap_or_else(|e| panic!("[abr_eval] Pensieve adversary training failed: {e}"));
+    if let Some(p) = pen_cfg.checkpoint_path {
+        std::fs::remove_file(p).ok();
+    }
 
     // ---- 3. trace sets
     eprintln!("[abr_eval] generating {n} traces per set...");

@@ -79,6 +79,9 @@ fn main() {
         ("rebuffer_only|qoe".to_string(), 0.0, stall.qoe),
     ];
     let path = results_dir().join("ablation_goals.csv");
-    traces::io::write_csv_series(&path, "goal_metric,x,value", &rows).expect("write csv");
+    if let Err(e) = traces::io::write_csv_series(&path, "goal_metric,x,value", &rows) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
     println!("wrote {}", path.display());
 }

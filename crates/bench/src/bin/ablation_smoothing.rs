@@ -61,6 +61,9 @@ fn main() {
     println!("\n(higher lambda should buy smoother, more explainable traces at");
     println!("some cost in raw damage — the paper's §2.1 trade-off)");
     let path = results_dir().join("ablation_smoothing.csv");
-    traces::io::write_csv_series(&path, "setting,x,value", &rows).expect("write csv");
+    if let Err(e) = traces::io::write_csv_series(&path, "setting,x,value", &rows) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
     println!("wrote {}", path.display());
 }

@@ -101,6 +101,9 @@ fn main() {
     println!("\n(score = per-chunk gap between the offline optimum and the target's");
     println!("QoE, minus the smoothness penalty; higher = a better adversarial trace)");
     let path = results_dir().join("ablation_tracebased.csv");
-    traces::io::write_csv_series(&path, "target_method,x,value", &rows).expect("write csv");
+    if let Err(e) = traces::io::write_csv_series(&path, "target_method,x,value", &rows) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
     println!("wrote {}", path.display());
 }

@@ -36,6 +36,7 @@ fn main() {
                 ..rl::PpoConfig::default()
             },
             init_std: std0,
+            ..AdversaryTrainConfig::default()
         };
         let (ppo, reports) = train_cc_adversary(&mut env, &cfg);
         let stoch = generate_cc_trace_with(&mut env, &ppo.policy, ppo.obs_norm.as_ref(), false, 1);

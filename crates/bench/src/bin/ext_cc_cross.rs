@@ -92,6 +92,7 @@ fn main() {
                     ..rl::PpoConfig::default()
                 },
                 init_std: 1.0,
+                ..AdversaryTrainConfig::default()
             };
             let (ppo, _) = train_cc_adversary(&mut env, &cfg);
             let trace = generate_cc_trace_with(
@@ -140,6 +141,9 @@ fn main() {
     println!("\n(each row is one adversary's trace replayed against all protocols;");
     println!("compare each cell to the protocol's own random-baseline column entry)");
     let path = results_dir().join("ext_cc_cross.csv");
-    traces::io::write_csv_series(&path, "adversary_to_proto,x,value", &rows).expect("write csv");
+    if let Err(e) = traces::io::write_csv_series(&path, "adversary_to_proto,x,value", &rows) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
     println!("wrote {}", path.display());
 }

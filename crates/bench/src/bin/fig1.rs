@@ -34,7 +34,10 @@ fn main() {
             }
         }
         let path = results_dir().join(format!("fig1{sub}.csv"));
-        traces::io::write_csv_series(&path, "protocol,qoe,cdf", &rows).expect("write fig1 csv");
+        if let Err(e) = traces::io::write_csv_series(&path, "protocol,qoe,cdf", &rows) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
         println!("wrote {}", path.display());
     }
 

@@ -46,7 +46,10 @@ fn main() {
         }
     }
     let path = results_dir().join("fig2.csv");
-    traces::io::write_csv_series(&path, "pair_stat,x,value", &rows).expect("write fig2 csv");
+    if let Err(e) = traces::io::write_csv_series(&path, "pair_stat,x,value", &rows) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
     println!("\nwrote {}", path.display());
     println!("(paper reference: 2.55x max Pensieve/MPC on MPC traces, 1.38x MPC/Pensieve on Pensieve traces, >75% target-worse on targeted sets, weaker effects on random)");
 }

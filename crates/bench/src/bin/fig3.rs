@@ -83,6 +83,9 @@ fn main() {
     );
     let name = bb.name().to_string();
     let path = results_dir().join("fig3.csv");
-    traces::io::write_csv_series(&path, "series,time_s,value", &rows).expect("write fig3 csv");
+    if let Err(e) = traces::io::write_csv_series(&path, "series,time_s,value", &rows) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
     println!("wrote {} (target protocol: {name})", path.display());
 }

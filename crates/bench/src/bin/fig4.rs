@@ -86,8 +86,10 @@ fn main() {
 
     println!("\n(columns: baseline, adversarially trained, ratio)");
     let path = results_dir().join("fig4.csv");
-    traces::io::write_csv_series(&path, "combo_variant_stat,x,value", &rows)
-        .expect("write fig4 csv");
+    if let Err(e) = traces::io::write_csv_series(&path, "combo_variant_stat,x,value", &rows) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
     println!("wrote {}", path.display());
     println!("(paper reference: improvement across all cells, biggest at the 5th percentile, ~1.22x broadband/broadband p5)");
 }

@@ -59,6 +59,9 @@ fn main() {
     );
 
     let path = results_dir().join("fig5.csv");
-    traces::io::write_csv_series(&path, "series,time_s,value", &rows).expect("write fig5 csv");
+    if let Err(e) = traces::io::write_csv_series(&path, "series,time_s,value", &rows) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
     println!("wrote {}", path.display());
 }

@@ -80,6 +80,9 @@ fn main() {
     );
 
     let path = results_dir().join("fig6.csv");
-    traces::io::write_csv_series(&path, "series,interval,value", &rows).expect("write fig6 csv");
+    if let Err(e) = traces::io::write_csv_series(&path, "series,interval,value", &rows) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
     println!("wrote {}", path.display());
 }

@@ -69,6 +69,9 @@ fn main() {
         ("loss_rate_max".to_string(), 0.0, space.loss_rate.1),
     ];
     let path = results_dir().join("table1.csv");
-    traces::io::write_csv_series(&path, "parameter,x,value", &rows).expect("write table1 csv");
+    if let Err(e) = traces::io::write_csv_series(&path, "parameter,x,value", &rows) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
     println!("wrote {}", path.display());
 }

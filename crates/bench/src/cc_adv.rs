@@ -3,7 +3,7 @@
 
 use crate::saved::SavedPolicy;
 use crate::{results_dir, Scale};
-use adversary::{train_cc_adversary, AdversaryTrainConfig, CcAdversaryConfig, CcAdversaryEnv};
+use adversary::{try_train_cc_adversary, AdversaryTrainConfig, CcAdversaryConfig, CcAdversaryEnv};
 use cc::Bbr;
 
 /// A fresh BBR-vs-adversary environment with the paper's defaults
@@ -43,6 +43,10 @@ pub fn cc_adversary(scale: Scale) -> SavedPolicy {
     // persistence is what lets PPO discover the probe attack; this
     // configuration lands the adversary's achieved utilization in the
     // paper's 45-65% band.
+    // This is the longest single training run in the bench suite, so it is
+    // crash-safe: a checkpoint lands next to the cache every 5 iterations
+    // and a re-run resumes from it (and removes it once the cache exists).
+    let ckpt_path = results_dir().join(format!("cc_adversary_{}.ckpt", scale.tag()));
     let cfg = AdversaryTrainConfig {
         total_steps: scale.adversary_steps().clamp(300_000, 600_000),
         ppo: rl::PpoConfig {
@@ -59,8 +63,11 @@ pub fn cc_adversary(scale: Scale) -> SavedPolicy {
             ..rl::PpoConfig::default()
         },
         init_std: 1.0,
+        checkpoint_path: Some(ckpt_path.clone()),
+        checkpoint_every: 5,
     };
-    let (ppo, reports) = train_cc_adversary(&mut env, &cfg);
+    let (ppo, reports) = try_train_cc_adversary(&mut env, &cfg)
+        .unwrap_or_else(|e| panic!("[cc_adv] adversary training failed: {e}"));
     eprintln!(
         "[cc_adv] adversary reward: first {:.3} last {:.3}",
         reports.first().map(|r| r.mean_step_reward).unwrap_or(f64::NAN),
@@ -70,6 +77,9 @@ pub fn cc_adversary(scale: Scale) -> SavedPolicy {
         &ppo,
         format!("CC adversary vs BBR, {} steps, seed 17", scale.adversary_steps()),
     );
-    saved.save(&path).expect("cache adversary");
+    saved
+        .save(&path)
+        .unwrap_or_else(|e| panic!("[cc_adv] cannot cache adversary to {}: {e}", path.display()));
+    std::fs::remove_file(&ckpt_path).ok();
     saved
 }

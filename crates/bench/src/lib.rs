@@ -76,7 +76,8 @@ pub fn results_dir() -> PathBuf {
         Ok(d) => PathBuf::from(d),
         Err(_) => PathBuf::from("results"),
     };
-    std::fs::create_dir_all(&dir).expect("create results dir");
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("cannot create results dir {}: {e}", dir.display()));
     dir
 }
 

@@ -28,6 +28,61 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+/// Which façade a failed job was running under (see [`ExecError`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecErrorKind {
+    /// A stateful worker slot ([`run_on_slots_retry`]) panicked.
+    WorkerPanicked,
+    /// An item-level job ([`try_par_map`]) panicked.
+    ItemPanicked,
+}
+
+/// Structured failure report from a fault-isolated parallel run.
+///
+/// Instead of poisoning the whole fan-out via `resume_unwind`, the
+/// fault-isolated entry points ([`try_par_map`], [`run_on_slots_retry`])
+/// catch each worker panic, retry on a fresh clone up to the caller's
+/// budget, and surface the first (lowest-index) exhausted failure as one of
+/// these. The merge of the surviving results stays deterministic — results
+/// are ordered by input index / slot, never by scheduling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecError {
+    pub kind: ExecErrorKind,
+    /// Worker slot index or item index, depending on `kind`.
+    pub index: usize,
+    /// Attempts made (1 initial + retries) before giving up.
+    pub attempts: usize,
+    /// The panic payload, when it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self.kind {
+            ExecErrorKind::WorkerPanicked => "worker slot",
+            ExecErrorKind::ItemPanicked => "item",
+        };
+        write!(
+            f,
+            "{what} {} panicked after {} attempt(s): {}",
+            self.index, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Best-effort extraction of a panic payload into readable text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Per-worker execution record from one [`run_workers`] call.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorkerStats {
@@ -128,6 +183,102 @@ where
     tagged.into_iter().map(|(_, u)| u).collect()
 }
 
+/// Fault-isolated [`par_map`]: every job runs under `catch_unwind`, a
+/// panicked item is retried on a fresh clone of its input up to
+/// `max_retries` extra times, and an exhausted item surfaces as a
+/// structured [`ExecError`] instead of unwinding through the pool.
+///
+/// Output order and values are identical to [`par_map`] when nothing
+/// panics; the lowest-index exhausted failure wins when several items fail
+/// (deterministic regardless of scheduling). Note a *deterministic* panic
+/// will re-fire on every retry — the retry budget buys recovery from
+/// transient faults, not from buggy jobs.
+pub fn try_par_map<T, U, F>(
+    items: Vec<T>,
+    n_workers: usize,
+    max_retries: usize,
+    f: F,
+) -> Result<Vec<U>, ExecError>
+where
+    T: Clone + Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let n_items = items.len();
+    let workers = n_workers.min(n_items).max(1);
+    let run_one = |i: usize, item: T| -> Result<U, ExecError> {
+        let backup = if max_retries > 0 { Some(item.clone()) } else { None };
+        let mut cur = item;
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, cur))) {
+                Ok(u) => return Ok(u),
+                Err(payload) => {
+                    if attempts > max_retries {
+                        return Err(ExecError {
+                            kind: ExecErrorKind::ItemPanicked,
+                            index: i,
+                            attempts,
+                            message: panic_message(payload.as_ref()),
+                        });
+                    }
+                    cur = backup.as_ref().expect("backup exists when retries > 0").clone();
+                }
+            }
+        }
+    };
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(n_items);
+        for (i, item) in items.into_iter().enumerate() {
+            out.push(run_one(i, item)?);
+        }
+        return Ok(out);
+    }
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let mut oks: Vec<(usize, U)> = Vec::with_capacity(n_items);
+    let mut first_err: Option<ExecError> = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local_ok: Vec<(usize, U)> = Vec::new();
+                    let mut local_err: Option<ExecError> = None;
+                    loop {
+                        let next = queue.lock().expect("exec queue poisoned").next();
+                        match next {
+                            Some((i, item)) => match run_one(i, item) {
+                                Ok(u) => local_ok.push((i, u)),
+                                Err(e) => {
+                                    local_err = Some(e);
+                                    break;
+                                }
+                            },
+                            None => break,
+                        }
+                    }
+                    (local_ok, local_err)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (local_ok, local_err) = handle.join().expect("worker threads never unwind");
+            oks.extend(local_ok);
+            if let Some(e) = local_err {
+                if first_err.as_ref().map(|p| e.index < p.index).unwrap_or(true) {
+                    first_err = Some(e);
+                }
+            }
+        }
+    });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    oks.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(oks.len(), n_items);
+    Ok(oks.into_iter().map(|(_, u)| u).collect())
+}
+
 /// Run `job(worker, &mut slots[worker])` once per slot, in parallel,
 /// returning results in slot order plus per-worker wall-clock stats.
 ///
@@ -189,6 +340,77 @@ where
         run.stats.push(WorkerStats { worker: w, wall_s });
     }
     run
+}
+
+/// Fault-isolated [`run_on_slots`]: each slot's job runs under
+/// `catch_unwind`; a panicked slot is rolled back to a clone taken before
+/// the attempt and retried up to `max_retries` extra times. The
+/// deterministic slot-order merge is unchanged, and a slot that exhausts
+/// its budget surfaces as a structured [`ExecError`] (lowest slot index
+/// wins when several fail) instead of poisoning the whole fan-out.
+///
+/// With `max_retries == 0` no backup clones are taken — the call costs the
+/// same as [`run_on_slots`] but converts panics into errors. As with
+/// [`try_par_map`], retries recover *transient* faults only; a
+/// deterministic panic recurs on the restored clone.
+pub fn run_on_slots_retry<S, R, F>(
+    slots: &mut [S],
+    max_retries: usize,
+    job: F,
+) -> Result<WorkerRun<R>, ExecError>
+where
+    S: Clone + Send,
+    R: Send,
+    F: Fn(usize, &mut S) -> R + Sync,
+{
+    let run_one = |w: usize, slot: &mut S| -> Result<(R, f64), ExecError> {
+        let t0 = Instant::now();
+        let backup = if max_retries > 0 { Some(slot.clone()) } else { None };
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(w, &mut *slot))) {
+                Ok(r) => return Ok((r, t0.elapsed().as_secs_f64())),
+                Err(payload) => {
+                    if attempts > max_retries {
+                        return Err(ExecError {
+                            kind: ExecErrorKind::WorkerPanicked,
+                            index: w,
+                            attempts,
+                            message: panic_message(payload.as_ref()),
+                        });
+                    }
+                    // roll the slot back to its pre-attempt state
+                    *slot = backup.as_ref().expect("backup exists when retries > 0").clone();
+                }
+            }
+        }
+    };
+    let outcomes: Vec<Result<(R, f64), ExecError>> = if slots.len() <= 1 {
+        slots.iter_mut().enumerate().map(|(w, slot)| run_one(w, slot)).collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = slots
+                .iter_mut()
+                .enumerate()
+                .map(|(w, slot)| {
+                    let run_one = &run_one;
+                    scope.spawn(move || run_one(w, slot))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker threads never unwind")).collect()
+        })
+    };
+    let mut run = WorkerRun {
+        results: Vec::with_capacity(outcomes.len()),
+        stats: Vec::with_capacity(outcomes.len()),
+    };
+    for (w, outcome) in outcomes.into_iter().enumerate() {
+        let (result, wall_s) = outcome?;
+        run.results.push(result);
+        run.stats.push(WorkerStats { worker: w, wall_s });
+    }
+    Ok(run)
 }
 
 /// Run `job(worker)` once per worker slot `0..n_workers`, in parallel,
@@ -287,6 +509,95 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn try_par_map_matches_par_map_without_faults() {
+        let f = |i: usize, x: u64| x.wrapping_mul(31).wrapping_add(i as u64);
+        let items: Vec<u64> = (0..57).map(|x| x * 13).collect();
+        let plain = par_map(items.clone(), 4, f);
+        for workers in [1, 3, 8] {
+            assert_eq!(try_par_map(items.clone(), workers, 1, f).unwrap(), plain);
+        }
+    }
+
+    #[test]
+    fn try_par_map_retries_transient_panic() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let tripped = AtomicBool::new(false);
+        let f = |_i: usize, x: usize| {
+            if x == 7 && !tripped.swap(true, Ordering::SeqCst) {
+                panic!("transient fault on {x}");
+            }
+            x * 2
+        };
+        let out = try_par_map((0..16).collect::<Vec<usize>>(), 4, 1, f).unwrap();
+        assert_eq!(out, (0..16).map(|x| x * 2).collect::<Vec<_>>());
+        assert!(tripped.load(Ordering::SeqCst), "the fault should have fired once");
+    }
+
+    #[test]
+    fn try_par_map_reports_exhausted_item() {
+        let err = try_par_map((0..8).collect::<Vec<usize>>(), 2, 2, |_, x| {
+            assert!(x != 5, "always fails");
+            x
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, ExecErrorKind::ItemPanicked);
+        assert_eq!(err.index, 5);
+        assert_eq!(err.attempts, 3);
+        assert!(err.message.contains("always fails"), "{}", err.message);
+        assert!(err.to_string().contains("item 5"));
+    }
+
+    #[test]
+    fn run_on_slots_retry_matches_run_on_slots_without_faults() {
+        let job = |w: usize, slot: &mut Vec<u32>| {
+            slot.push(w as u32 + 10);
+            slot.iter().sum::<u32>()
+        };
+        let mut a: Vec<Vec<u32>> = (0..5).map(|w| vec![w]).collect();
+        let mut b = a.clone();
+        let plain = run_on_slots(&mut a, job);
+        let retried = run_on_slots_retry(&mut b, 1, job).unwrap();
+        assert_eq!(plain.results, retried.results);
+        assert_eq!(a, b, "slot mutations must match");
+    }
+
+    #[test]
+    fn run_on_slots_retry_restores_slot_and_recovers() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let tripped = AtomicBool::new(false);
+        let job = |w: usize, slot: &mut Vec<u32>| {
+            slot.push(99); // poison the slot state...
+            if w == 2 && !tripped.swap(true, Ordering::SeqCst) {
+                panic!("transient fault mid-mutation");
+            }
+            slot.pop(); // ...and undo it on the non-panicking path
+            slot.push(w as u32);
+            slot.len()
+        };
+        let mut slots: Vec<Vec<u32>> = (0..4).map(|_| vec![0]).collect();
+        let run = run_on_slots_retry(&mut slots, 1, job).unwrap();
+        // the retried slot must have been rolled back before the rerun:
+        // every slot ends as [0, w], never carrying the poisoned 99
+        assert_eq!(run.results, vec![2; 4]);
+        for (w, s) in slots.iter().enumerate() {
+            assert_eq!(s, &vec![0, w as u32], "slot {w} state");
+        }
+    }
+
+    #[test]
+    fn run_on_slots_retry_reports_exhausted_worker() {
+        let mut slots: Vec<u32> = (0..3).collect();
+        let err = run_on_slots_retry(&mut slots, 1, |w, _slot: &mut u32| {
+            assert!(w != 1, "slot always dies");
+            w
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, ExecErrorKind::WorkerPanicked);
+        assert_eq!(err.index, 1);
+        assert_eq!(err.attempts, 2);
     }
 
     #[test]

@@ -25,8 +25,9 @@ pub struct Cache {
     preacts: Vec<Vec<f64>>,
 }
 
-/// Gradient accumulator shaped like an [`Mlp`].
-#[derive(Debug, Clone)]
+/// Gradient accumulator shaped like an [`Mlp`]. Serializable so optimizer
+/// moments (which share this shape) can be checkpointed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MlpGrads {
     pub w: Vec<Matrix>,
     pub b: Vec<Vec<f64>>,
@@ -69,6 +70,14 @@ impl Mlp {
     }
 
     /// Allocate a cache sized for this network.
+    /// `true` iff every weight and bias is a finite number — the
+    /// post-update divergence check in `rl`'s training guard.
+    pub fn all_finite(&self) -> bool {
+        self.layers.iter().all(|l| {
+            l.w.as_slice().iter().all(|v| v.is_finite()) && l.b.iter().all(|v| v.is_finite())
+        })
+    }
+
     pub fn new_cache(&self) -> Cache {
         Cache {
             inputs: self.layers.iter().map(|l| vec![0.0; l.inputs()]).collect(),

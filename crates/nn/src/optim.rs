@@ -2,6 +2,7 @@
 
 use crate::matrix::Matrix;
 use crate::mlp::{Mlp, MlpGrads};
+use serde::{Deserialize, Serialize};
 
 /// Plain stochastic gradient descent: `θ ← θ − lr · g`.
 #[derive(Debug, Clone)]
@@ -28,8 +29,9 @@ impl Sgd {
 /// Adam (Kingma & Ba 2015) with bias correction.
 ///
 /// State is shaped like the network it was created for; do not reuse across
-/// differently shaped networks.
-#[derive(Debug, Clone)]
+/// differently shaped networks. Serializable (moments included) so training
+/// can checkpoint and resume bit-identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Adam {
     pub lr: f64,
     pub beta1: f64,
@@ -113,7 +115,7 @@ fn update_matrix(
 
 /// Adam over a bare parameter vector (used for the Gaussian policy's
 /// state-independent log-standard-deviations, which live outside any MLP).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AdamVec {
     pub lr: f64,
     beta1: f64,

@@ -91,6 +91,14 @@ pub trait Env {
     /// policy output; the environment is expected to clip via
     /// [`ActionSpace::clip`].
     fn step(&mut self, action: &Action, rng: &mut StdRng) -> Step;
+
+    /// Decorrelate a cloned environment's *internal* randomness from its
+    /// siblings. Vectorized training calls this once on each slot clone
+    /// with a distinct stream seed (disjoint from the per-slot policy RNG
+    /// streams) before collection starts. The default is a no-op — only
+    /// environments that keep their own noise source (e.g. a simulator
+    /// seed baked in at construction) need to override it.
+    fn decorrelate(&mut self, _stream_seed: u64) {}
 }
 
 #[cfg(test)]

@@ -19,11 +19,16 @@
 //! * [`ppo`] — the clipped-surrogate PPO training loop with minibatch
 //!   epochs, entropy bonus, and gradient-norm clipping.
 //! * [`normalize`] — running mean/std observation normalization.
+//! * [`ckpt`] — crash-safe checkpoint files (atomic, checksummed),
+//!   environment snapshots, and the structured [`TrainError`] taxonomy
+//!   behind [`Ppo::train_checkpointed`](ppo::Ppo::train_checkpointed)'s
+//!   kill-and-resume guarantee.
 //!
 //! Everything is deterministic given the seed: one `StdRng` drives
 //! exploration and minibatch shuffling.
 
 pub mod buffer;
+pub mod ckpt;
 pub mod env;
 pub mod eval;
 pub mod normalize;
@@ -31,6 +36,10 @@ pub mod policy;
 pub mod ppo;
 
 pub use buffer::{gae, RolloutBuffer, Transition};
+pub use ckpt::{
+    load_train_checkpoint, save_train_checkpoint, Checkpointer, DivergenceReport, SlotState,
+    Snapshot, TrainCheckpoint, TrainError, TrainState,
+};
 pub use env::{Action, ActionSpace, Env, Step};
 pub use eval::{rollout_episode, EpisodeStats};
 pub use normalize::RunningMeanStd;

@@ -21,13 +21,64 @@ pub fn save_traces(path: impl AsRef<Path>, traces: &[Trace]) -> io::Result<()> {
     fs::write(path, json)
 }
 
-/// Load a set of traces saved by [`save_traces`]. Every trace is validated.
+/// Load a set of traces saved by [`save_traces`]. Every trace is validated;
+/// a malformed file yields a descriptive [`io::ErrorKind::InvalidData`]
+/// error naming the file and the offending trace/segment instead of
+/// panicking.
 pub fn load_traces(path: impl AsRef<Path>) -> io::Result<Vec<Trace>> {
+    let path = path.as_ref();
     let json = fs::read_to_string(path)?;
-    let traces: Vec<Trace> =
-        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let traces: Vec<Trace> = serde_json::from_str(&json).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: not a valid trace set: {e}", path.display()),
+        )
+    })?;
     for t in &traces {
-        t.validate();
+        t.try_validate().map_err(|msg| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("{}: {msg}", path.display()))
+        })?;
+    }
+    Ok(traces)
+}
+
+/// Load every `.json` trace set in a directory, in file-name order.
+///
+/// A single malformed file does not abort the load: it is skipped with a
+/// warning on stderr and the remaining files are still read. Only I/O
+/// failures on the directory itself (or finding *no* loadable traces at
+/// all) are errors, so a corpus survives one bad member.
+pub fn load_traces_dir(dir: impl AsRef<Path>) -> io::Result<Vec<Trace>> {
+    let dir = dir.as_ref();
+    let mut files: Vec<_> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+
+    let mut traces = Vec::new();
+    let mut skipped = 0usize;
+    for path in &files {
+        match load_traces(path) {
+            Ok(mut set) => traces.append(&mut set),
+            Err(e) => {
+                skipped += 1;
+                eprintln!("warning: skipping malformed trace file: {e}");
+            }
+        }
+    }
+    if traces.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{}: no loadable traces ({} of {} file(s) malformed)",
+                dir.display(),
+                skipped,
+                files.len()
+            ),
+        ));
     }
     Ok(traces)
 }
@@ -86,7 +137,59 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.json");
         std::fs::write(&path, "not json").unwrap();
-        assert!(load_traces(&path).is_err());
+        let err = load_traces(&path).unwrap_err();
+        assert!(err.to_string().contains("bad.json"), "error names the file: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_nonphysical_traces_with_context() {
+        let dir = std::env::temp_dir().join("traces-io-test-nan");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nan.json");
+        // Hand-written JSON: Trace::new would panic before we could save it.
+        std::fs::write(
+            &path,
+            r#"[{"name":"poison","segments":[{"duration_s":1.0,"bandwidth_mbps":null,"latency_ms":0.0,"loss_rate":0.0}]}]"#,
+        )
+        .unwrap();
+        let err = load_traces(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("nan.json"), "{msg}");
+        assert!(msg.contains("poison"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dir_load_skips_malformed_files() {
+        let dir = std::env::temp_dir().join("traces-io-test-dir");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = vec![Trace::new("good", vec![Segment::bw(1.0, 2.0, 30.0)])];
+        save_traces(dir.join("a_good.json"), &good).unwrap();
+        std::fs::write(dir.join("b_broken.json"), "{{{").unwrap();
+        std::fs::write(
+            dir.join("c_negative.json"),
+            r#"[{"name":"neg","segments":[{"duration_s":1.0,"bandwidth_mbps":-1.0,"latency_ms":0.0,"loss_rate":0.0}]}]"#,
+        )
+        .unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+
+        let loaded = load_traces_dir(&dir).unwrap();
+        assert_eq!(loaded, good, "good file survives its malformed neighbours");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dir_load_with_nothing_loadable_is_an_error() {
+        let dir = std::env::temp_dir().join("traces-io-test-dir-empty");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("only.json"), "not json").unwrap();
+        let err = load_traces_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("no loadable traces"), "{err}");
+        assert!(load_traces_dir(dir.join("does-not-exist")).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

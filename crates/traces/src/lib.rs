@@ -65,23 +65,52 @@ impl Trace {
     }
 
     /// Panics if any segment is non-physical (negative duration/bandwidth,
-    /// loss outside `[0, 1]`).
+    /// loss outside `[0, 1]`). See [`Trace::try_validate`] for the
+    /// non-panicking variant used when loading untrusted files.
     pub fn validate(&self) {
-        assert!(!self.segments.is_empty(), "trace {:?} has no segments", self.name);
-        for (i, s) in self.segments.iter().enumerate() {
-            assert!(s.duration_s > 0.0, "trace {:?} segment {i}: non-positive duration", self.name);
-            assert!(
-                s.bandwidth_mbps > 0.0,
-                "trace {:?} segment {i}: non-positive bandwidth",
-                self.name
-            );
-            assert!(s.latency_ms >= 0.0, "trace {:?} segment {i}: negative latency", self.name);
-            assert!(
-                (0.0..=1.0).contains(&s.loss_rate),
-                "trace {:?} segment {i}: loss outside [0,1]",
-                self.name
-            );
+        if let Err(msg) = self.try_validate() {
+            panic!("{msg}");
         }
+    }
+
+    /// Check every segment for physical plausibility, returning a
+    /// descriptive error naming the trace and offending segment. Rejects
+    /// empty traces, non-finite values anywhere, non-positive durations
+    /// and bandwidths, negative latencies, and loss outside `[0, 1]`.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.segments.is_empty() {
+            return Err(format!("trace {:?} has no segments", self.name));
+        }
+        let seg_err = |i: usize, what: &str, v: f64| {
+            Err(format!("trace {:?} segment {i}: {what} ({v})", self.name))
+        };
+        for (i, s) in self.segments.iter().enumerate() {
+            if !s.duration_s.is_finite() {
+                return seg_err(i, "non-finite duration", s.duration_s);
+            }
+            if s.duration_s <= 0.0 {
+                return seg_err(i, "non-positive duration", s.duration_s);
+            }
+            if !s.bandwidth_mbps.is_finite() {
+                return seg_err(i, "non-finite bandwidth", s.bandwidth_mbps);
+            }
+            if s.bandwidth_mbps <= 0.0 {
+                return seg_err(i, "non-positive bandwidth", s.bandwidth_mbps);
+            }
+            if !s.latency_ms.is_finite() {
+                return seg_err(i, "non-finite latency", s.latency_ms);
+            }
+            if s.latency_ms < 0.0 {
+                return seg_err(i, "negative latency", s.latency_ms);
+            }
+            if !s.loss_rate.is_finite() {
+                return seg_err(i, "non-finite loss rate", s.loss_rate);
+            }
+            if !(0.0..=1.0).contains(&s.loss_rate) {
+                return seg_err(i, "loss outside [0,1]", s.loss_rate);
+            }
+        }
+        Ok(())
     }
 
     /// The bandwidth in effect at time `t` seconds from the start. Times
@@ -137,6 +166,36 @@ mod tests {
     #[should_panic(expected = "non-positive bandwidth")]
     fn validation_rejects_zero_bandwidth() {
         Trace::new("bad", vec![Segment::bw(1.0, 0.0, 0.0)]);
+    }
+
+    #[test]
+    fn try_validate_names_the_offending_segment() {
+        let t = Trace {
+            name: "n".into(),
+            segments: vec![Segment::bw(1.0, 2.0, 10.0), Segment::bw(1.0, f64::NAN, 10.0)],
+        };
+        let msg = t.try_validate().unwrap_err();
+        assert!(msg.contains("segment 1"), "{msg}");
+        assert!(msg.contains("non-finite bandwidth"), "{msg}");
+
+        let t = Trace { name: "n".into(), segments: vec![] };
+        assert!(t.try_validate().unwrap_err().contains("no segments"));
+
+        let t = Trace {
+            name: "n".into(),
+            segments: vec![Segment {
+                duration_s: f64::INFINITY,
+                bandwidth_mbps: 1.0,
+                latency_ms: 0.0,
+                loss_rate: 0.0,
+            }],
+        };
+        assert!(t.try_validate().unwrap_err().contains("non-finite duration"));
+
+        let t = Trace { name: "n".into(), segments: vec![Segment::bw(1.0, -3.0, 10.0)] };
+        assert!(t.try_validate().unwrap_err().contains("non-positive bandwidth"));
+
+        assert!(simple().try_validate().is_ok());
     }
 
     #[test]

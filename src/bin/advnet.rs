@@ -12,7 +12,7 @@
 
 use abr::{AbrPolicy, BufferBased, Mpc, RateBased, Video};
 use adversary::{
-    cem_search, generate_abr_traces, replay_abr_trace, train_abr_adversary, AbrAdversaryConfig,
+    cem_search, generate_abr_traces, replay_abr_trace, try_train_abr_adversary, AbrAdversaryConfig,
     AbrAdversaryEnv, AdversaryTrainConfig, CemConfig,
 };
 use std::process::ExitCode;
@@ -175,12 +175,23 @@ fn attack_abr(args: &[String]) -> ExitCode {
 
     eprintln!("training adversary vs {proto} for {steps} steps (seed {seed})...");
     let mut env = AbrAdversaryEnv::new(target, video.clone(), cfg.clone());
+    // ADVNET_CHECKPOINT=<path> makes the run crash-safe: a checkpoint is
+    // written there each iteration and a rerun resumes from it (delete the
+    // file to start over).
     let tcfg = AdversaryTrainConfig {
         total_steps: steps,
         ppo: rl::PpoConfig { seed, ..AdversaryTrainConfig::default().ppo },
+        checkpoint_path: std::env::var_os("ADVNET_CHECKPOINT").map(std::path::PathBuf::from),
+        checkpoint_every: 1,
         ..AdversaryTrainConfig::default()
     };
-    let (adv, reports) = train_abr_adversary(&mut env, &tcfg);
+    let (adv, reports) = match try_train_abr_adversary(&mut env, &tcfg) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("adversary training failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     eprintln!(
         "adversary reward {:.3} -> {:.3}",
         reports.first().map(|r| r.mean_step_reward).unwrap_or(f64::NAN),

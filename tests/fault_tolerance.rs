@@ -1,0 +1,165 @@
+//! End-to-end crash safety of the adversary training stack.
+//!
+//! `crates/rl/tests/checkpoint_resume.rs` proves the kill/resume contract
+//! on a toy environment; these tests close the loop on the real adversary
+//! environments, whose `Snapshot` implementations replay recorded actions
+//! through the actual simulators:
+//!
+//! * killing `try_train_abr_adversary` mid-run via the
+//!   `ADVNET_FAULT_ITER` hook and re-invoking it resumes from the
+//!   checkpoint and finishes bit-identical to an uninterrupted run,
+//!   including with vectorized (`n_envs > 1`) collection;
+//! * a truncated checkpoint file surfaces as `TrainError::Corrupt`
+//!   through the adversary entry point instead of silently restarting;
+//! * vectorized CC adversary training (per-worker decorrelated simulator
+//!   seeds) is reproducible run to run.
+
+use abr::{BufferBased, Video};
+use adversary::{
+    try_train_abr_adversary, try_train_cc_adversary, AbrAdversaryConfig, AbrAdversaryEnv,
+    AdversaryTrainConfig, CcAdversaryConfig, CcAdversaryEnv,
+};
+use cc::Bbr;
+use rl::{Ppo, TrainError, TrainReport};
+use std::path::PathBuf;
+
+/// `ADVNET_FAULT_ITER` is process-global and every checkpointed training
+/// run reads it (via `Checkpointer::new`), so tests that set it or start
+/// checkpointed runs serialize on this lock.
+static FAULT_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn ckpt_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("advnet-fault-tolerance-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn abr_env() -> AbrAdversaryEnv<BufferBased> {
+    AbrAdversaryEnv::new(
+        BufferBased::pensieve_defaults(),
+        Video::cbr(),
+        AbrAdversaryConfig::default(),
+    )
+}
+
+/// Three small 96-step iterations, vectorized over two env clones so the
+/// slot snapshot/restore path of the real ABR adversary env is exercised.
+fn abr_cfg(path: Option<PathBuf>) -> AdversaryTrainConfig {
+    AdversaryTrainConfig {
+        total_steps: 3 * 96,
+        ppo: rl::PpoConfig {
+            n_steps: 96,
+            minibatch_size: 48,
+            epochs: 2,
+            seed: 11,
+            n_envs: 2,
+            ..rl::PpoConfig::default()
+        },
+        init_std: 0.6,
+        checkpoint_path: path,
+        checkpoint_every: 1,
+    }
+}
+
+/// Bit-exact signature of a finished run: full trainer state (weights,
+/// Adam moments, RNG streams, normalizers) as JSON plus the deterministic
+/// report fields, floats as bits.
+fn run_sig(ppo: &Ppo, reports: &[TrainReport]) -> (String, Vec<(usize, u64, u64, u64)>) {
+    (
+        serde_json::to_string(&ppo.to_train_state()).unwrap(),
+        reports
+            .iter()
+            .map(|r| {
+                (
+                    r.total_steps,
+                    r.mean_step_reward.to_bits(),
+                    r.policy_loss.to_bits(),
+                    r.value_loss.to_bits(),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn abr_adversary_kill_and_resume_is_bit_identical() {
+    let _guard = FAULT_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Reference: uninterrupted run (checkpointed, so the code path is the
+    // same one the crashed run takes).
+    let ref_path = ckpt_path("abr-ref.ckpt");
+    std::fs::remove_file(&ref_path).ok();
+    let mut env = abr_env();
+    let (ref_ppo, ref_reports) =
+        try_train_abr_adversary(&mut env, &abr_cfg(Some(ref_path.clone()))).unwrap();
+    let reference = run_sig(&ref_ppo, &ref_reports);
+    std::fs::remove_file(&ref_path).ok();
+
+    // Crash at iteration 2 of 3 via the documented fault-injection hook.
+    let path = ckpt_path("abr-kill.ckpt");
+    std::fs::remove_file(&path).ok();
+    std::env::set_var("ADVNET_FAULT_ITER", "2");
+    let crash_path = path.clone();
+    let crashed = std::panic::catch_unwind(move || {
+        let mut env = abr_env();
+        let _ = try_train_abr_adversary(&mut env, &abr_cfg(Some(crash_path)));
+    });
+    std::env::remove_var("ADVNET_FAULT_ITER");
+    assert!(crashed.is_err(), "the injected fault should have crashed training");
+    assert!(path.exists(), "the pre-crash checkpoint should have survived");
+
+    // Resume: fresh env, fresh trainer, same config — must finish
+    // bit-identical to the uninterrupted reference.
+    let mut env = abr_env();
+    let (ppo, reports) = try_train_abr_adversary(&mut env, &abr_cfg(Some(path.clone()))).unwrap();
+    assert_eq!(run_sig(&ppo, &reports), reference);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn truncated_adversary_checkpoint_is_rejected() {
+    let _guard = FAULT_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = ckpt_path("abr-truncated.ckpt");
+    std::fs::remove_file(&path).ok();
+    let mut env = abr_env();
+    try_train_abr_adversary(&mut env, &abr_cfg(Some(path.clone()))).unwrap();
+
+    // Simulate the torn write the atomic tmp+rename protocol prevents.
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+
+    let mut env = abr_env();
+    match try_train_abr_adversary(&mut env, &abr_cfg(Some(path.clone()))) {
+        Err(TrainError::Corrupt(msg)) => assert!(msg.contains("truncated"), "{msg}"),
+        other => panic!("expected TrainError::Corrupt, got {:?}", other.map(|_| ())),
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn cc_adversary_vectorized_training_is_reproducible() {
+    // Two env clones collect in parallel with decorrelated simulator
+    // seeds (`Env::decorrelate` + `exec::split_seed`); the merged run must
+    // still be bit-reproducible across invocations.
+    let cfg = AdversaryTrainConfig {
+        total_steps: 100,
+        ppo: rl::PpoConfig {
+            n_steps: 50,
+            minibatch_size: 25,
+            epochs: 2,
+            seed: 7,
+            n_envs: 2,
+            ..rl::PpoConfig::default()
+        },
+        init_std: 0.8,
+        checkpoint_path: None,
+        checkpoint_every: 1,
+    };
+    let cc_cfg =
+        CcAdversaryConfig { episode_steps: 25, action_repeat: 2, ..CcAdversaryConfig::default() };
+    let run = || {
+        let mut env = CcAdversaryEnv::new(Box::new(|| Box::new(Bbr::new())), cc_cfg.clone());
+        let (ppo, reports) = try_train_cc_adversary(&mut env, &cfg).unwrap();
+        run_sig(&ppo, &reports)
+    };
+    assert_eq!(run(), run());
+}
