@@ -186,14 +186,20 @@ pub fn try_robustify_variants(
     )?;
     let baseline = Pensieve::new(baseline_ppo.policy.clone(), baseline_ppo.obs_norm.clone());
 
-    let variants =
-        exec::try_par_map(inject_points.to_vec(), exec::default_workers(), 0, |_, inject_at| {
+    let variants = exec::try_par_map(
+        inject_points.to_vec(),
+        exec::default_workers(),
+        // fail fast: each branch is a full training run, and a panic
+        // there is deterministic, so retrying would just repeat it
+        &fault::Backoff::none(0),
+        |_, inject_at| {
             let cfg = RobustifyConfig { inject_at, ..cfg.clone() };
             try_run_robust_branch(corpus.clone(), video.clone(), qoe.clone(), &cfg)
                 .map(|out| (inject_at, out.0, out.1))
-        })?
-        .into_iter()
-        .collect::<Result<Vec<_>, TrainError>>()?;
+        },
+    )?
+    .into_iter()
+    .collect::<Result<Vec<_>, TrainError>>()?;
     Ok((baseline, variants))
 }
 

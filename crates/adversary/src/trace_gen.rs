@@ -73,14 +73,19 @@ pub fn try_generate_abr_traces_with<P: AbrPolicy + Clone + Send>(
     seed: u64,
 ) -> Result<Vec<AbrTrace>, exec::ExecError> {
     let episodes: Vec<AbrAdversaryEnv<P>> = (0..n).map(|_| env.clone()).collect();
-    exec::try_par_map(episodes, exec::default_workers(), 1, |i, mut ep_env| {
-        let mut rng = StdRng::seed_from_u64(exec::split_seed(seed, i as u64));
-        // rollout_episode drives the env via the policy with the trainer's
-        // frozen observation statistics
-        let _stats =
-            rollout_episode(&mut ep_env, policy, obs_norm, deterministic, 10_000, &mut rng);
-        ep_env.episode_trace().to_vec()
-    })
+    exec::try_par_map(
+        episodes,
+        exec::default_workers(),
+        &fault::Backoff::none(1),
+        |i, mut ep_env| {
+            let mut rng = StdRng::seed_from_u64(exec::split_seed(seed, i as u64));
+            // rollout_episode drives the env via the policy with the trainer's
+            // frozen observation statistics
+            let _stats =
+                rollout_episode(&mut ep_env, policy, obs_norm, deterministic, 10_000, &mut rng);
+            ep_env.episode_trace().to_vec()
+        },
+    )
 }
 
 /// Replay a chunk-indexed bandwidth trace against `protocol`, returning the

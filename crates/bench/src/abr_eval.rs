@@ -9,8 +9,14 @@
 //! 4. replay Pensieve, MPC and BB on all three trace sets.
 //!
 //! The result is cached as JSON under `results/` because two figures share
-//! it and the full-scale run is expensive.
+//! it and the full-scale run is expensive. Internally the run is split
+//! into [`crate::pipeline`] units — Pensieve training, each adversary's
+//! train+generate stage, and one replay unit per (trace set × protocol)
+//! — so a killed run resumes from the per-unit cache under
+//! `results/cache/` instead of starting over, and two figures executed
+//! back to back share every unit.
 
+use crate::pipeline::{Pipeline, UnitKey};
 use crate::{results_dir, Scale};
 use abr::{AbrPolicy, BufferBased, Mpc, Pensieve, QoeParams, Video};
 use adversary::{
@@ -71,8 +77,18 @@ pub fn run_or_load(scale: Scale) -> AbrEvalData {
     data
 }
 
-/// Train the protocols + adversaries and evaluate all trace sets.
+/// Train the protocols + adversaries and evaluate all trace sets, as a
+/// crash-resumable pipeline (see the module docs).
 pub fn run(scale: Scale) -> AbrEvalData {
+    let mut pipe = Pipeline::new("abr_eval", scale);
+    let data = run_units(scale, &mut pipe);
+    pipe.finish();
+    data
+}
+
+/// The unit breakdown of [`run`], on a caller-provided pipeline (so
+/// tests can aim the cache at a scratch directory).
+pub fn run_units(scale: Scale, pipe: &mut Pipeline) -> AbrEvalData {
     let video = Video::cbr();
     let qoe = QoeParams::default();
     let adv_cfg = AbrAdversaryConfig::default();
@@ -82,21 +98,8 @@ pub fn run(scale: Scale) -> AbrEvalData {
     // The corpus is mostly random traces spanning the adversary's action
     // space, plus a handful of sustained-low-bandwidth and regime-switching
     // traces so the policy has no catastrophic out-of-distribution holes
-    // for the adversary to drive it into.
-    eprintln!("[abr_eval] training pensieve ({} steps)...", scale.pensieve_steps());
-    let mut corpus: Vec<traces::Trace> =
-        (0..80).map(|i| traces::random_abr_trace(1000 + i, 80, 4.0, adv_cfg.latency_ms)).collect();
-    for i in 0..10u64 {
-        let bw = 0.8 + 0.15 * i as f64;
-        corpus.push(traces::Trace::new(
-            format!("const-low-{i}"),
-            vec![traces::Segment::bw(320.0, bw, adv_cfg.latency_ms)],
-        ));
-    }
-    let gen_cfg = traces::GenConfig { latency_ms: adv_cfg.latency_ms, ..Default::default() };
-    for i in 0..10u64 {
-        corpus.push(traces::hsdpa_like(3000 + i, &gen_cfg));
-    }
+    // for the adversary to drive it into. Built inside the unit closure:
+    // units must be restartable from their key alone.
     let ppo_cfg = rl::PpoConfig {
         n_steps: 1920,
         minibatch_size: 96,
@@ -106,69 +109,136 @@ pub fn run(scale: Scale) -> AbrEvalData {
         seed: 41,
         ..rl::PpoConfig::default()
     };
-    let (pensieve, _, _) = abr::env::train_pensieve(
-        corpus,
-        video.clone(),
-        qoe.clone(),
-        scale.pensieve_steps(),
-        ppo_cfg,
+    let pen_key =
+        UnitKey::of(&("pensieve-corpus-v1", scale.pensieve_steps()), "pensieve_train", &ppo_cfg);
+    let pensieve: Pensieve = Pipeline::require(
+        pipe.unit("train pensieve", &pen_key, || {
+            eprintln!("[abr_eval] training pensieve ({} steps)...", scale.pensieve_steps());
+            let mut corpus: Vec<traces::Trace> = (0..80)
+                .map(|i| traces::random_abr_trace(1000 + i, 80, 4.0, adv_cfg.latency_ms))
+                .collect();
+            for i in 0..10u64 {
+                let bw = 0.8 + 0.15 * i as f64;
+                corpus.push(traces::Trace::new(
+                    format!("const-low-{i}"),
+                    vec![traces::Segment::bw(320.0, bw, adv_cfg.latency_ms)],
+                ));
+            }
+            let gen_cfg =
+                traces::GenConfig { latency_ms: adv_cfg.latency_ms, ..Default::default() };
+            for i in 0..10u64 {
+                corpus.push(traces::hsdpa_like(3000 + i, &gen_cfg));
+            }
+            let (pensieve, _, _) = abr::env::train_pensieve(
+                corpus,
+                video.clone(),
+                qoe.clone(),
+                scale.pensieve_steps(),
+                ppo_cfg.clone(),
+            );
+            pensieve
+        }),
+        "pensieve training",
     );
 
-    // ---- 2. adversaries — each crash-safe with its own checkpoint file,
-    // removed once training finishes (the JSON cache then takes over).
+    // ---- 2+3. adversaries: train + generate traces, one unit each. The
+    // inner checkpoint file still makes a *mid-training* kill resumable
+    // (the restarted unit auto-resumes from it bit-identically); it is
+    // removed once the unit's cached value takes over.
+    let steps = scale.adversary_steps();
     let train_cfg = |tag: &str| AdversaryTrainConfig {
-        total_steps: scale.adversary_steps(),
+        total_steps: steps,
         checkpoint_path: Some(results_dir().join(format!("abr_adv_{tag}_{}.ckpt", scale.tag()))),
         checkpoint_every: 5,
         ..AdversaryTrainConfig::default()
     };
-    let steps = scale.adversary_steps();
-    eprintln!("[abr_eval] training adversary vs MPC ({steps} steps)...");
-    let mut mpc_env = AbrAdversaryEnv::new(Mpc::default(), video.clone(), adv_cfg.clone());
-    let mpc_cfg = train_cfg("mpc");
-    let (mpc_adv, _) = try_train_abr_adversary(&mut mpc_env, &mpc_cfg)
-        .unwrap_or_else(|e| panic!("[abr_eval] MPC adversary training failed: {e}"));
-    if let Some(p) = mpc_cfg.checkpoint_path {
-        std::fs::remove_file(p).ok();
-    }
+    let base = AdversaryTrainConfig::default();
+    let train_sig = (steps, base.ppo.clone(), base.init_std);
 
-    eprintln!("[abr_eval] training adversary vs Pensieve ({steps} steps)...");
-    let mut pen_env = AbrAdversaryEnv::new(pensieve.clone(), video.clone(), adv_cfg.clone());
-    let pen_cfg = train_cfg("pensieve");
-    let (pen_adv, _) = try_train_abr_adversary(&mut pen_env, &pen_cfg)
-        .unwrap_or_else(|e| panic!("[abr_eval] Pensieve adversary training failed: {e}"));
-    if let Some(p) = pen_cfg.checkpoint_path {
-        std::fs::remove_file(p).ok();
-    }
+    let mpc_key = UnitKey::of(&(n as u64, 7001u64), "mpc_adversary", &train_sig);
+    let mpc_traces: Vec<AbrTrace> = Pipeline::require(
+        pipe.unit("train MPC adversary + generate traces", &mpc_key, || {
+            eprintln!("[abr_eval] training adversary vs MPC ({steps} steps)...");
+            let mut env = AbrAdversaryEnv::new(Mpc::default(), video.clone(), adv_cfg.clone());
+            let cfg = train_cfg("mpc");
+            let (adv, _) = try_train_abr_adversary(&mut env, &cfg)
+                .unwrap_or_else(|e| panic!("[abr_eval] MPC adversary training failed: {e}"));
+            if let Some(p) = cfg.checkpoint_path {
+                std::fs::remove_file(p).ok();
+            }
+            generate_abr_traces_with(&mut env, &adv.policy, adv.obs_norm.as_ref(), n, false, 7001)
+        }),
+        "MPC adversary unit",
+    );
 
-    // ---- 3. trace sets
-    eprintln!("[abr_eval] generating {n} traces per set...");
-    let mpc_traces = generate_abr_traces_with(
-        &mut mpc_env,
-        &mpc_adv.policy,
-        mpc_adv.obs_norm.as_ref(),
-        n,
-        false,
-        7001,
+    // the Pensieve-targeted traces depend on *which* Pensieve was trained
+    let pen_sig = (steps, base.ppo.clone(), base.init_std, UnitKey::hash_of(&pensieve));
+    let pen_adv_key = UnitKey::of(&(n as u64, 7002u64), "pensieve_adversary", &pen_sig);
+    let pen_traces: Vec<AbrTrace> = Pipeline::require(
+        pipe.unit("train Pensieve adversary + generate traces", &pen_adv_key, || {
+            eprintln!("[abr_eval] training adversary vs Pensieve ({steps} steps)...");
+            let mut env = AbrAdversaryEnv::new(pensieve.clone(), video.clone(), adv_cfg.clone());
+            let cfg = train_cfg("pensieve");
+            let (adv, _) = try_train_abr_adversary(&mut env, &cfg)
+                .unwrap_or_else(|e| panic!("[abr_eval] Pensieve adversary training failed: {e}"));
+            if let Some(p) = cfg.checkpoint_path {
+                std::fs::remove_file(p).ok();
+            }
+            generate_abr_traces_with(&mut env, &adv.policy, adv.obs_norm.as_ref(), n, false, 7002)
+        }),
+        "Pensieve adversary unit",
     );
-    let pen_traces = generate_abr_traces_with(
-        &mut pen_env,
-        &pen_adv.policy,
-        pen_adv.obs_norm.as_ref(),
-        n,
-        false,
-        7002,
-    );
+
     let random_traces = random_abr_traces(n, video.n_chunks(), 7003);
 
-    // ---- 4. cross-evaluation
-    let sets = vec![
-        evaluate_set("mpc_targeted", mpc_traces, &pensieve, &video, &adv_cfg),
-        evaluate_set("pensieve_targeted", pen_traces, &pensieve, &video, &adv_cfg),
-        evaluate_set("random", random_traces, &pensieve, &video, &adv_cfg),
-    ];
+    // ---- 4. cross-evaluation: one unit per (trace set × protocol),
+    // keyed by trace-set hash × protocol × config — the workspace-wide
+    // evaluation cache key, so any binary replaying the same set under
+    // the same config shares the entry.
+    let pensieve_hash = UnitKey::hash_of(&pensieve);
+    let sets = [
+        ("mpc_targeted", mpc_traces),
+        ("pensieve_targeted", pen_traces),
+        ("random", random_traces),
+    ]
+    .into_iter()
+    .map(|(name, ts)| {
+        let mut qoe = BTreeMap::new();
+        for pname in ["pensieve", "mpc", "bb"] {
+            let key = UnitKey::of(&ts, pname, &("replay-v1", pensieve_hash, adv_cfg.latency_ms));
+            let values: Vec<f64> = Pipeline::require(
+                pipe.unit(&format!("replay {pname} on {name}"), &key, || {
+                    replay_protocol(&ts, pname, &pensieve, &video, &adv_cfg)
+                }),
+                "replay unit",
+            );
+            qoe.insert(pname.to_string(), values);
+        }
+        TraceSetEval { name: name.to_string(), traces: ts, qoe }
+    })
+    .collect();
 
     AbrEvalData { scale: scale.tag().to_string(), sets }
+}
+
+/// Replay one protocol on every trace of a set (fresh protocol instance
+/// per replay, fanned out over [`exec::par_map`]; QoE stays in trace
+/// order).
+fn replay_protocol(
+    traces_in: &[AbrTrace],
+    pname: &str,
+    pensieve: &Pensieve,
+    video: &Video,
+    cfg: &AbrAdversaryConfig,
+) -> Vec<f64> {
+    exec::par_map(traces_in.to_vec(), exec::default_workers(), |_, t| {
+        let mut proto: Box<dyn AbrPolicy> = match pname {
+            "pensieve" => Box::new(pensieve.clone()),
+            "mpc" => Box::new(Mpc::default()),
+            _ => Box::new(BufferBased::pensieve_defaults()),
+        };
+        replay_abr_trace(&t, proto.as_mut(), video, cfg)
+    })
 }
 
 /// Replay every protocol on every trace of a set.
@@ -184,18 +254,8 @@ pub fn evaluate_set(
     cfg: &AbrAdversaryConfig,
 ) -> TraceSetEval {
     let mut qoe = BTreeMap::new();
-    type Factory<'a> = Box<dyn Fn() -> Box<dyn AbrPolicy> + Sync + 'a>;
-    let protos: Vec<(&str, Factory)> = vec![
-        ("pensieve", Box::new(|| Box::new(pensieve.clone()))),
-        ("mpc", Box::new(|| Box::new(Mpc::default()))),
-        ("bb", Box::new(|| Box::new(BufferBased::pensieve_defaults()))),
-    ];
-    for (pname, make) in &protos {
-        let values = exec::par_map(traces_in.clone(), exec::default_workers(), |_, t| {
-            let mut proto = make();
-            replay_abr_trace(&t, proto.as_mut(), video, cfg)
-        });
-        qoe.insert(pname.to_string(), values);
+    for pname in ["pensieve", "mpc", "bb"] {
+        qoe.insert(pname.to_string(), replay_protocol(&traces_in, pname, pensieve, video, cfg));
     }
     TraceSetEval { name: name.to_string(), traces: traces_in, qoe }
 }

@@ -12,6 +12,7 @@
 //! Writes `results/ablation_goals.csv`.
 
 use abr::{Mpc, QoeParams, Video};
+use adv_bench::pipeline::{Pipeline, UnitKey};
 use adv_bench::{banner, results_dir, Scale};
 use adversary::{
     generate_abr_traces_with, replay_abr_trace_detailed, train_abr_adversary, AbrAdversaryConfig,
@@ -24,34 +25,51 @@ struct GoalResult {
     qoe: f64,
 }
 
-fn run_goal(label: &str, qoe_goal: QoeParams, video: &Video, steps: usize) -> GoalResult {
-    let cfg = AbrAdversaryConfig { qoe: qoe_goal, ..AbrAdversaryConfig::default() };
-    let mut env = AbrAdversaryEnv::new(Mpc::default(), video.clone(), cfg.clone());
-    let (adv, _) = train_abr_adversary(
-        &mut env,
-        &AdversaryTrainConfig { total_steps: steps, ..AdversaryTrainConfig::default() },
+/// Train + evaluate one goal as a cached pipeline unit (the value is the
+/// `(rebuffer, bitrate, qoe)` triple, so a resumed run replays it).
+fn run_goal(
+    pipe: &mut Pipeline,
+    label: &str,
+    qoe_goal: QoeParams,
+    video: &Video,
+    steps: usize,
+) -> GoalResult {
+    let key = UnitKey::of(&(steps, 20usize, 31u64), &format!("goal_{label}"), &qoe_goal);
+    let (rebuffer_s, mean_bitrate, qoe) = Pipeline::require(
+        pipe.unit(&format!("goal ablation: {label}"), &key, || {
+            let cfg = AbrAdversaryConfig { qoe: qoe_goal.clone(), ..AbrAdversaryConfig::default() };
+            let mut env = AbrAdversaryEnv::new(Mpc::default(), video.clone(), cfg.clone());
+            let (adv, _) = train_abr_adversary(
+                &mut env,
+                &AdversaryTrainConfig { total_steps: steps, ..AdversaryTrainConfig::default() },
+            );
+            let traces = generate_abr_traces_with(
+                &mut env,
+                &adv.policy,
+                adv.obs_norm.as_ref(),
+                20,
+                false,
+                31,
+            );
+            // evaluation always uses the *standard* QoE so results are comparable
+            let eval_cfg = AbrAdversaryConfig::default();
+            let mut rebuffer = 0.0;
+            let mut bitrate = 0.0;
+            let mut qoe = 0.0;
+            let mut chunks = 0.0;
+            for t in &traces {
+                let outcomes = replay_abr_trace_detailed(t, &mut Mpc::default(), video, &eval_cfg);
+                rebuffer += outcomes.iter().map(|o| o.rebuffer_s).sum::<f64>();
+                bitrate += outcomes.iter().map(|o| o.bitrate_mbps).sum::<f64>();
+                qoe += outcomes.iter().map(|o| o.qoe).sum::<f64>();
+                chunks += outcomes.len() as f64;
+            }
+            let per_video = traces.len() as f64;
+            (rebuffer / per_video, bitrate / chunks, qoe / chunks)
+        }),
+        "goal ablation unit",
     );
-    let traces =
-        generate_abr_traces_with(&mut env, &adv.policy, adv.obs_norm.as_ref(), 20, false, 31);
-    // evaluation always uses the *standard* QoE so results are comparable
-    let eval_cfg = AbrAdversaryConfig::default();
-    let mut rebuffer = 0.0;
-    let mut bitrate = 0.0;
-    let mut qoe = 0.0;
-    let mut chunks = 0.0;
-    for t in &traces {
-        let outcomes = replay_abr_trace_detailed(t, &mut Mpc::default(), video, &eval_cfg);
-        rebuffer += outcomes.iter().map(|o| o.rebuffer_s).sum::<f64>();
-        bitrate += outcomes.iter().map(|o| o.bitrate_mbps).sum::<f64>();
-        qoe += outcomes.iter().map(|o| o.qoe).sum::<f64>();
-        chunks += outcomes.len() as f64;
-    }
-    let per_video = traces.len() as f64;
-    let r = GoalResult {
-        rebuffer_s: rebuffer / per_video,
-        mean_bitrate: bitrate / chunks,
-        qoe: qoe / chunks,
-    };
+    let r = GoalResult { rebuffer_s, mean_bitrate, qoe };
     println!(
         "{label:>16}: rebuffer {:7.2} s/video, mean bitrate {:5.2} Mbit/s, QoE {:7.3}/chunk",
         r.rebuffer_s, r.mean_bitrate, r.qoe
@@ -64,9 +82,10 @@ fn main() {
     banner(&format!("Ablation — adversarial goals vs MPC ({} scale)", scale.tag()));
     let video = Video::cbr();
     let steps = scale.adversary_steps() / 3;
+    let mut pipe = Pipeline::new("ablation_goals", scale);
 
-    let general = run_goal("general QoE", QoeParams::default(), &video, steps);
-    let stall = run_goal("rebuffer-only", QoeParams::rebuffer_only(), &video, steps);
+    let general = run_goal(&mut pipe, "general QoE", QoeParams::default(), &video, steps);
+    let stall = run_goal(&mut pipe, "rebuffer-only", QoeParams::rebuffer_only(), &video, steps);
 
     println!("\n(the rebuffer-goal adversary should induce more stalling even if");
     println!("its overall QoE damage is smaller — goals shape the found weakness)");

@@ -11,6 +11,7 @@
 //! Writes `results/ablation_smoothing.csv`.
 
 use abr::{BufferBased, Video};
+use adv_bench::pipeline::{Pipeline, UnitKey};
 use adv_bench::{banner, results_dir, Scale};
 use adversary::{
     generate_abr_traces_with, replay_abr_trace, train_abr_adversary, AbrAdversaryConfig,
@@ -23,40 +24,57 @@ fn main() {
     let video = Video::cbr();
     let steps = scale.adversary_steps() / 3;
     let n_traces = 20;
+    let mut pipe = Pipeline::new("ablation_smoothing", scale);
 
     println!("{:>10} {:>14} {:>14} {:>14}", "lambda", "bb_qoe", "opt_gap/chunk", "mean |Δbw|");
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
     for lambda in [0.0, 0.25, 1.0, 4.0] {
-        let cfg = AbrAdversaryConfig { smoothing_coef: lambda, ..AbrAdversaryConfig::default() };
-        let mut env =
-            AbrAdversaryEnv::new(BufferBased::pensieve_defaults(), video.clone(), cfg.clone());
-        let train_cfg =
-            AdversaryTrainConfig { total_steps: steps, ..AdversaryTrainConfig::default() };
-        let (adv, _) = train_abr_adversary(&mut env, &train_cfg);
-        let traces = generate_abr_traces_with(
-            &mut env,
-            &adv.policy,
-            adv.obs_norm.as_ref(),
-            n_traces,
-            false,
-            2024,
-        );
+        // one cached unit per coefficient: train + generate + replay, the
+        // value is the `(bb_qoe, gap, jump)` per-trace means
+        let key = UnitKey::of(&(steps, n_traces, 2024u64), "smoothing_lambda", &lambda);
+        let (mean_qoe, mean_gap, mean_jump) = Pipeline::require(
+            pipe.unit(&format!("smoothing lambda={lambda}"), &key, || {
+                let cfg =
+                    AbrAdversaryConfig { smoothing_coef: lambda, ..AbrAdversaryConfig::default() };
+                let mut env = AbrAdversaryEnv::new(
+                    BufferBased::pensieve_defaults(),
+                    video.clone(),
+                    cfg.clone(),
+                );
+                let train_cfg =
+                    AdversaryTrainConfig { total_steps: steps, ..AdversaryTrainConfig::default() };
+                let (adv, _) = train_abr_adversary(&mut env, &train_cfg);
+                let traces = generate_abr_traces_with(
+                    &mut env,
+                    &adv.policy,
+                    adv.obs_norm.as_ref(),
+                    n_traces,
+                    false,
+                    2024,
+                );
 
-        let mut bb_qoe = 0.0;
-        let mut gap = 0.0;
-        let mut jump = 0.0;
-        for t in &traces {
-            let q = replay_abr_trace(t, &mut BufferBased::pensieve_defaults(), &video, &cfg);
-            let (opt, _) = abr::optimal_qoe_dp(&video, &cfg.qoe, t, cfg.latency_ms / 1000.0);
-            bb_qoe += q;
-            gap += opt / video.n_chunks() as f64 - q;
-            jump += t.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (t.len() - 1) as f64;
-        }
-        let n = n_traces as f64;
-        println!("{lambda:>10.2} {:>14.3} {:>14.3} {:>14.3}", bb_qoe / n, gap / n, jump / n);
-        rows.push((format!("lambda_{lambda}|bb_qoe"), 0.0, bb_qoe / n));
-        rows.push((format!("lambda_{lambda}|opt_gap"), 0.0, gap / n));
-        rows.push((format!("lambda_{lambda}|mean_bw_jump"), 0.0, jump / n));
+                let mut bb_qoe = 0.0;
+                let mut gap = 0.0;
+                let mut jump = 0.0;
+                for t in &traces {
+                    let q =
+                        replay_abr_trace(t, &mut BufferBased::pensieve_defaults(), &video, &cfg);
+                    let (opt, _) =
+                        abr::optimal_qoe_dp(&video, &cfg.qoe, t, cfg.latency_ms / 1000.0);
+                    bb_qoe += q;
+                    gap += opt / video.n_chunks() as f64 - q;
+                    jump += t.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>()
+                        / (t.len() - 1) as f64;
+                }
+                let n = n_traces as f64;
+                (bb_qoe / n, gap / n, jump / n)
+            }),
+            "smoothing ablation unit",
+        );
+        println!("{lambda:>10.2} {mean_qoe:>14.3} {mean_gap:>14.3} {mean_jump:>14.3}");
+        rows.push((format!("lambda_{lambda}|bb_qoe"), 0.0, mean_qoe));
+        rows.push((format!("lambda_{lambda}|opt_gap"), 0.0, mean_gap));
+        rows.push((format!("lambda_{lambda}|mean_bw_jump"), 0.0, mean_jump));
     }
     println!("\n(higher lambda should buy smoother, more explainable traces at");
     println!("some cost in raw damage — the paper's §2.1 trade-off)");
@@ -65,5 +83,6 @@ fn main() {
         eprintln!("cannot write {}: {e}", path.display());
         std::process::exit(1);
     }
+    pipe.finish();
     println!("wrote {}", path.display());
 }

@@ -9,6 +9,7 @@
 //! Writes `results/ablation_tracebased.csv`.
 
 use abr::{AbrPolicy, BufferBased, Mpc, Video};
+use adv_bench::pipeline::{Pipeline, UnitKey};
 use adv_bench::{banner, results_dir, Scale};
 use adversary::{
     cem_search, generate_abr_traces_with, random_abr_traces, score_trace, train_abr_adversary,
@@ -77,22 +78,42 @@ fn main() {
     let video = Video::cbr();
     let cfg = AbrAdversaryConfig::default();
     let chunks = budget(scale);
+    let mut pipe = Pipeline::new("ablation_tracebased", scale);
     println!("budget: {chunks} protocol-chunk simulations per method\n");
     println!("{:>10} {:>12} {:>12} {:>12}", "target", "random", "cem", "online-ppo");
 
+    // each target × method cell is one cached unit (the value is its score)
+    let cell = |pipe: &mut Pipeline, target: &str, method: &str, f: &mut dyn FnMut() -> f64| {
+        let key = UnitKey::of(&(chunks, target), method, &"v1");
+        Pipeline::require(
+            pipe.unit(&format!("{method} vs {target}"), &key, f),
+            "trace-search ablation unit",
+        )
+    };
+
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
     // BB
-    let r = best_random(&BufferBased::pensieve_defaults(), &video, &cfg, chunks);
-    let c = cem_best(&mut BufferBased::pensieve_defaults(), &video, &cfg, chunks);
-    let o = online_best(BufferBased::pensieve_defaults(), &video, &cfg, chunks);
+    let r = cell(&mut pipe, "bb", "random", &mut || {
+        best_random(&BufferBased::pensieve_defaults(), &video, &cfg, chunks)
+    });
+    let c = cell(&mut pipe, "bb", "cem", &mut || {
+        cem_best(&mut BufferBased::pensieve_defaults(), &video, &cfg, chunks)
+    });
+    let o = cell(&mut pipe, "bb", "online", &mut || {
+        online_best(BufferBased::pensieve_defaults(), &video, &cfg, chunks)
+    });
     println!("{:>10} {r:>12.3} {c:>12.3} {o:>12.3}", "bb");
     for (m, v) in [("random", r), ("cem", c), ("online", o)] {
         rows.push((format!("bb|{m}"), 0.0, v));
     }
     // MPC
-    let r = best_random(&Mpc::default(), &video, &cfg, chunks);
-    let c = cem_best(&mut Mpc::default(), &video, &cfg, chunks);
-    let o = online_best(Mpc::default(), &video, &cfg, chunks);
+    let r = cell(&mut pipe, "mpc", "random", &mut || {
+        best_random(&Mpc::default(), &video, &cfg, chunks)
+    });
+    let c =
+        cell(&mut pipe, "mpc", "cem", &mut || cem_best(&mut Mpc::default(), &video, &cfg, chunks));
+    let o =
+        cell(&mut pipe, "mpc", "online", &mut || online_best(Mpc::default(), &video, &cfg, chunks));
     println!("{:>10} {r:>12.3} {c:>12.3} {o:>12.3}", "mpc");
     for (m, v) in [("random", r), ("cem", c), ("online", o)] {
         rows.push((format!("mpc|{m}"), 0.0, v));
@@ -105,5 +126,6 @@ fn main() {
         eprintln!("cannot write {}: {e}", path.display());
         std::process::exit(1);
     }
+    pipe.finish();
     println!("wrote {}", path.display());
 }

@@ -4,6 +4,8 @@
 //! Not part of the figure pipeline; kept for reproducibility of the tuning
 //! decision recorded in EXPERIMENTS.md.
 
+use adv_bench::pipeline::{Pipeline, UnitKey};
+use adv_bench::Scale;
 use adversary::{
     generate_cc_trace_with, train_cc_adversary, AdversaryTrainConfig, CcAdversaryConfig,
     CcAdversaryEnv,
@@ -11,42 +13,58 @@ use adversary::{
 use cc::Bbr;
 
 fn main() {
+    let mut pipe = Pipeline::new("cc_tune", Scale::from_env());
     for (gamma, lambda, std0, steps, seed, repeat) in
         [(0.99, 0.97, 1.0, 300_000usize, 17u64, 10usize), (0.99, 0.97, 1.0, 300_000, 23, 10)]
     {
-        let mut env = CcAdversaryEnv::new(
-            Box::new(|| Box::new(Bbr::new())),
-            CcAdversaryConfig {
-                episode_steps: 3000 / repeat,
-                action_repeat: repeat,
-                ..CcAdversaryConfig::default()
-            },
+        // one unit per hyperparameter combination; the value is the
+        // (first reward, last reward, stochastic util, deterministic util)
+        // summary, so a resumed sweep skips finished combinations
+        let key = UnitKey::of(&(steps, seed, repeat), "cc_tune", &(gamma, lambda, std0, "tune v1"));
+        let (first_reward, last_reward, stoch_util, det_util) = Pipeline::require(
+            pipe.unit(&format!("tune seed={seed} repeat={repeat}"), &key, || {
+                let mut env = CcAdversaryEnv::new(
+                    Box::new(|| Box::new(Bbr::new())),
+                    CcAdversaryConfig {
+                        episode_steps: 3000 / repeat,
+                        action_repeat: repeat,
+                        ..CcAdversaryConfig::default()
+                    },
+                );
+                let cfg = AdversaryTrainConfig {
+                    total_steps: steps,
+                    ppo: rl::PpoConfig {
+                        n_steps: 6000,
+                        minibatch_size: 250,
+                        epochs: 8,
+                        lr: 3e-4,
+                        gamma,
+                        lambda,
+                        ent_coef: 0.0005,
+                        seed,
+                        ..rl::PpoConfig::default()
+                    },
+                    init_std: std0,
+                    ..AdversaryTrainConfig::default()
+                };
+                let (ppo, reports) = train_cc_adversary(&mut env, &cfg);
+                let stoch =
+                    generate_cc_trace_with(&mut env, &ppo.policy, ppo.obs_norm.as_ref(), false, 1);
+                let det =
+                    generate_cc_trace_with(&mut env, &ppo.policy, ppo.obs_norm.as_ref(), true, 2);
+                // a run short enough to produce no progress reports is a
+                // configuration error, not a panic: surface NaN instead
+                let first = reports.first().map_or(f64::NAN, |r| r.mean_step_reward);
+                let last = reports.last().map_or(f64::NAN, |r| r.mean_step_reward);
+                (first, last, stoch.mean_utilization(), det.mean_utilization())
+            }),
+            "cc tuning unit",
         );
-        let cfg = AdversaryTrainConfig {
-            total_steps: steps,
-            ppo: rl::PpoConfig {
-                n_steps: 6000,
-                minibatch_size: 250,
-                epochs: 8,
-                lr: 3e-4,
-                gamma,
-                lambda,
-                ent_coef: 0.0005,
-                seed,
-                ..rl::PpoConfig::default()
-            },
-            init_std: std0,
-            ..AdversaryTrainConfig::default()
-        };
-        let (ppo, reports) = train_cc_adversary(&mut env, &cfg);
-        let stoch = generate_cc_trace_with(&mut env, &ppo.policy, ppo.obs_norm.as_ref(), false, 1);
-        let det = generate_cc_trace_with(&mut env, &ppo.policy, ppo.obs_norm.as_ref(), true, 2);
         println!(
-            "gamma={gamma} lambda={lambda} std0={std0} seed={seed} repeat={repeat}: reward {:.3}->{:.3} | stochastic util {:.1}% | deterministic util {:.1}%",
-            reports.first().unwrap().mean_step_reward,
-            reports.last().unwrap().mean_step_reward,
-            100.0 * stoch.mean_utilization(),
-            100.0 * det.mean_utilization(),
+            "gamma={gamma} lambda={lambda} std0={std0} seed={seed} repeat={repeat}: reward {first_reward:.3}->{last_reward:.3} | stochastic util {:.1}% | deterministic util {:.1}%",
+            100.0 * stoch_util,
+            100.0 * det_util,
         );
     }
+    pipe.finish();
 }

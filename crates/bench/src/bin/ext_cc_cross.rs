@@ -15,6 +15,7 @@
 //! Run: `cargo run -p adv-bench --release --bin ext_cc_cross`.
 //! Writes `results/ext_cc_cross.csv`.
 
+use adv_bench::pipeline::{Pipeline, UnitKey};
 use adv_bench::{banner, results_dir, Scale};
 use adversary::{
     generate_cc_trace_with, train_cc_adversary, AdversaryTrainConfig, CcAdversaryConfig,
@@ -53,73 +54,88 @@ fn main() {
     let scale = Scale::from_env();
     banner(&format!("Extension — CC adversary cross matrix ({} scale)", scale.tag()));
     let steps = scale.adversary_steps().clamp(150_000, 300_000);
+    let mut pipe = Pipeline::new("ext_cc_cross", scale);
 
     // one adversary per target protocol; the five training runs are
     // independent, so they fan out over exec::par_map (each with its own
-    // fixed seed — results are in protocol order and scheduling-invariant)
+    // fixed seed — results are in protocol order and scheduling-invariant).
+    // The whole fan-out is one cached pipeline unit: a resumed run replays
+    // the trained schedules instead of re-training five adversaries.
     let names: Vec<&'static str> = protocols().iter().map(|(n, _)| *n).collect();
-    let mut schedules: Vec<(&'static str, Vec<LinkParams>)> =
-        exec::par_map(names, exec::default_workers(), |i, name| {
-            eprintln!("[ext_cc_cross] training adversary vs {name} ({steps} steps)...");
-            let factory: Factory = match name {
-                "bbr" => Box::new(|| Box::new(Bbr::new())),
-                "cubic" => Box::new(|| Box::new(Cubic::new())),
-                "reno" => Box::new(|| Box::new(Reno::new())),
-                "copa" => Box::new(|| Box::new(Copa::new())),
-                _ => Box::new(|| Box::new(Vivace::new())),
-            };
-            // the tuned recipe from cc_adv: 300 ms action persistence and
-            // wide initial exploration (see EXPERIMENTS.md Fig. 5 notes)
-            let mut env = CcAdversaryEnv::new(
-                factory,
-                CcAdversaryConfig {
-                    episode_steps: 100,
-                    action_repeat: 10,
-                    ..CcAdversaryConfig::default()
-                },
-            );
-            let cfg = AdversaryTrainConfig {
-                total_steps: steps,
-                ppo: rl::PpoConfig {
-                    n_steps: 6000,
-                    minibatch_size: 250,
-                    epochs: 8,
-                    lr: 3e-4,
-                    gamma: 0.99,
-                    lambda: 0.97,
-                    ent_coef: 0.0005,
-                    seed: 23 + i as u64,
-                    ..rl::PpoConfig::default()
-                },
-                init_std: 1.0,
-                ..AdversaryTrainConfig::default()
-            };
-            let (ppo, _) = train_cc_adversary(&mut env, &cfg);
-            let trace = generate_cc_trace_with(
-                &mut env,
-                &ppo.policy,
-                ppo.obs_norm.as_ref(),
-                false,
-                900 + i as u64,
-            );
-            (name, trace.params)
-        });
+    let train_key = UnitKey::of(&(steps, 23u64, 900u64), "cross_adversaries", &names);
+    let mut schedules: Vec<(String, Vec<LinkParams>)> = Pipeline::require(
+        pipe.unit("train adversaries vs all protocols", &train_key, || {
+            exec::par_map(names.clone(), exec::default_workers(), |i, name| {
+                eprintln!("[ext_cc_cross] training adversary vs {name} ({steps} steps)...");
+                let factory: Factory = match name {
+                    "bbr" => Box::new(|| Box::new(Bbr::new())),
+                    "cubic" => Box::new(|| Box::new(Cubic::new())),
+                    "reno" => Box::new(|| Box::new(Reno::new())),
+                    "copa" => Box::new(|| Box::new(Copa::new())),
+                    _ => Box::new(|| Box::new(Vivace::new())),
+                };
+                // the tuned recipe from cc_adv: 300 ms action persistence and
+                // wide initial exploration (see EXPERIMENTS.md Fig. 5 notes)
+                let mut env = CcAdversaryEnv::new(
+                    factory,
+                    CcAdversaryConfig {
+                        episode_steps: 100,
+                        action_repeat: 10,
+                        ..CcAdversaryConfig::default()
+                    },
+                );
+                let cfg = AdversaryTrainConfig {
+                    total_steps: steps,
+                    ppo: rl::PpoConfig {
+                        n_steps: 6000,
+                        minibatch_size: 250,
+                        epochs: 8,
+                        lr: 3e-4,
+                        gamma: 0.99,
+                        lambda: 0.97,
+                        ent_coef: 0.0005,
+                        seed: 23 + i as u64,
+                        ..rl::PpoConfig::default()
+                    },
+                    init_std: 1.0,
+                    ..AdversaryTrainConfig::default()
+                };
+                let (ppo, _) = train_cc_adversary(&mut env, &cfg);
+                let trace = generate_cc_trace_with(
+                    &mut env,
+                    &ppo.policy,
+                    ppo.obs_norm.as_ref(),
+                    false,
+                    900 + i as u64,
+                );
+                (name.to_string(), trace.params)
+            })
+        }),
+        "cross-matrix adversary training unit",
+    );
     // loss-free random baseline (bandwidth/latency jitter only)
     let rnd = traces::random_cc_trace(912, 1000);
     let random_params: Vec<LinkParams> =
         rnd.segments.iter().map(|s| LinkParams::new(s.bandwidth_mbps, s.latency_ms, 0.0)).collect();
-    schedules.push(("random(no-loss)", random_params));
+    schedules.push(("random(no-loss)".to_string(), random_params));
 
     // the matrix: every (schedule, protocol) replay is independent, so
-    // all cells run in parallel and come back in row-major order
+    // all cells run in parallel and come back in row-major order; the
+    // full matrix is a second cached unit keyed by the schedules
     let protos = protocols();
-    let cells: Vec<(usize, usize)> =
-        (0..schedules.len()).flat_map(|a| (0..protos.len()).map(move |p| (a, p))).collect();
-    let schedules_ref = &schedules;
-    let protos_ref = &protos;
-    let utils = exec::par_map(cells, exec::default_workers(), |_, (a, p)| {
-        replay(&schedules_ref[a].1, protos_ref[p].1.as_ref())
-    });
+    let matrix_key = UnitKey::of(&schedules, "cross_matrix", &names);
+    let utils: Vec<f64> = Pipeline::require(
+        pipe.unit("replay cross matrix", &matrix_key, || {
+            let cells: Vec<(usize, usize)> =
+                (0..schedules.len()).flat_map(|a| (0..protos.len()).map(move |p| (a, p))).collect();
+            let schedules_ref = &schedules;
+            let protos_ref = &protos;
+            exec::par_map(cells, exec::default_workers(), |_, (a, p)| {
+                replay(&schedules_ref[a].1, protos_ref[p].1.as_ref())
+            })
+        }),
+        "cross-matrix replay unit",
+    );
 
     print!("\n{:>16}", "adversary \\ run");
     for (pname, _) in &protos {
@@ -145,5 +161,6 @@ fn main() {
         eprintln!("cannot write {}: {e}", path.display());
         std::process::exit(1);
     }
+    pipe.finish();
     println!("wrote {}", path.display());
 }

@@ -7,9 +7,12 @@
 //! optimal strategy starts low and climbs smoothly.
 //!
 //! Run: `cargo run -p adv-bench --release --bin fig3`. Writes
-//! `results/fig3.csv` with `series,time_s,value` rows.
+//! `results/fig3.csv` with `series,time_s,value` rows. The adversary
+//! training runs as a cached pipeline unit under `results/cache/`, so a
+//! killed run resumes instead of retraining.
 
 use abr::{optimal_qoe_dp, AbrPolicy, BufferBased, QoeParams, Video};
+use adv_bench::pipeline::{Pipeline, UnitKey};
 use adv_bench::{banner, results_dir, Scale};
 use adversary::{
     generate_abr_traces_with, replay_abr_trace_detailed, train_abr_adversary, AbrAdversaryConfig,
@@ -21,25 +24,35 @@ fn main() {
     banner(&format!("Figure 3 — BB on an adversarial trace ({} scale)", scale.tag()));
     let video = Video::cbr();
     let cfg = AbrAdversaryConfig::default();
+    let mut pipe = Pipeline::new("fig3", scale);
 
-    eprintln!("[fig3] training adversary vs BB ({} steps)...", scale.adversary_steps());
-    let mut env =
-        AbrAdversaryEnv::new(BufferBased::pensieve_defaults(), video.clone(), cfg.clone());
     let train_cfg = AdversaryTrainConfig {
         total_steps: scale.adversary_steps(),
         ..AdversaryTrainConfig::default()
     };
-    let (adv, reports) = train_abr_adversary(&mut env, &train_cfg);
-    eprintln!(
-        "[fig3] adversary reward: first {:.3} last {:.3}",
-        reports.first().map(|r| r.mean_step_reward).unwrap_or(f64::NAN),
-        reports.last().map(|r| r.mean_step_reward).unwrap_or(f64::NAN)
+    let key = UnitKey::of(
+        &(train_cfg.total_steps, 99u64),
+        "bb_adversary_trace",
+        &(train_cfg.ppo.clone(), train_cfg.init_std),
     );
-
-    // the deterministic trace (paper: the most interpretable artifact)
-    let trace = generate_abr_traces_with(&mut env, &adv.policy, adv.obs_norm.as_ref(), 1, true, 99)
-        .pop()
-        .expect("one trace");
+    let trace: Vec<f64> = Pipeline::require(
+        pipe.unit("train BB adversary + deterministic trace", &key, || {
+            eprintln!("[fig3] training adversary vs BB ({} steps)...", scale.adversary_steps());
+            let mut env =
+                AbrAdversaryEnv::new(BufferBased::pensieve_defaults(), video.clone(), cfg.clone());
+            let (adv, reports) = train_abr_adversary(&mut env, &train_cfg);
+            eprintln!(
+                "[fig3] adversary reward: first {:.3} last {:.3}",
+                reports.first().map(|r| r.mean_step_reward).unwrap_or(f64::NAN),
+                reports.last().map(|r| r.mean_step_reward).unwrap_or(f64::NAN)
+            );
+            // the deterministic trace (paper: the most interpretable artifact)
+            let mut ts =
+                generate_abr_traces_with(&mut env, &adv.policy, adv.obs_norm.as_ref(), 1, true, 99);
+            ts.pop().unwrap_or_else(|| panic!("trace generation returned no traces"))
+        }),
+        "fig3 adversary unit",
+    );
 
     // replay BB and compute the offline optimum on the same bandwidths
     let mut bb = BufferBased::pensieve_defaults();
@@ -87,5 +100,6 @@ fn main() {
         eprintln!("cannot write {}: {e}", path.display());
         std::process::exit(1);
     }
+    pipe.finish();
     println!("wrote {} (target protocol: {name})", path.display());
 }

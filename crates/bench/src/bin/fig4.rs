@@ -11,7 +11,8 @@
 //! Run: `cargo run -p adv-bench --release --bin fig4`. Writes
 //! `results/fig4.csv` with `combo|variant|stat,x,value` rows.
 
-use abr::{QoeParams, Video};
+use abr::{Pensieve, QoeParams, Video};
+use adv_bench::pipeline::{Pipeline, UnitKey};
 use adv_bench::{banner, fmt_row, results_dir, Scale};
 use adversary::robustify::{eval_pensieve, robustify_variants};
 use adversary::{AdversaryTrainConfig, RobustifyConfig};
@@ -24,6 +25,7 @@ fn main() {
     let qoe = QoeParams::default();
     let gen_cfg = GenConfig::default();
     let n = scale.corpus_size();
+    let mut pipe = Pipeline::new("fig4", scale);
 
     let broadband_train: Vec<Trace> = (0..n as u64).map(|i| fcc_like(i, &gen_cfg)).collect();
     let broadband_test: Vec<Trace> =
@@ -53,18 +55,45 @@ fn main() {
 
     for (train_label, train_corpus, tests) in setups {
         banner(&format!("training on {train_label} (baseline + adv@90% + adv@70%)"));
-        let (baseline, variants) = robustify_variants(
-            (*train_corpus).clone(),
-            video.clone(),
-            qoe.clone(),
-            &base_cfg,
-            &[0.9, 0.7],
+        // one pipeline unit per training corpus: the six Pensieve
+        // trainings are by far the expensive part of this figure
+        let train_key = UnitKey::of(
+            train_corpus,
+            &format!("robustify_{train_label}"),
+            &(base_cfg.total_steps, base_cfg.n_adv_traces, base_cfg.adversary.total_steps),
+        );
+        type Variants = Vec<(f64, Pensieve, Vec<Trace>)>;
+        let (baseline, variants): (Pensieve, Variants) = Pipeline::require(
+            pipe.unit(&format!("robustify on {train_label}"), &train_key, || {
+                robustify_variants(
+                    (*train_corpus).clone(),
+                    video.clone(),
+                    qoe.clone(),
+                    &base_cfg,
+                    &[0.9, 0.7],
+                )
+            }),
+            "robustify training unit",
         );
         for (test_label, test_corpus) in tests {
-            let base = eval_pensieve(&baseline, test_corpus, &video, &qoe);
             let combo = format!("{train_label} training/{test_label} testing");
+            let eval_unit = |pipe: &mut Pipeline, model: &Pensieve, tag: &str| -> Vec<f64> {
+                let key =
+                    UnitKey::of(test_corpus, "pensieve_eval", &(UnitKey::hash_of(model), "v1"));
+                Pipeline::require(
+                    pipe.unit(&format!("eval {tag} on {test_label}"), &key, || {
+                        eval_pensieve(model, test_corpus, &video, &qoe)
+                    }),
+                    "pensieve eval unit",
+                )
+            };
+            let base = eval_unit(&mut pipe, &baseline, &format!("{train_label} baseline"));
             for (inject_at, robust_model, _) in &variants {
-                let robust = eval_pensieve(robust_model, test_corpus, &video, &qoe);
+                let robust = eval_unit(
+                    &mut pipe,
+                    robust_model,
+                    &format!("{train_label} adv@{:.0}%", inject_at * 100.0),
+                );
                 let stats = [
                     ("mean", nn::ops::mean(&base), nn::ops::mean(&robust)),
                     ("p5", nn::ops::percentile(&base, 5.0), nn::ops::percentile(&robust, 5.0)),
@@ -90,6 +119,7 @@ fn main() {
         eprintln!("cannot write {}: {e}", path.display());
         std::process::exit(1);
     }
+    pipe.finish();
     println!("wrote {}", path.display());
     println!("(paper reference: improvement across all cells, biggest at the 5th percentile, ~1.22x broadband/broadband p5)");
 }

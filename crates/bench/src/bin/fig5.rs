@@ -10,7 +10,8 @@
 //! `results/cc_adversary_<scale>.json` and reused by fig6. Writes
 //! `results/fig5.csv` with `series,time_s,value` rows.
 
-use adv_bench::cc_adv::{bbr_train_env, cc_adversary};
+use adv_bench::cc_adv::{bbr_train_env, cc_adversary_in};
+use adv_bench::pipeline::Pipeline;
 use adv_bench::{banner, results_dir, Scale};
 use adversary::generate_cc_trace_with;
 use cc::Bbr;
@@ -18,7 +19,8 @@ use cc::Bbr;
 fn main() {
     let scale = Scale::from_env();
     banner(&format!("Figure 5 — BBR on a 30 s adversarial trace ({} scale)", scale.tag()));
-    let adv = cc_adversary(scale);
+    let mut pipe = Pipeline::new("fig5", scale);
+    let adv = cc_adversary_in(&mut pipe, scale);
 
     let mut env = bbr_train_env();
     let trace = generate_cc_trace_with(&mut env, &adv.policy, adv.obs_norm.as_ref(), false, 501);
@@ -63,5 +65,6 @@ fn main() {
         eprintln!("cannot write {}: {e}", path.display());
         std::process::exit(1);
     }
+    pipe.finish();
     println!("wrote {}", path.display());
 }

@@ -11,14 +11,16 @@
 //! Run: `cargo run -p adv-bench --release --bin fig6` (reuses fig5's cached
 //! adversary). Writes `results/fig6.csv` with `series,interval,value` rows.
 
-use adv_bench::cc_adv::{bbr_train_env, cc_adversary};
+use adv_bench::cc_adv::{bbr_train_env, cc_adversary_in};
+use adv_bench::pipeline::Pipeline;
 use adv_bench::{banner, results_dir, Scale};
 use adversary::generate_cc_trace_with;
 
 fn main() {
     let scale = Scale::from_env();
     banner(&format!("Figure 6 — adversary's deterministic actions ({} scale)", scale.tag()));
-    let adv = cc_adversary(scale);
+    let mut pipe = Pipeline::new("fig6", scale);
+    let adv = cc_adversary_in(&mut pipe, scale);
 
     let mut env = bbr_train_env();
     // deterministic = the policy mode, i.e. "before exploration noise"
@@ -84,5 +86,6 @@ fn main() {
         eprintln!("cannot write {}: {e}", path.display());
         std::process::exit(1);
     }
+    pipe.finish();
     println!("wrote {}", path.display());
 }

@@ -1,0 +1,34 @@
+//! Smoke test for the crash-resumable evaluation pipeline.
+//!
+//! Runs a miniature end-to-end campaign (train a tiny BB adversary,
+//! generate traces, replay three protocols) entirely through
+//! `bench::pipeline` units. Running it twice demonstrates the cache: the
+//! second run should report only cache hits and produce a byte-identical
+//! CSV. The CI fault-matrix job drives this binary under
+//! `ADVNET_FAULT_PLAN` to exercise kill/resume and corruption recovery.
+//!
+//! Run: `cargo run -p adv-bench --release --bin pipeline_smoke`.
+//! Writes `results/pipeline_smoke.csv` and its completion manifest.
+
+use adv_bench::pipeline::smoke;
+
+fn main() {
+    match smoke::run(4, 2024) {
+        Ok(out) => {
+            let m = &out.manifest;
+            println!(
+                "pipeline_smoke: {} units ({} cached, {} computed, {} quarantined, {} failed)",
+                m.units.len(),
+                m.cache_hits,
+                m.computed,
+                m.quarantined,
+                m.failed
+            );
+            println!("wrote {}", out.csv.display());
+        }
+        Err(e) => {
+            eprintln!("pipeline_smoke failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}

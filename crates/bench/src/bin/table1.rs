@@ -9,13 +9,15 @@
 //! Run: `cargo run -p adv-bench --release --bin table1`. Writes
 //! `results/table1.csv`.
 
-use adv_bench::{banner, results_dir};
+use adv_bench::pipeline::{Pipeline, UnitKey};
+use adv_bench::{banner, results_dir, Scale};
 use adversary::CcActionSpace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
     banner("Table 1 — CC adversary action ranges");
+    let mut pipe = Pipeline::new("table1", Scale::from_env());
     let space = CcActionSpace::default();
     println!("{:>12} {:>12} {:>12}", "Bandwidth", "Latency", "Loss rate");
     println!(
@@ -31,30 +33,37 @@ fn main() {
 
     // fuzz the clipper: no raw action may escape the box. The shards run
     // in parallel via exec::par_map, each on its own seed-split RNG
-    // stream, so the fuzz corpus is identical for any worker count.
-    let shards: Vec<u64> = (0..8).collect();
-    let space_ref = &space;
-    let violations: usize = exec::par_map(shards, exec::default_workers(), |_, shard| {
-        let mut rng = StdRng::seed_from_u64(exec::split_seed(1, shard));
-        let mut bad = 0;
-        for _ in 0..12_500 {
-            let raw = [
-                rng.gen_range(-100.0..100.0),
-                rng.gen_range(-100.0..100.0),
-                rng.gen_range(-10.0..10.0),
-            ];
-            let p = space_ref.to_params(&raw);
-            if !(6.0..=24.0).contains(&p.bandwidth_mbps)
-                || !(15.0..=60.0).contains(&p.latency_ms)
-                || !(0.0..=0.10).contains(&p.loss_rate)
-            {
-                bad += 1;
-            }
-        }
-        bad
-    })
-    .into_iter()
-    .sum();
+    // stream, so the fuzz corpus is identical for any worker count. The
+    // whole fuzz is one cached pipeline unit.
+    let fuzz_key = UnitKey::of(&(8u64, 12_500usize, 1u64), "clip_fuzz", &"v1");
+    let violations: usize = Pipeline::require(
+        pipe.unit("clip fuzz (100k raw actions)", &fuzz_key, || {
+            let shards: Vec<u64> = (0..8).collect();
+            let space_ref = &space;
+            exec::par_map(shards, exec::default_workers(), |_, shard| {
+                let mut rng = StdRng::seed_from_u64(exec::split_seed(1, shard));
+                let mut bad = 0usize;
+                for _ in 0..12_500 {
+                    let raw = [
+                        rng.gen_range(-100.0..100.0),
+                        rng.gen_range(-100.0..100.0),
+                        rng.gen_range(-10.0..10.0),
+                    ];
+                    let p = space_ref.to_params(&raw);
+                    if !(6.0..=24.0).contains(&p.bandwidth_mbps)
+                        || !(15.0..=60.0).contains(&p.latency_ms)
+                        || !(0.0..=0.10).contains(&p.loss_rate)
+                    {
+                        bad += 1;
+                    }
+                }
+                bad
+            })
+            .into_iter()
+            .sum()
+        }),
+        "clip fuzz unit",
+    );
     assert_eq!(violations, 0, "raw actions escaped the Table 1 box");
     println!(
         "verified against the paper's ranges; 100k random raw actions all clip inside the box"
@@ -73,5 +82,6 @@ fn main() {
         eprintln!("cannot write {}: {e}", path.display());
         std::process::exit(1);
     }
+    pipe.finish();
     println!("wrote {}", path.display());
 }

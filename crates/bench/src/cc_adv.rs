@@ -1,6 +1,9 @@
 //! The shared CC adversary behind Figs. 5 and 6: trained once against BBR,
-//! cached under `results/`.
+//! cached under `results/` (legacy JSON) and as a checksummed pipeline
+//! unit under `results/cache/`, so both figures — and a run killed
+//! mid-training — share one adversary.
 
+use crate::pipeline::{Pipeline, UnitKey};
 use crate::saved::SavedPolicy;
 use crate::{results_dir, Scale};
 use adversary::{try_train_cc_adversary, AdversaryTrainConfig, CcAdversaryConfig, CcAdversaryEnv};
@@ -29,23 +32,26 @@ pub fn bbr_train_env() -> CcAdversaryEnv {
     )
 }
 
-/// Train (or load from cache) the CC adversary against BBR.
+/// Train (or load from cache) the CC adversary against BBR, standalone
+/// (owns a throwaway pipeline — figure binaries with their own pipeline
+/// use [`cc_adversary_in`] so the unit shows up in their manifest).
 pub fn cc_adversary(scale: Scale) -> SavedPolicy {
+    let mut pipe = Pipeline::new("cc_adv", scale);
+    let saved = cc_adversary_in(&mut pipe, scale);
+    pipe.finish();
+    saved
+}
+
+/// Train (or load from cache) the CC adversary against BBR, as a unit of
+/// the caller's pipeline. Figs. 5 and 6 both call this with the same key,
+/// so whichever runs first trains and the other replays the cache.
+pub fn cc_adversary_in(pipe: &mut Pipeline, scale: Scale) -> SavedPolicy {
     let path = results_dir().join(format!("cc_adversary_{}.json", scale.tag()));
-    if let Ok(saved) = SavedPolicy::load(&path) {
-        eprintln!("[cc_adv] loaded cached adversary {}", path.display());
-        return saved;
-    }
-    eprintln!("[cc_adv] training CC adversary vs BBR ({} steps)...", scale.adversary_steps());
-    let mut env = bbr_train_env();
     // Hyperparameters selected by the sweep recorded in `cc_tune` (see
     // EXPERIMENTS.md): wide initial exploration noise plus 300 ms action
     // persistence is what lets PPO discover the probe attack; this
     // configuration lands the adversary's achieved utilization in the
     // paper's 45-65% band.
-    // This is the longest single training run in the bench suite, so it is
-    // crash-safe: a checkpoint lands next to the cache every 5 iterations
-    // and a re-run resumes from it (and removes it once the cache exists).
     let ckpt_path = results_dir().join(format!("cc_adversary_{}.ckpt", scale.tag()));
     let cfg = AdversaryTrainConfig {
         total_steps: scale.adversary_steps().clamp(300_000, 600_000),
@@ -66,20 +72,46 @@ pub fn cc_adversary(scale: Scale) -> SavedPolicy {
         checkpoint_path: Some(ckpt_path.clone()),
         checkpoint_every: 5,
     };
-    let (ppo, reports) = try_train_cc_adversary(&mut env, &cfg)
-        .unwrap_or_else(|e| panic!("[cc_adv] adversary training failed: {e}"));
-    eprintln!(
-        "[cc_adv] adversary reward: first {:.3} last {:.3}",
-        reports.first().map(|r| r.mean_step_reward).unwrap_or(f64::NAN),
-        reports.last().map(|r| r.mean_step_reward).unwrap_or(f64::NAN)
+    let key = UnitKey::of(
+        &(cfg.total_steps, 23u64),
+        "cc_adversary_bbr",
+        &(cfg.ppo.clone(), cfg.init_std),
     );
-    let saved = SavedPolicy::from_ppo(
-        &ppo,
-        format!("CC adversary vs BBR, {} steps, seed 17", scale.adversary_steps()),
-    );
-    saved
-        .save(&path)
-        .unwrap_or_else(|e| panic!("[cc_adv] cannot cache adversary to {}: {e}", path.display()));
-    std::fs::remove_file(&ckpt_path).ok();
-    saved
+    Pipeline::require(
+        pipe.unit("train CC adversary vs BBR", &key, || {
+            // legacy pre-pipeline cache; still honored and still written,
+            // since external tooling may reference the plain JSON path
+            if let Ok(saved) = SavedPolicy::load(&path) {
+                eprintln!("[cc_adv] loaded cached adversary {}", path.display());
+                return saved;
+            }
+            eprintln!(
+                "[cc_adv] training CC adversary vs BBR ({} steps)...",
+                scale.adversary_steps()
+            );
+            // This is the longest single training run in the bench suite,
+            // so it is doubly crash-safe: a training checkpoint lands next
+            // to the cache every 5 iterations and a re-run of this unit
+            // resumes from it bit-identically (removed once the caches
+            // exist).
+            let mut env = bbr_train_env();
+            let (ppo, reports) = try_train_cc_adversary(&mut env, &cfg)
+                .unwrap_or_else(|e| panic!("[cc_adv] adversary training failed: {e}"));
+            eprintln!(
+                "[cc_adv] adversary reward: first {:.3} last {:.3}",
+                reports.first().map(|r| r.mean_step_reward).unwrap_or(f64::NAN),
+                reports.last().map(|r| r.mean_step_reward).unwrap_or(f64::NAN)
+            );
+            let saved = SavedPolicy::from_ppo(
+                &ppo,
+                format!("CC adversary vs BBR, {} steps, seed 23", scale.adversary_steps()),
+            );
+            saved.save(&path).unwrap_or_else(|e| {
+                panic!("[cc_adv] cannot cache adversary to {}: {e}", path.display())
+            });
+            std::fs::remove_file(&ckpt_path).ok();
+            saved
+        }),
+        "CC adversary training",
+    )
 }

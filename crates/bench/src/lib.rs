@@ -9,6 +9,7 @@
 
 pub mod abr_eval;
 pub mod cc_adv;
+pub mod pipeline;
 pub mod saved;
 
 use std::path::PathBuf;

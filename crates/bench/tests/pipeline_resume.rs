@@ -1,0 +1,162 @@
+//! The crash-resume contract of `bench::pipeline` (ISSUE acceptance):
+//!
+//! * cache keys are a pure function of their inputs — stable across runs
+//!   and insensitive to the order units are executed in (property test);
+//! * a randomly truncated or bit-flipped cache entry is always
+//!   quarantined and recomputed, never silently served (property test);
+//! * killing the smoke fig-pipeline at a unit boundary via
+//!   `panic@bench.unit:2` and restarting produces a CSV byte-identical
+//!   to an uninterrupted run, with manifest cache hits > 0.
+
+use adv_bench::pipeline::{smoke, Pipeline, UnitKey};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// The fault plan and the `bench.unit` fault point are process-global, so
+/// every test that runs pipeline units (or installs a plan) serializes on
+/// this lock to keep one test's plan from firing inside another.
+static FAULT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("advnet-pipeline-resume").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Keys are stable (same inputs ⇒ same id, run after run) and the
+    /// cache is order-insensitive: executing the same units in reverse
+    /// order on a second run serves every one from cache.
+    #[test]
+    fn cache_keys_are_stable_and_order_insensitive(
+        vals in collection::vec(-1.0e3f64..1.0e3, 2usize..=6),
+        salt in 0u64..1_000_000,
+    ) {
+        let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let keys: Vec<UnitKey> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| UnitKey::of(&vec![*v], &format!("proto{i}"), &salt))
+            .collect();
+        // stability: recomputing the key from the same inputs is a no-op
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(
+                UnitKey::of(&vec![*v], &format!("proto{i}"), &salt).id(),
+                keys[i].id()
+            );
+        }
+        // order-insensitivity: first run computes in order, second run
+        // replays in reverse order purely from cache
+        let cache = scratch(&format!("order-{salt}"));
+        let mut pipe = Pipeline::new_at(cache.clone(), "order", "reduced");
+        let first: Vec<f64> = keys
+            .iter()
+            .zip(&vals)
+            .map(|(k, v)| pipe.unit("fwd", k, || *v * 2.0).unwrap())
+            .collect();
+        prop_assert_eq!(pipe.finish().computed, keys.len());
+
+        let mut pipe = Pipeline::new_at(cache.clone(), "order", "reduced");
+        let second: Vec<f64> = keys
+            .iter()
+            .rev()
+            .map(|k| pipe.unit("rev", k, || panic!("must come from cache")).unwrap())
+            .collect();
+        let m = pipe.finish();
+        prop_assert_eq!(m.cache_hits, keys.len());
+        prop_assert_eq!(m.computed, 0);
+        let forward: Vec<u64> = first.iter().map(|f| f.to_bits()).collect();
+        let mut reversed: Vec<u64> = second.iter().map(|f| f.to_bits()).collect();
+        reversed.reverse();
+        prop_assert_eq!(forward, reversed);
+        std::fs::remove_dir_all(&cache).ok();
+    }
+
+    /// Any single truncation or bit flip of a cache entry is caught: the
+    /// entry is quarantined, the value recomputed — never served corrupt.
+    #[test]
+    fn damaged_cache_entry_is_always_quarantined(
+        vals in collection::vec(-1.0e6f64..1.0e6, 1usize..=5),
+        damage_at in 0usize..100_000,
+        flip in 0u8..2,
+        salt in 0u64..1_000_000,
+    ) {
+        let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let cache = scratch(&format!("damage-{salt}-{damage_at}-{flip}"));
+        let key = UnitKey::of(&vals, "victim", &salt);
+        let path = cache.join("units").join(format!("{}.unit", key.id()));
+
+        let mut pipe = Pipeline::new_at(cache.clone(), "damage", "reduced");
+        let original: Vec<f64> = pipe.unit("seed", &key, || vals.clone()).unwrap();
+        pipe.finish();
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        if flip == 0 {
+            // flip one bit somewhere in the entry
+            let i = damage_at % bytes.len();
+            bytes[i] ^= 1 << (damage_at % 8);
+        } else {
+            // truncate to a strictly shorter prefix
+            bytes.truncate(damage_at % bytes.len());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut pipe = Pipeline::new_at(cache.clone(), "damage", "reduced");
+        let healed: Vec<f64> = pipe.unit("heal", &key, || vals.clone()).unwrap();
+        let m = pipe.finish();
+        prop_assert_eq!(m.quarantined, 1);
+        prop_assert_eq!(m.cache_hits, 0);
+        prop_assert_eq!(m.computed, 1);
+        let a: Vec<u64> = healed.iter().map(|f| f.to_bits()).collect();
+        let b: Vec<u64> = original.iter().map(|f| f.to_bits()).collect();
+        // recomputed value must match the pristine one
+        prop_assert_eq!(a, b);
+        std::fs::remove_dir_all(&cache).ok();
+    }
+}
+
+/// Kill the smoke fig-pipeline at the second unit boundary, restart it,
+/// and require a byte-identical CSV plus cache hits in the manifest.
+#[test]
+fn killed_pipeline_resumes_to_byte_identical_csv() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    // uninterrupted reference run in its own cache directory
+    let ref_dir = scratch("smoke-ref");
+    let ref_csv = ref_dir.join("smoke.csv");
+    let pipe = Pipeline::new_at(ref_dir.join("cache"), "pipeline_smoke", "reduced");
+    let reference = smoke::run_at(pipe, ref_csv.clone(), 2, 77).unwrap();
+    assert!(reference.manifest.complete);
+    let ref_bytes = std::fs::read(&ref_csv).unwrap();
+
+    // interrupted run: die at the second unit boundary
+    let kill_dir = scratch("smoke-kill");
+    let kill_csv = kill_dir.join("smoke.csv");
+    fault::install(fault::FaultPlan::parse("panic@bench.unit:2").unwrap());
+    let crashed = std::panic::catch_unwind({
+        let (cache, csv) = (kill_dir.join("cache"), kill_csv.clone());
+        move || {
+            let pipe = Pipeline::new_at(cache, "pipeline_smoke", "reduced");
+            let _ = smoke::run_at(pipe, csv, 2, 77);
+        }
+    });
+    fault::clear();
+    assert!(crashed.is_err(), "the fault plan should have killed the run mid-pipeline");
+    assert!(!kill_csv.exists(), "no CSV should exist from the interrupted run");
+
+    // resume with the plan disarmed: must finish from the cached prefix
+    let pipe = Pipeline::new_at(kill_dir.join("cache"), "pipeline_smoke", "reduced");
+    let resumed = smoke::run_at(pipe, kill_csv.clone(), 2, 77).unwrap();
+    assert!(resumed.manifest.complete);
+    assert!(resumed.manifest.cache_hits > 0, "resume must reuse units cached before the kill");
+    assert_eq!(
+        std::fs::read(&kill_csv).unwrap(),
+        ref_bytes,
+        "resumed CSV is byte-identical to the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&kill_dir).ok();
+}

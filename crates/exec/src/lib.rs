@@ -21,10 +21,19 @@
 //! `split_seed(seed, w)`, so streams are independent of each other and of
 //! how many workers run elsewhere.
 //!
+//! Fault isolation is built on the workspace-wide [`fault::Backoff`]
+//! policy, and [`run_on_slots_watchdog`] adds per-slot heartbeats with a
+//! monitor thread that cancels a stalled slot and re-runs it under the
+//! same deterministic rollback-and-retry path a panicked slot takes.
+//! Fault points `exec.worker.<w>` (per slot attempt) and `exec.item`
+//! (per item attempt) let `ADVNET_FAULT_PLAN` inject panics and stalls
+//! right where the retry machinery must absorb them.
+//!
 //! Built on `std::thread::scope` only — no runtime dependencies.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
@@ -185,18 +194,23 @@ where
 
 /// Fault-isolated [`par_map`]: every job runs under `catch_unwind`, a
 /// panicked item is retried on a fresh clone of its input up to
-/// `max_retries` extra times, and an exhausted item surfaces as a
-/// structured [`ExecError`] instead of unwinding through the pool.
+/// `backoff.retries` extra times (pausing `backoff.delay(attempt)` between
+/// attempts), and an exhausted item surfaces as a structured [`ExecError`]
+/// instead of unwinding through the pool.
 ///
 /// Output order and values are identical to [`par_map`] when nothing
 /// panics; the lowest-index exhausted failure wins when several items fail
 /// (deterministic regardless of scheduling). Note a *deterministic* panic
 /// will re-fire on every retry — the retry budget buys recovery from
 /// transient faults, not from buggy jobs.
+///
+/// Each attempt registers the `exec.item` fault point, so a plan such as
+/// `ADVNET_FAULT_PLAN=panic@exec.item:3` crashes the third item attempt of
+/// the process and must be absorbed by this very retry path.
 pub fn try_par_map<T, U, F>(
     items: Vec<T>,
     n_workers: usize,
-    max_retries: usize,
+    backoff: &fault::Backoff,
     f: F,
 ) -> Result<Vec<U>, ExecError>
 where
@@ -207,15 +221,23 @@ where
     let n_items = items.len();
     let workers = n_workers.min(n_items).max(1);
     let run_one = |i: usize, item: T| -> Result<U, ExecError> {
-        let backup = if max_retries > 0 { Some(item.clone()) } else { None };
+        let backup = if backoff.retries > 0 { Some(item.clone()) } else { None };
         let mut cur = item;
         let mut attempts = 0;
         loop {
             attempts += 1;
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, cur))) {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if fault::active() {
+                    // Only panic injections are meaningful for stateless
+                    // items; a panic inside check() lands in this
+                    // catch_unwind and exercises the retry path.
+                    let _ = fault::check("exec.item");
+                }
+                f(i, cur)
+            })) {
                 Ok(u) => return Ok(u),
                 Err(payload) => {
-                    if attempts > max_retries {
+                    if attempts > backoff.retries {
                         return Err(ExecError {
                             kind: ExecErrorKind::ItemPanicked,
                             index: i,
@@ -224,6 +246,7 @@ where
                         });
                     }
                     cur = backup.as_ref().expect("backup exists when retries > 0").clone();
+                    backoff.pause(attempts);
                 }
             }
         }
@@ -342,37 +365,163 @@ where
     run
 }
 
-/// Fault-isolated [`run_on_slots`]: each slot's job runs under
-/// `catch_unwind`; a panicked slot is rolled back to a clone taken before
-/// the attempt and retried up to `max_retries` extra times. The
-/// deterministic slot-order merge is unchanged, and a slot that exhausts
-/// its budget surfaces as a structured [`ExecError`] (lowest slot index
-/// wins when several fail) instead of poisoning the whole fan-out.
+/// Watchdog settings for [`run_on_slots_watchdog`]: a slot whose last
+/// heartbeat is older than `timeout` is cancelled and re-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// A slot is considered stalled when its last heartbeat is older
+    /// than this.
+    pub timeout: Duration,
+    /// How often the monitor thread scans the slots.
+    pub poll: Duration,
+}
+
+impl WatchdogConfig {
+    /// A timeout with a poll interval of one tenth of it (at least 1 ms).
+    pub fn with_timeout_ms(ms: u64) -> WatchdogConfig {
+        WatchdogConfig {
+            timeout: Duration::from_millis(ms.max(1)),
+            poll: Duration::from_millis((ms / 10).max(1)),
+        }
+    }
+
+    /// Read `ADVNET_WATCHDOG_MS` (0 or unset = no watchdog).
+    pub fn from_env() -> Option<WatchdogConfig> {
+        let ms: u64 = std::env::var("ADVNET_WATCHDOG_MS").ok()?.trim().parse().ok()?;
+        (ms > 0).then(|| WatchdogConfig::with_timeout_ms(ms))
+    }
+}
+
+/// Per-slot liveness record shared between a worker and the monitor.
+struct SlotMon {
+    /// Milliseconds since the run's epoch at the last heartbeat.
+    last_beat_ms: AtomicU64,
+    /// Set by the monitor; observed (and cleared) at the slot's next
+    /// heartbeat, which panics into the retry path.
+    cancelled: AtomicBool,
+    /// Set once the slot's job has finished (ok or exhausted).
+    done: AtomicBool,
+}
+
+impl SlotMon {
+    fn new() -> SlotMon {
+        SlotMon {
+            last_beat_ms: AtomicU64::new(0),
+            cancelled: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Liveness handle passed to every [`run_on_slots_watchdog`] job.
 ///
-/// With `max_retries == 0` no backup clones are taken — the call costs the
-/// same as [`run_on_slots`] but converts panics into errors. As with
-/// [`try_par_map`], retries recover *transient* faults only; a
-/// deterministic panic recurs on the restored clone.
-pub fn run_on_slots_retry<S, R, F>(
+/// Call [`beat`](Heartbeat::beat) at natural progress boundaries (e.g.
+/// once per environment step). A beat is one atomic store; when the
+/// monitor has flagged the slot as stalled, the beat panics instead —
+/// landing in the slot's `catch_unwind`, which rolls the slot back and
+/// re-runs it deterministically. A job that loops without ever beating
+/// can be *flagged* but never *interrupted* (threads cannot be killed),
+/// so heartbeat placement is part of the job's contract.
+pub struct Heartbeat<'a> {
+    mon: &'a SlotMon,
+    epoch: Instant,
+    worker: usize,
+}
+
+impl Heartbeat<'_> {
+    /// Record progress; panics into the retry path if the watchdog
+    /// cancelled this slot.
+    pub fn beat(&self) {
+        if self.mon.cancelled.swap(false, Ordering::SeqCst) {
+            panic!("[watchdog] worker {} cancelled: heartbeat older than timeout", self.worker);
+        }
+        self.mon.last_beat_ms.store(self.epoch.elapsed().as_millis() as u64, Ordering::SeqCst);
+    }
+
+    /// Block for `d` *without* heartbeating, while still honouring
+    /// cancellation — this is how `stall@exec.worker.<w>` faults simulate
+    /// a wedged slot that the watchdog can actually recover.
+    pub fn stall_for(&self, d: Duration) {
+        let t0 = Instant::now();
+        while t0.elapsed() < d {
+            if self.mon.cancelled.swap(false, Ordering::SeqCst) {
+                panic!("[watchdog] worker {} cancelled: heartbeat older than timeout", self.worker);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+/// Fault-isolated, watchdog-supervised [`run_on_slots`].
+///
+/// Each slot's job runs under `catch_unwind`; a panicked slot is rolled
+/// back to a clone taken before the attempt and retried up to
+/// `backoff.retries` extra times (pausing `backoff.delay(attempt)`
+/// between attempts). The deterministic slot-order merge is unchanged,
+/// and a slot that exhausts its budget surfaces as a structured
+/// [`ExecError`] (lowest slot index wins when several fail) instead of
+/// poisoning the whole fan-out.
+///
+/// When `watchdog` is `Some`, a monitor thread scans every slot's
+/// [`Heartbeat`] each `poll` and cancels any slot whose last beat is
+/// older than `timeout`; the cancelled slot panics at its next beat (or
+/// mid-[`stall_for`](Heartbeat::stall_for)) and re-runs under the same
+/// rollback path — so a stalled slot completes with the same merged
+/// result as a stall-free run, provided the job beats and is
+/// deterministic.
+///
+/// Every attempt registers the `exec.worker.<w>` fault point:
+/// `panic@exec.worker.1:2` crashes slot 1's second attempt, and
+/// `stall@exec.worker.2:1` makes slot 2 hang for the plan's `stall_ms`
+/// without beating — the scenario the watchdog exists to recover.
+///
+/// With `backoff.retries == 0` no backup clones are taken — the call
+/// costs the same as [`run_on_slots`] but converts panics into errors.
+/// Retries recover *transient* faults only; a deterministic panic recurs
+/// on the restored clone.
+pub fn run_on_slots_watchdog<S, R, F>(
     slots: &mut [S],
-    max_retries: usize,
+    backoff: &fault::Backoff,
+    watchdog: Option<&WatchdogConfig>,
     job: F,
 ) -> Result<WorkerRun<R>, ExecError>
 where
     S: Clone + Send,
     R: Send,
-    F: Fn(usize, &mut S) -> R + Sync,
+    F: Fn(usize, &mut S, &Heartbeat) -> R + Sync,
 {
-    let run_one = |w: usize, slot: &mut S| -> Result<(R, f64), ExecError> {
+    let epoch = Instant::now();
+    let mons: Vec<SlotMon> = (0..slots.len()).map(|_| SlotMon::new()).collect();
+    let run_one = |w: usize, slot: &mut S, mon: &SlotMon| -> Result<(R, f64), ExecError> {
         let t0 = Instant::now();
-        let backup = if max_retries > 0 { Some(slot.clone()) } else { None };
+        let backup = if backoff.retries > 0 { Some(slot.clone()) } else { None };
         let mut attempts = 0;
         loop {
             attempts += 1;
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(w, &mut *slot))) {
-                Ok(r) => return Ok((r, t0.elapsed().as_secs_f64())),
+            // arm this attempt: fresh beat, no pending cancellation
+            mon.cancelled.store(false, Ordering::SeqCst);
+            mon.last_beat_ms.store(epoch.elapsed().as_millis() as u64, Ordering::SeqCst);
+            let hb = Heartbeat { mon, epoch, worker: w };
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if fault::active() {
+                    // Panic fires inside check(); Nan/Corrupt have no
+                    // meaning for a worker slot and are ignored.
+                    if let Some(fault::Injection::Stall(d)) =
+                        fault::check(&format!("exec.worker.{w}"))
+                    {
+                        hb.stall_for(d)
+                    }
+                }
+                job(w, &mut *slot, &hb)
+            }));
+            match outcome {
+                Ok(r) => {
+                    mon.done.store(true, Ordering::SeqCst);
+                    return Ok((r, t0.elapsed().as_secs_f64()));
+                }
                 Err(payload) => {
-                    if attempts > max_retries {
+                    if attempts > backoff.retries {
+                        mon.done.store(true, Ordering::SeqCst);
                         return Err(ExecError {
                             kind: ExecErrorKind::WorkerPanicked,
                             index: w,
@@ -382,22 +531,53 @@ where
                     }
                     // roll the slot back to its pre-attempt state
                     *slot = backup.as_ref().expect("backup exists when retries > 0").clone();
+                    backoff.pause(attempts);
                 }
             }
         }
     };
-    let outcomes: Vec<Result<(R, f64), ExecError>> = if slots.len() <= 1 {
-        slots.iter_mut().enumerate().map(|(w, slot)| run_one(w, slot)).collect()
+    let inline = slots.len() <= 1 && watchdog.is_none();
+    let outcomes: Vec<Result<(R, f64), ExecError>> = if inline {
+        slots
+            .iter_mut()
+            .zip(&mons)
+            .enumerate()
+            .map(|(w, (slot, mon))| run_one(w, slot, mon))
+            .collect()
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = slots
                 .iter_mut()
+                .zip(&mons)
                 .enumerate()
-                .map(|(w, slot)| {
+                .map(|(w, (slot, mon))| {
                     let run_one = &run_one;
-                    scope.spawn(move || run_one(w, slot))
+                    scope.spawn(move || run_one(w, slot, mon))
                 })
                 .collect();
+            if let Some(cfg) = watchdog {
+                let mons = &mons;
+                scope.spawn(move || {
+                    let timeout_ms = cfg.timeout.as_millis() as u64;
+                    loop {
+                        if mons.iter().all(|m| m.done.load(Ordering::SeqCst)) {
+                            break;
+                        }
+                        let now = epoch.elapsed().as_millis() as u64;
+                        for m in mons {
+                            if m.done.load(Ordering::SeqCst) || m.cancelled.load(Ordering::SeqCst) {
+                                continue;
+                            }
+                            if now.saturating_sub(m.last_beat_ms.load(Ordering::SeqCst))
+                                > timeout_ms
+                            {
+                                m.cancelled.store(true, Ordering::SeqCst);
+                            }
+                        }
+                        std::thread::sleep(cfg.poll);
+                    }
+                });
+            }
             handles.into_iter().map(|h| h.join().expect("worker threads never unwind")).collect()
         })
     };
@@ -411,6 +591,22 @@ where
         run.stats.push(WorkerStats { worker: w, wall_s });
     }
     Ok(run)
+}
+
+/// Fault-isolated [`run_on_slots`] without watchdog supervision: the
+/// rollback-and-retry semantics of [`run_on_slots_watchdog`] for jobs
+/// that don't heartbeat. See there for the full contract.
+pub fn run_on_slots_retry<S, R, F>(
+    slots: &mut [S],
+    backoff: &fault::Backoff,
+    job: F,
+) -> Result<WorkerRun<R>, ExecError>
+where
+    S: Clone + Send,
+    R: Send,
+    F: Fn(usize, &mut S) -> R + Sync,
+{
+    run_on_slots_watchdog(slots, backoff, None, |w, slot, _hb| job(w, slot))
 }
 
 /// Run `job(worker)` once per worker slot `0..n_workers`, in parallel,
@@ -517,7 +713,10 @@ mod tests {
         let items: Vec<u64> = (0..57).map(|x| x * 13).collect();
         let plain = par_map(items.clone(), 4, f);
         for workers in [1, 3, 8] {
-            assert_eq!(try_par_map(items.clone(), workers, 1, f).unwrap(), plain);
+            assert_eq!(
+                try_par_map(items.clone(), workers, &fault::Backoff::none(1), f).unwrap(),
+                plain
+            );
         }
     }
 
@@ -531,18 +730,20 @@ mod tests {
             }
             x * 2
         };
-        let out = try_par_map((0..16).collect::<Vec<usize>>(), 4, 1, f).unwrap();
+        let out =
+            try_par_map((0..16).collect::<Vec<usize>>(), 4, &fault::Backoff::none(1), f).unwrap();
         assert_eq!(out, (0..16).map(|x| x * 2).collect::<Vec<_>>());
         assert!(tripped.load(Ordering::SeqCst), "the fault should have fired once");
     }
 
     #[test]
     fn try_par_map_reports_exhausted_item() {
-        let err = try_par_map((0..8).collect::<Vec<usize>>(), 2, 2, |_, x| {
-            assert!(x != 5, "always fails");
-            x
-        })
-        .unwrap_err();
+        let err =
+            try_par_map((0..8).collect::<Vec<usize>>(), 2, &fault::Backoff::none(2), |_, x| {
+                assert!(x != 5, "always fails");
+                x
+            })
+            .unwrap_err();
         assert_eq!(err.kind, ExecErrorKind::ItemPanicked);
         assert_eq!(err.index, 5);
         assert_eq!(err.attempts, 3);
@@ -559,7 +760,7 @@ mod tests {
         let mut a: Vec<Vec<u32>> = (0..5).map(|w| vec![w]).collect();
         let mut b = a.clone();
         let plain = run_on_slots(&mut a, job);
-        let retried = run_on_slots_retry(&mut b, 1, job).unwrap();
+        let retried = run_on_slots_retry(&mut b, &fault::Backoff::none(1), job).unwrap();
         assert_eq!(plain.results, retried.results);
         assert_eq!(a, b, "slot mutations must match");
     }
@@ -578,7 +779,7 @@ mod tests {
             slot.len()
         };
         let mut slots: Vec<Vec<u32>> = (0..4).map(|_| vec![0]).collect();
-        let run = run_on_slots_retry(&mut slots, 1, job).unwrap();
+        let run = run_on_slots_retry(&mut slots, &fault::Backoff::none(1), job).unwrap();
         // the retried slot must have been rolled back before the rerun:
         // every slot ends as [0, w], never carrying the poisoned 99
         assert_eq!(run.results, vec![2; 4]);
@@ -590,7 +791,7 @@ mod tests {
     #[test]
     fn run_on_slots_retry_reports_exhausted_worker() {
         let mut slots: Vec<u32> = (0..3).collect();
-        let err = run_on_slots_retry(&mut slots, 1, |w, _slot: &mut u32| {
+        let err = run_on_slots_retry(&mut slots, &fault::Backoff::none(1), |w, _slot: &mut u32| {
             assert!(w != 1, "slot always dies");
             w
         })
@@ -640,6 +841,101 @@ mod tests {
         // the folk `seed ^ stream` scheme collides here; split_seed must not
         assert_ne!(split_seed(2, 3), split_seed(3, 2));
         assert_ne!(split_seed(0, 1), split_seed(1, 0));
+    }
+
+    #[test]
+    fn watchdog_recovers_a_stalled_slot_with_identical_results() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Reference: stall-free run.
+        let job_plain = |w: usize, slot: &mut Vec<u32>, hb: &Heartbeat| {
+            for step in 0..5u32 {
+                hb.beat();
+                slot.push(w as u32 * 100 + step);
+            }
+            slot.iter().sum::<u32>()
+        };
+        let mut ref_slots: Vec<Vec<u32>> = (0..3).map(|w| vec![w]).collect();
+        let reference =
+            run_on_slots_watchdog(&mut ref_slots, &fault::Backoff::none(1), None, job_plain)
+                .unwrap();
+
+        // Same job, but slot 1 stalls (no beats) on its first attempt.
+        let stalls = AtomicUsize::new(0);
+        let job = |w: usize, slot: &mut Vec<u32>, hb: &Heartbeat| {
+            if w == 1 && stalls.fetch_add(1, Ordering::SeqCst) == 0 {
+                // far longer than the timeout; only cancellation ends it
+                hb.stall_for(Duration::from_secs(10));
+            }
+            job_plain(w, slot, hb)
+        };
+        let cfg = WatchdogConfig::with_timeout_ms(50);
+        let mut slots: Vec<Vec<u32>> = (0..3).map(|w| vec![w]).collect();
+        let t0 = Instant::now();
+        let run =
+            run_on_slots_watchdog(&mut slots, &fault::Backoff::none(1), Some(&cfg), job).unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(5), "stall must be cancelled, not waited out");
+        assert_eq!(stalls.load(Ordering::SeqCst), 2, "slot 1 ran twice: stalled, then retried");
+        assert_eq!(run.results, reference.results, "recovered run must merge identically");
+        assert_eq!(slots, ref_slots, "slot state must match a stall-free run");
+    }
+
+    #[test]
+    fn watchdog_exhausted_stall_surfaces_as_exec_error() {
+        let cfg = WatchdogConfig::with_timeout_ms(30);
+        let mut slots: Vec<u32> = (0..2).collect();
+        let err = run_on_slots_watchdog(
+            &mut slots,
+            &fault::Backoff::none(1),
+            Some(&cfg),
+            |w, _slot, hb: &Heartbeat| {
+                if w == 1 {
+                    hb.stall_for(Duration::from_secs(10)); // stalls every attempt
+                }
+                w
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, ExecErrorKind::WorkerPanicked);
+        assert_eq!(err.index, 1);
+        assert_eq!(err.attempts, 2);
+        assert!(err.message.contains("[watchdog]"), "{}", err.message);
+    }
+
+    #[test]
+    fn fault_plan_stall_on_worker_point_is_recovered_by_watchdog() {
+        // Serialized with other fault-plan tests via the fault crate's own
+        // global registry; exec has only this one plan-installing test.
+        fault::install(fault::FaultPlan::parse("stall@exec.worker.1:1,stall_ms=5000").unwrap());
+        let cfg = WatchdogConfig::with_timeout_ms(40);
+        let job = |w: usize, slot: &mut u64, hb: &Heartbeat| {
+            hb.beat();
+            *slot += 1;
+            w as u64 + *slot
+        };
+        let mut slots: Vec<u64> = vec![10, 20, 30];
+        let t0 = Instant::now();
+        let run = run_on_slots_watchdog(&mut slots, &fault::Backoff::none(2), Some(&cfg), job);
+        fault::clear();
+        let run = run.unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(4), "injected stall must be cut short");
+        assert_eq!(run.results, vec![11, 22, 33]);
+        assert_eq!(slots, vec![11, 21, 31], "rolled-back slot re-ran exactly once");
+    }
+
+    #[test]
+    fn watchdog_config_from_env() {
+        std::env::set_var("ADVNET_WATCHDOG_MS", "250");
+        assert_eq!(
+            WatchdogConfig::from_env(),
+            Some(WatchdogConfig {
+                timeout: Duration::from_millis(250),
+                poll: Duration::from_millis(25)
+            })
+        );
+        std::env::set_var("ADVNET_WATCHDOG_MS", "0");
+        assert_eq!(WatchdogConfig::from_env(), None);
+        std::env::remove_var("ADVNET_WATCHDOG_MS");
+        assert_eq!(WatchdogConfig::from_env(), None);
     }
 
     #[test]

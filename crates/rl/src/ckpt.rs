@@ -242,14 +242,30 @@ pub fn read_checkpoint_file(path: &Path) -> Result<String, TrainError> {
 }
 
 /// Serialize and atomically write a [`TrainCheckpoint`].
+///
+/// Registers the `ckpt.write` fault point: `panic@ckpt.write:<n>`
+/// crashes before the nth training-checkpoint write (the previous
+/// checkpoint survives untouched thanks to the tmp+rename protocol), and
+/// `corrupt@ckpt.write:<n>` bit-flips the freshly written file — which
+/// the checksum validation in [`read_checkpoint_file`] must then reject.
 pub fn save_train_checkpoint(path: &Path, ckpt: &TrainCheckpoint) -> Result<(), TrainError> {
+    let injection = fault::check("ckpt.write");
     let body = serde_json::to_string(ckpt)
         .map_err(|e| TrainError::Io(format!("serialize checkpoint: {e}")))?;
-    write_checkpoint_file(path, &body)
+    write_checkpoint_file(path, &body)?;
+    if injection == Some(fault::Injection::Corrupt) {
+        fault::corrupt_file(path)
+            .map_err(|e| TrainError::Io(format!("corrupt injection on {}: {e}", path.display())))?;
+    }
+    Ok(())
 }
 
 /// Read, validate, and deserialize a [`TrainCheckpoint`].
+///
+/// Registers the `ckpt.read` fault point (`panic@ckpt.read:<n>` crashes
+/// the nth checkpoint load of the process).
 pub fn load_train_checkpoint(path: &Path) -> Result<TrainCheckpoint, TrainError> {
+    let _ = fault::check("ckpt.read");
     let body = read_checkpoint_file(path)?;
     serde_json::from_str(&body).map_err(|e| {
         TrainError::Corrupt(format!("{}: invalid checkpoint body: {e}", path.display()))
@@ -257,28 +273,38 @@ pub fn load_train_checkpoint(path: &Path) -> Result<TrainCheckpoint, TrainError>
 }
 
 /// Periodic-checkpoint policy for [`crate::Ppo::train_checkpointed`], plus
-/// the deterministic fault-injection hook the crash-safety tests use.
+/// a programmatic fault-injection hook for crash-safety tests.
 #[derive(Debug, Clone)]
 pub struct Checkpointer {
     /// Checkpoint file location (also the auto-resume source).
     pub path: PathBuf,
     /// Write a checkpoint every this many iterations (≥ 1).
     pub every: usize,
-    /// Fault injection: panic when the training iteration counter equals
-    /// this value — after that iteration's update, before its checkpoint
-    /// is written. [`Checkpointer::new`] seeds it from the
-    /// `ADVNET_FAULT_ITER` environment variable. The injected crash
-    /// recurs every run while set; clear it (or the env var) to resume
-    /// past the fault.
+    /// Programmatic fault injection: panic when the training iteration
+    /// counter equals this value — after that iteration's update, before
+    /// its checkpoint is written. Environment-driven injection goes
+    /// through `ADVNET_FAULT_PLAN` instead (the `ppo.iter` value point,
+    /// which the deprecated `ADVNET_FAULT_ITER=<n>` env var aliases to
+    /// `panic@ppo.iter:<n>`); [`Checkpointer::new`] therefore leaves this
+    /// `None`. Either spelling recurs every run while set; clear it (or
+    /// the env var) to resume past the fault.
     pub fault_at: Option<usize>,
 }
 
 impl Checkpointer {
-    /// Checkpoint to `path` every `every` iterations, with fault injection
-    /// wired to the `ADVNET_FAULT_ITER` environment variable.
+    /// Checkpoint to `path` every `every` iterations.
+    ///
+    /// (Re)loads the fault plan from the environment, so a checkpointed
+    /// training run picks up `ADVNET_FAULT_PLAN` / `ADVNET_FAULT_ITER`
+    /// set after process start (the crash-safety tests rely on this).
+    /// Note the reload resets the plan's per-point hit counters; a
+    /// malformed plan panics here rather than silently skipping its
+    /// injections.
     pub fn new(path: impl Into<PathBuf>, every: usize) -> Self {
-        let fault_at = std::env::var("ADVNET_FAULT_ITER").ok().and_then(|s| s.parse().ok());
-        Checkpointer { path: path.into(), every: every.max(1), fault_at }
+        if let Err(e) = fault::reload_from_env() {
+            panic!("{e}");
+        }
+        Checkpointer { path: path.into(), every: every.max(1), fault_at: None }
     }
 }
 

@@ -67,6 +67,14 @@ pub struct PpoConfig {
     /// Multiplier applied to the effective learning rate on every
     /// divergence-guard trip (in `(0, 1]`).
     pub guard_lr_backoff: f64,
+    /// Watchdog timeout for vectorized rollout workers, in milliseconds.
+    /// When > 0, a monitor thread cancels any worker slot whose heartbeat
+    /// (one beat per environment step) is older than this and re-runs it
+    /// under the deterministic rollback/retry path, so a stalled slot
+    /// finishes with the same merged rollout as a stall-free run. `0`
+    /// (the default) disables the watchdog; the `ADVNET_WATCHDOG_MS`
+    /// environment variable supplies a timeout when this is 0.
+    pub watchdog_timeout_ms: u64,
 }
 
 impl Default for PpoConfig {
@@ -89,6 +97,7 @@ impl Default for PpoConfig {
             worker_retries: 1,
             guard_max_trips: 8,
             guard_lr_backoff: 0.5,
+            watchdog_timeout_ms: 0,
         }
     }
 }
@@ -630,7 +639,7 @@ impl Ppo {
         let value_net = &self.value;
         let frozen = self.obs_norm.clone();
 
-        let job = |_w: usize, slot: &mut EnvSlot<E>| -> SegOut {
+        let job = |_w: usize, slot: &mut EnvSlot<E>, hb: &exec::Heartbeat| -> SegOut {
             let mut raw_obs_log = Vec::with_capacity(seg);
             let mut transitions = Vec::with_capacity(seg);
             let mut entropy_acc = 0.0;
@@ -641,6 +650,10 @@ impl Ppo {
             };
             poisoned += sanitize(&mut raw_obs);
             for _ in 0..seg {
+                // One beat per environment step is the liveness contract
+                // the watchdog supervises (and where a cancelled slot
+                // panics into the rollback/retry path).
+                hb.beat();
                 let obs = match &frozen {
                     Some(norm) => norm.normalize(&raw_obs),
                     None => raw_obs.clone(),
@@ -671,7 +684,17 @@ impl Ppo {
             slot.cur_obs = Some(raw_obs);
             SegOut { raw_obs: raw_obs_log, transitions, last_value, entropy_acc, poisoned }
         };
-        let run = exec::run_on_slots_retry(slots, self.cfg.worker_retries, job)?;
+        let watchdog = if self.cfg.watchdog_timeout_ms > 0 {
+            Some(exec::WatchdogConfig::with_timeout_ms(self.cfg.watchdog_timeout_ms))
+        } else {
+            exec::WatchdogConfig::from_env()
+        };
+        let run = exec::run_on_slots_watchdog(
+            slots,
+            &fault::Backoff::none(self.cfg.worker_retries),
+            watchdog.as_ref(),
+            job,
+        )?;
         let worker_wall_s: Vec<f64> = run.stats.iter().map(|s| s.wall_s).collect();
 
         // Merge in fixed slot order: batch the observation-statistics
@@ -838,6 +861,10 @@ impl Ppo {
     /// non-finite quantity detected (gradients are checked before every
     /// optimizer step, losses and weights after the final epoch).
     fn update_checked(&mut self, buf: &RolloutBuffer) -> Result<(f64, f64), String> {
+        // Fault point `ppo.update`: `panic@ppo.update:<n>` crashes the
+        // process at the nth update step (the checkpoint written after the
+        // previous iteration survives and a rerun resumes from it).
+        let _ = fault::check("ppo.update");
         self.opt_policy.lr = self.cfg.lr * self.lr_scale;
         self.opt_value.lr = self.cfg.lr * self.lr_scale;
         if let Some(opt) = &mut self.opt_log_std {
@@ -909,6 +936,13 @@ impl Ppo {
                         &mut vcache,
                         &mut vgrads,
                     );
+                }
+                // Fault point `nn.grads`: `nan@nn.grads:<n>` poisons the
+                // nth minibatch's policy gradients, which the finite
+                // check below must catch — tripping the divergence guard
+                // (net rollback + LR backoff), never stepping on NaNs.
+                if fault::active() && fault::check("nn.grads") == Some(fault::Injection::Nan) {
+                    pgrads.scale(f64::NAN);
                 }
                 let pnorm = pgrads.clip_global_norm(self.cfg.max_grad_norm);
                 let vnorm = vgrads.clip_global_norm(self.cfg.max_grad_norm);
@@ -1134,6 +1168,13 @@ impl Ppo {
             if ckpt.fault_at == Some(self.iteration) {
                 panic!("ADVNET_FAULT_ITER: injected crash at iteration {}", self.iteration);
             }
+            // Fault point `ppo.iter`: a *value* point compared against the
+            // iteration counter, which continues across a resume — so
+            // `panic@ppo.iter:3` (or the legacy `ADVNET_FAULT_ITER=3`,
+            // which aliases to it) crashes at iteration 3 exactly once per
+            // run while armed, after that iteration's update and report
+            // but before its checkpoint write.
+            let _ = fault::check_value("ppo.iter", self.iteration as u64);
             let done = self.total_steps - start >= target;
             if done || self.iteration.is_multiple_of(ckpt.every) {
                 let tc = TrainCheckpoint {

@@ -27,6 +27,10 @@ pub fn save_traces(path: impl AsRef<Path>, traces: &[Trace]) -> io::Result<()> {
 /// panicking.
 pub fn load_traces(path: impl AsRef<Path>) -> io::Result<Vec<Trace>> {
     let path = path.as_ref();
+    // Fault point `traces.load`: `panic@traces.load:<n>` crashes the nth
+    // trace-set load of the process (e.g. to kill a bench run while it
+    // reads its corpus).
+    let _ = fault::check("traces.load");
     let json = fs::read_to_string(path)?;
     let traces: Vec<Trace> = serde_json::from_str(&json).map_err(|e| {
         io::Error::new(
@@ -42,13 +46,29 @@ pub fn load_traces(path: impl AsRef<Path>) -> io::Result<Vec<Trace>> {
     Ok(traces)
 }
 
+/// Outcome of [`load_traces_dir`]: the traces that loaded plus an
+/// account of what was skipped, so bench manifests can record the skip
+/// count instead of it scrolling by on stderr.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirLoad {
+    /// All traces from the loadable files, in file-name order.
+    pub traces: Vec<Trace>,
+    /// `.json` files skipped as malformed.
+    pub skipped: usize,
+    /// The first skipped file's error, verbatim.
+    pub first_error: Option<String>,
+}
+
 /// Load every `.json` trace set in a directory, in file-name order.
 ///
-/// A single malformed file does not abort the load: it is skipped with a
-/// warning on stderr and the remaining files are still read. Only I/O
-/// failures on the directory itself (or finding *no* loadable traces at
-/// all) are errors, so a corpus survives one bad member.
-pub fn load_traces_dir(dir: impl AsRef<Path>) -> io::Result<Vec<Trace>> {
+/// A single malformed file does not abort the load: it is skipped, the
+/// remaining files are still read, and one summary line on stderr covers
+/// all skips (N loaded, M skipped, first error) instead of a warning per
+/// file. The skip count and first error also come back in [`DirLoad`]
+/// for the caller to record. Only I/O failures on the directory itself
+/// (or finding *no* loadable traces at all) are errors, so a corpus
+/// survives one bad member.
+pub fn load_traces_dir(dir: impl AsRef<Path>) -> io::Result<DirLoad> {
     let dir = dir.as_ref();
     let mut files: Vec<_> = fs::read_dir(dir)?
         .collect::<io::Result<Vec<_>>>()?
@@ -60,12 +80,15 @@ pub fn load_traces_dir(dir: impl AsRef<Path>) -> io::Result<Vec<Trace>> {
 
     let mut traces = Vec::new();
     let mut skipped = 0usize;
+    let mut first_error = None;
     for path in &files {
         match load_traces(path) {
             Ok(mut set) => traces.append(&mut set),
             Err(e) => {
                 skipped += 1;
-                eprintln!("warning: skipping malformed trace file: {e}");
+                if first_error.is_none() {
+                    first_error = Some(e.to_string());
+                }
             }
         }
     }
@@ -73,14 +96,25 @@ pub fn load_traces_dir(dir: impl AsRef<Path>) -> io::Result<Vec<Trace>> {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!(
-                "{}: no loadable traces ({} of {} file(s) malformed)",
+                "{}: no loadable traces ({} of {} file(s) malformed{})",
                 dir.display(),
                 skipped,
-                files.len()
+                files.len(),
+                first_error.as_deref().map(|e| format!("; first error: {e}")).unwrap_or_default()
             ),
         ));
     }
-    Ok(traces)
+    if skipped > 0 {
+        eprintln!(
+            "warning: {}: loaded {} trace(s) from {} file(s), skipped {} malformed (first error: {})",
+            dir.display(),
+            traces.len(),
+            files.len() - skipped,
+            skipped,
+            first_error.as_deref().unwrap_or("unknown"),
+        );
+    }
+    Ok(DirLoad { traces, skipped, first_error })
 }
 
 /// Write a simple CSV of `(series name, x, y)` rows — the format every
@@ -177,7 +211,10 @@ mod tests {
         std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
 
         let loaded = load_traces_dir(&dir).unwrap();
-        assert_eq!(loaded, good, "good file survives its malformed neighbours");
+        assert_eq!(loaded.traces, good, "good file survives its malformed neighbours");
+        assert_eq!(loaded.skipped, 2, "both malformed .json files counted");
+        let first = loaded.first_error.expect("first error recorded");
+        assert!(first.contains("b_broken.json"), "file-name order: {first}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -9,6 +9,10 @@
 //! advnet replay-abr  <bb|rate|mpc> <traces.json>
 //! advnet attack-cem  <bb|rate|mpc> <out.json> [generations] [seed]
 //! ```
+//!
+//! Fault injection: set `ADVNET_FAULT_PLAN` (e.g.
+//! `panic@ppo.update:3,nan@nn.grads:5`) to arm deterministic faults for
+//! crash-recovery testing; see the `fault` crate docs for the plan grammar.
 
 use abr::{AbrPolicy, BufferBased, Mpc, RateBased, Video};
 use adversary::{
@@ -88,6 +92,16 @@ fn parse<T: std::str::FromStr>(args: &[String], i: usize, default: T) -> T {
 }
 
 fn main() -> ExitCode {
+    // arm the fault plan (if any) before any subsystem runs, so triggers
+    // count from the very first fault point the workflow passes
+    match fault::reload_from_env() {
+        Ok(Some(plan)) => eprintln!("[advnet] fault plan armed: {plan}"),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("invalid ADVNET_FAULT_PLAN: {e}");
+            return ExitCode::from(2);
+        }
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { return usage() };
     match cmd.as_str() {

@@ -5,8 +5,9 @@
 //! environments, whose `Snapshot` implementations replay recorded actions
 //! through the actual simulators:
 //!
-//! * killing `try_train_abr_adversary` mid-run via the
-//!   `ADVNET_FAULT_ITER` hook and re-invoking it resumes from the
+//! * killing `try_train_abr_adversary` mid-run — via the structured
+//!   `ADVNET_FAULT_PLAN` grammar (`panic@ppo.iter:<n>`) or its legacy
+//!   `ADVNET_FAULT_ITER` alias — and re-invoking it resumes from the
 //!   checkpoint and finishes bit-identical to an uninterrupted run,
 //!   including with vectorized (`n_envs > 1`) collection;
 //! * a truncated checkpoint file surfaces as `TrainError::Corrupt`
@@ -23,8 +24,9 @@ use cc::Bbr;
 use rl::{Ppo, TrainError, TrainReport};
 use std::path::PathBuf;
 
-/// `ADVNET_FAULT_ITER` is process-global and every checkpointed training
-/// run reads it (via `Checkpointer::new`), so tests that set it or start
+/// The fault plan (`ADVNET_FAULT_PLAN` / legacy `ADVNET_FAULT_ITER`) is
+/// process-global and every checkpointed training run reads it (via
+/// `Checkpointer::new`), so tests that set either variable or start
 /// checkpointed runs serialize on this lock.
 static FAULT_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
@@ -81,12 +83,14 @@ fn run_sig(ppo: &Ppo, reports: &[TrainReport]) -> (String, Vec<(usize, u64, u64,
     )
 }
 
-#[test]
-fn abr_adversary_kill_and_resume_is_bit_identical() {
+/// Kill training at iteration 2 of 3 by arming `env_var=env_value`, then
+/// resume with the variable unset and check the finished run against the
+/// uninterrupted reference. Shared by both fault-plan spellings.
+fn kill_and_resume_with(tag: &str, env_var: &str, env_value: &str) {
     let _guard = FAULT_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     // Reference: uninterrupted run (checkpointed, so the code path is the
     // same one the crashed run takes).
-    let ref_path = ckpt_path("abr-ref.ckpt");
+    let ref_path = ckpt_path(&format!("abr-ref-{tag}.ckpt"));
     std::fs::remove_file(&ref_path).ok();
     let mut env = abr_env();
     let (ref_ppo, ref_reports) =
@@ -95,15 +99,15 @@ fn abr_adversary_kill_and_resume_is_bit_identical() {
     std::fs::remove_file(&ref_path).ok();
 
     // Crash at iteration 2 of 3 via the documented fault-injection hook.
-    let path = ckpt_path("abr-kill.ckpt");
+    let path = ckpt_path(&format!("abr-kill-{tag}.ckpt"));
     std::fs::remove_file(&path).ok();
-    std::env::set_var("ADVNET_FAULT_ITER", "2");
+    std::env::set_var(env_var, env_value);
     let crash_path = path.clone();
     let crashed = std::panic::catch_unwind(move || {
         let mut env = abr_env();
         let _ = try_train_abr_adversary(&mut env, &abr_cfg(Some(crash_path)));
     });
-    std::env::remove_var("ADVNET_FAULT_ITER");
+    std::env::remove_var(env_var);
     assert!(crashed.is_err(), "the injected fault should have crashed training");
     assert!(path.exists(), "the pre-crash checkpoint should have survived");
 
@@ -113,6 +117,18 @@ fn abr_adversary_kill_and_resume_is_bit_identical() {
     let (ppo, reports) = try_train_abr_adversary(&mut env, &abr_cfg(Some(path.clone()))).unwrap();
     assert_eq!(run_sig(&ppo, &reports), reference);
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn abr_adversary_kill_and_resume_is_bit_identical() {
+    // legacy spelling: bare iteration number
+    kill_and_resume_with("iter", "ADVNET_FAULT_ITER", "2");
+}
+
+#[test]
+fn abr_adversary_kill_and_resume_via_fault_plan() {
+    // structured spelling: same fault through the plan grammar
+    kill_and_resume_with("plan", "ADVNET_FAULT_PLAN", "panic@ppo.iter:2");
 }
 
 #[test]
