@@ -13,7 +13,7 @@
 //!   RL-driven Pensieve policy.
 //! * [`optimal`] — offline-optimal dynamic programming (the `r_opt` of the
 //!   adversary's reward, Eq. 1, and Fig. 3's "Offline Optimum").
-//! * [`env`] — the [`rl::Env`] used to *train* Pensieve over a trace corpus.
+//! * [`mod@env`] — the [`rl::Env`] used to *train* Pensieve over a trace corpus.
 //!
 //! The network is abstracted by [`player::Network`], implemented for both
 //! dataset traces ([`traces::TraceCursor`]) and the adversary's per-chunk

@@ -85,7 +85,7 @@ pub fn windowed_optimal_qoe(
 /// achieving it, by backward DP over (chunk, buffer bucket, last quality).
 ///
 /// `bw_per_chunk.len()` must equal `video.n_chunks()`. The buffer is
-/// discretized to [`DP_BUFFER_STEP`]-second buckets (floor — pessimistic, so
+/// discretized to `DP_BUFFER_STEP`-second buckets (floor — pessimistic, so
 /// the returned value is a lower bound that is tight in practice).
 pub fn optimal_qoe_dp(
     video: &Video,

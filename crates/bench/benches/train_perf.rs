@@ -1,18 +1,30 @@
 //! Criterion micro-benchmarks of the training stack: policy forward
-//! passes, gradient accumulation, and one full PPO iteration for each of
-//! the paper's adversary architectures.
+//! passes, gradient accumulation (per-sample and batched), and one full
+//! PPO iteration for each of the paper's adversary architectures.
+//!
+//! Besides the Criterion timings, the benchmark measures the PPO
+//! *update-phase* wall time (from the trainer's own
+//! `TrainReport::update_wall_s`) under the legacy per-sample path, the
+//! batched matrix–matrix path, and the exec-parallel path, and writes
+//! `results/BENCH_train.json` — the numbers quoted in `docs/PERF.md`.
+//! All paths produce bit-identical training trajectories (see the
+//! `update_equivalence` test suite); only the wall clock differs.
 
+use adv_bench::results_dir;
 use adversary::{AbrAdversaryConfig, AbrAdversaryEnv, CcAdversaryConfig, CcAdversaryEnv};
 use cc::Bbr;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl::{Ppo, PpoConfig};
+use serde::Serialize;
 use std::hint::black_box;
 
 fn small_ppo_cfg(n_steps: usize) -> PpoConfig {
     PpoConfig { n_steps, minibatch_size: 64, epochs: 3, ..PpoConfig::default() }
 }
+
+const BATCH: usize = 64;
 
 fn bench_nn(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
@@ -29,6 +41,105 @@ fn bench_nn(c: &mut Criterion) {
             black_box(net.backward(&cache, &[1.0], &mut grads));
         })
     });
+
+    // batched kernels on a 64-row batch, vs the per-sample loop above
+    let xdata: Vec<f64> = (0..BATCH * 110).map(|i| (i as f64 * 0.1).sin()).collect();
+    let xb = nn::Matrix::from_vec(BATCH, 110, xdata);
+    c.bench_function("mlp_forward_batch64_110x32x16", |b| {
+        b.iter(|| black_box(net.forward_batch(&xb)))
+    });
+
+    let mut bgrads = nn::MlpGrads::zeros_like(&net);
+    let mut bcache = net.new_batch_cache(BATCH);
+    let dl = nn::Matrix::from_vec(BATCH, 1, vec![1.0; BATCH]);
+    c.bench_function("mlp_forward_backward_batch64_110x32x16", |b| {
+        b.iter(|| {
+            net.forward_batch_cached(&xb, &mut bcache);
+            net.grads_batch(&bcache, &dl, &mut bgrads);
+            black_box(&bgrads);
+        })
+    });
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct UpdateRow {
+    path: String,
+    grad_workers: usize,
+    update_wall_s: f64,
+    speedup_vs_legacy: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct TrainBenchReport {
+    host_parallelism: usize,
+    n_steps: usize,
+    minibatch_size: usize,
+    epochs: usize,
+    iterations_averaged: usize,
+    rows: Vec<UpdateRow>,
+}
+
+/// Mean update-phase wall time under a given path, from the trainer's
+/// own `TrainReport::update_wall_s`, averaged over `iters` iterations
+/// after a warm-up iteration.
+fn measure_update(batched: bool, grad_workers: usize, iters: usize) -> f64 {
+    let mut env = AbrAdversaryEnv::new(
+        abr::BufferBased::pensieve_defaults(),
+        abr::Video::cbr(),
+        AbrAdversaryConfig::default(),
+    );
+    let cfg = PpoConfig { batched_updates: batched, grad_workers, ..small_ppo_cfg(192) };
+    let mut ppo = Ppo::new_gaussian(adversary::abr_env::OBS_DIM, 1, &[32, 16], 0.8, cfg);
+    let reports = ppo.train(&mut env, 192 * (iters + 1));
+    let tail = &reports[1..];
+    tail.iter().map(|r| r.update_wall_s).sum::<f64>() / tail.len() as f64
+}
+
+/// PPO update-phase wall time across the three gradient paths, written
+/// to `results/BENCH_train.json`.
+fn bench_update_paths(_c: &mut Criterion) {
+    let iters = 5;
+    let variants: [(&str, bool, usize); 4] = [
+        ("legacy_per_sample", false, 1),
+        ("batched", true, 1),
+        ("batched_parallel", true, 2),
+        ("batched_parallel", true, 4),
+    ];
+    let mut rows = Vec::new();
+    let mut legacy_wall = f64::NAN;
+    for (path, batched, workers) in variants {
+        let wall = measure_update(batched, workers, iters);
+        if !batched {
+            legacy_wall = wall;
+        }
+        rows.push(UpdateRow {
+            path: path.to_string(),
+            grad_workers: workers,
+            update_wall_s: wall,
+            speedup_vs_legacy: legacy_wall / wall,
+        });
+        eprintln!(
+            "[train_perf] {path} (workers={workers}): update {:.4}s/iter ({:.2}x vs legacy)",
+            wall,
+            legacy_wall / wall
+        );
+    }
+    let report = TrainBenchReport {
+        host_parallelism: exec::default_workers(),
+        n_steps: 192,
+        minibatch_size: 64,
+        epochs: 3,
+        iterations_averaged: iters,
+        rows,
+    };
+    let path = results_dir().join("BENCH_train.json");
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            std::fs::write(&path, json).expect("write BENCH_train.json");
+            eprintln!("[train_perf] wrote {}", path.display());
+        }
+        Err(e) => eprintln!("[train_perf] could not serialize report: {e}"),
+    }
 }
 
 fn bench_ppo_iterations(c: &mut Criterion) {
@@ -70,5 +181,5 @@ fn bench_ppo_iterations(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_nn, bench_ppo_iterations);
+criterion_group!(benches, bench_nn, bench_ppo_iterations, bench_update_paths);
 criterion_main!(benches);

@@ -15,6 +15,9 @@
 //! * [`run_workers`] — fixed worker-per-slot execution for stateful jobs
 //!   (e.g. one cloned environment per worker). Results come back in worker
 //!   order `0..n`, with per-worker wall-clock in [`WorkerStats`].
+//! * [`par_map_fold`] — [`par_map`] followed by an in-input-order fold on
+//!   the caller's thread; the order-sensitive-reduction primitive behind
+//!   `rl`'s parallel PPO gradient accumulation.
 //!
 //! Randomness is decorrelated across workers with [`split_seed`], a
 //! SplitMix64-style mixer: worker `w` seeds its own `StdRng` from
@@ -30,6 +33,8 @@
 //! right where the retry machinery must absorb them.
 //!
 //! Built on `std::thread::scope` only — no runtime dependencies.
+
+#![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -56,6 +61,7 @@ pub enum ExecErrorKind {
 /// are ordered by input index / slot, never by scheduling.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExecError {
+    /// Which façade the failed job was running under.
     pub kind: ExecErrorKind,
     /// Worker slot index or item index, depending on `kind`.
     pub index: usize,
@@ -104,7 +110,9 @@ pub struct WorkerStats {
 /// Result bundle of [`run_workers`]: per-worker results in slot order.
 #[derive(Debug, Clone)]
 pub struct WorkerRun<R> {
+    /// One result per worker, indexed by slot.
     pub results: Vec<R>,
+    /// Per-worker wall-clock stats, same order as `results`.
     pub stats: Vec<WorkerStats>,
 }
 
@@ -190,6 +198,38 @@ where
     tagged.sort_unstable_by_key(|(i, _)| *i);
     debug_assert_eq!(tagged.len(), n_items);
     tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Parallel map with a deterministic in-order fold — the gradient
+/// accumulation primitive behind `rl`'s parallel PPO minibatch updates.
+///
+/// `map` runs over the items on up to `n_workers` threads via [`par_map`];
+/// the per-item outputs are then folded into `init` **in input order** on
+/// the caller's thread. Floating-point reduction is order-sensitive, so
+/// folding in input order — never slot or completion order — makes the
+/// result a pure function of the inputs: the same bits come back for every
+/// worker count, including the inline `n_workers <= 1` path. This is how a
+/// minibatch split across workers produces gradients bit-identical to a
+/// serial sweep: workers map samples to per-sample gradient buffers, and
+/// the fold adds them in global sample order.
+///
+/// Registers the `exec.grad_accum` fault point once per call before the
+/// fold, so a plan like `panic@exec.grad_accum:1` crashes the merge step
+/// (recovered at the training layer by checkpoint/resume). `Nan`/`Corrupt`
+/// injections carry no meaning for a generic fold and are ignored, like
+/// the `exec.worker.<w>` points.
+pub fn par_map_fold<T, U, A, M, F>(items: Vec<T>, n_workers: usize, map: M, init: A, fold: F) -> A
+where
+    T: Send,
+    U: Send,
+    M: Fn(usize, T) -> U + Sync,
+    F: FnMut(A, U) -> A,
+{
+    let mapped = par_map(items, n_workers, map);
+    if fault::active() {
+        let _ = fault::check("exec.grad_accum");
+    }
+    mapped.into_iter().fold(init, fold)
 }
 
 /// Fault-isolated [`par_map`]: every job runs under `catch_unwind`, a
@@ -705,6 +745,21 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn par_map_fold_bits_independent_of_worker_count() {
+        // A deliberately order-sensitive floating-point reduction: summing
+        // these in any other order than input order changes the bits.
+        let items: Vec<f64> =
+            (0..200).map(|i| (i as f64 * 0.7).sin() * 10f64.powi(i % 7)).collect();
+        let run = |workers: usize| {
+            par_map_fold(items.clone(), workers, |_, x| x * 1.000000001, 0.0_f64, |acc, x| acc + x)
+        };
+        let serial = run(1);
+        for workers in [2, 3, 4, 8] {
+            assert_eq!(run(workers).to_bits(), serial.to_bits(), "{workers} workers");
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::init;
 use crate::matrix::Matrix;
+use crate::ops;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -50,13 +51,54 @@ impl Activation {
             }
         }
     }
+
+    /// Derivative dσ(z)/dz expressed in terms of the *activation output*
+    /// `a = σ(z)`.
+    ///
+    /// Bit-identical to [`Activation::derivative`] on the matching
+    /// pre-activation: for tanh, `derivative` computes `1 − t·t` with
+    /// `t = z.tanh()`, and `a` *is* that stored `t`; for ReLU, `z > 0 ⇔
+    /// a > 0` (at `z == 0` both sides give derivative 0); linear is
+    /// constant. The batched backward uses this form to avoid recomputing
+    /// the transcendental for every element in the hot loop.
+    #[inline]
+    pub fn derivative_from_output(self, a: f64) -> f64 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Tanh => 1.0 - a * a,
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Apply the activation to a whole slice at once (vectorized form).
+    ///
+    /// Dispatches to the `*_into` kernels in [`crate::ops`], each of which
+    /// applies the same scalar operation per element in order — so slice
+    /// application is bit-identical to looping [`Activation::apply`].
+    #[inline]
+    pub fn apply_into(self, zs: &[f64], out: &mut [f64]) {
+        match self {
+            Activation::Linear => ops::linear_into(zs, out),
+            Activation::Tanh => ops::tanh_into(zs, out),
+            Activation::Relu => ops::relu_into(zs, out),
+        }
+    }
 }
 
 /// A dense layer: `y = σ(W x + b)` with `W: out × in`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dense {
+    /// Weight matrix, `outputs × inputs`.
     pub w: Matrix,
+    /// Bias vector, one entry per output.
     pub b: Vec<f64>,
+    /// Activation applied after the affine transform.
     pub act: Activation,
 }
 
@@ -66,10 +108,12 @@ impl Dense {
         Dense { w: init::scaled_gaussian(outputs, inputs, rng), b: vec![0.0; outputs], act }
     }
 
+    /// Input dimension (columns of `W`).
     pub fn inputs(&self) -> usize {
         self.w.cols()
     }
 
+    /// Output dimension (rows of `W`).
     pub fn outputs(&self) -> usize {
         self.w.rows()
     }
@@ -91,6 +135,34 @@ impl Dense {
         let mut a = vec![0.0; self.outputs()];
         self.forward_into(x, &mut z, &mut a);
         a
+    }
+
+    /// Batched forward pass over row-major sample batches.
+    ///
+    /// Each row of `x` is one sample; the matching rows of `z` and `a`
+    /// receive its pre-activation and activation. Every row goes through the
+    /// exact kernels of [`Dense::forward_into`] (sequential dot products,
+    /// then bias add, then activation), so the batched result is
+    /// bit-identical to calling `forward_into` per sample — the batch form
+    /// only amortizes layer traversal and eliminates per-sample allocation.
+    pub fn forward_batch_into(&self, x: &Matrix, z: &mut Matrix, a: &mut Matrix) {
+        let batch = x.rows();
+        assert_eq!(x.cols(), self.inputs(), "forward_batch: input dim mismatch");
+        assert_eq!(z.rows(), batch, "forward_batch: preact batch mismatch");
+        assert_eq!(z.cols(), self.outputs(), "forward_batch: preact dim mismatch");
+        assert_eq!(a.rows(), batch, "forward_batch: output batch mismatch");
+        assert_eq!(a.cols(), self.outputs(), "forward_batch: output dim mismatch");
+        // One interleaved matrix–matrix product for the whole batch (each
+        // element the same sequential dot as the per-sample kernel), then
+        // the per-sample bias add and activation.
+        self.w.matmul_nt_into(x, z);
+        for s in 0..batch {
+            let zr = z.row_mut(s);
+            for (zi, bi) in zr.iter_mut().zip(self.b.iter()) {
+                *zi += bi;
+            }
+            self.act.apply_into(zr, a.row_mut(s));
+        }
     }
 }
 

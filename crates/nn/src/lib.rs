@@ -39,6 +39,17 @@
 //! let mut adam = Adam::new(&net, 1e-3);
 //! adam.step(&mut net, &grads);
 //! ```
+//!
+//! # Batched kernels and determinism
+//!
+//! [`Mlp::forward_batch`] / [`Mlp::grads_batch`] process row-major sample
+//! batches through the exact per-row kernels of the serial path, so batched
+//! results are **bit-identical** to per-sample loops — batching amortizes
+//! layer traversal and removes per-sample allocation without ever changing
+//! floating-point evaluation order. See `docs/PERF.md` at the workspace root
+//! for the full performance model.
+
+#![warn(missing_docs)]
 
 pub mod init;
 pub mod layer;
@@ -49,5 +60,5 @@ pub mod optim;
 
 pub use layer::{Activation, Dense};
 pub use matrix::Matrix;
-pub use mlp::{Cache, Mlp, MlpGrads};
+pub use mlp::{BatchCache, Cache, Mlp, MlpGrads};
 pub use optim::{Adam, Sgd};

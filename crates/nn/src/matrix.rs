@@ -38,10 +38,12 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
+    /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
     }
 
+    /// Number of columns.
     pub fn cols(&self) -> usize {
         self.cols
     }
@@ -62,12 +64,25 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Row `r` as a mutable slice.
+    ///
+    /// The batched kernels in [`crate::mlp`] treat a matrix as a stack of
+    /// per-sample rows and reuse the exact per-row vector kernels
+    /// ([`Matrix::matvec_into`], [`Matrix::matvec_t_add`]) so that batched
+    /// results stay bit-identical to the per-sample path.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Entry at `(r, c)`.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
         debug_assert!(r < self.rows && c < self.cols);
         self.data[r * self.cols + c]
     }
 
+    /// Overwrite the entry at `(r, c)`.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
         debug_assert!(r < self.rows && c < self.cols);
@@ -93,6 +108,157 @@ impl Matrix {
         let mut out = vec![0.0; self.rows];
         self.matvec_into(x, &mut out);
         out
+    }
+
+    /// Batched forward: `out.row(s) = self * x.row(s)` for every row of
+    /// `x` (i.e. `out = x · selfᵀ`, row-major).
+    ///
+    /// Every output element is the same sequential dot product
+    /// [`Matrix::matvec_into`] computes, so results are **bit-identical**
+    /// to calling `matvec_into` per row. Samples are processed eight (then
+    /// four) at a time with interleaved accumulators: the interleaved dots
+    /// are independent dependency chains, so interleaving only changes
+    /// instruction scheduling (hiding floating-point add latency — eight
+    /// chains saturate both FP pipes on common cores), never the order of
+    /// operations within any one element — the kernel-level speedup
+    /// batching exists to unlock, unavailable to the one-sample-at-a-time
+    /// path.
+    pub fn matmul_nt_into(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(x.cols, self.cols, "matmul_nt: input width mismatch");
+        assert_eq!(out.rows, x.rows, "matmul_nt: output rows mismatch");
+        assert_eq!(out.cols, self.rows, "matmul_nt: output cols mismatch");
+        let n = self.cols;
+        let mut s = 0;
+        while s + 8 <= x.rows {
+            let xs: [&[f64]; 8] = std::array::from_fn(|j| {
+                let base = (s + j) * n;
+                &x.data[base..base + n]
+            });
+            for r in 0..self.rows {
+                let w = &self.data[r * n..(r + 1) * n];
+                let mut acc = [0.0f64; 8];
+                for k in 0..n {
+                    let wk = w[k];
+                    for (a, xj) in acc.iter_mut().zip(xs.iter()) {
+                        *a += wk * xj[k];
+                    }
+                }
+                for (j, a) in acc.iter().enumerate() {
+                    out.set(s + j, r, *a);
+                }
+            }
+            s += 8;
+        }
+        while s + 4 <= x.rows {
+            // pre-sliced to a common length so the inner indexing is
+            // bounds-check free
+            let x0 = &x.data[s * n..s * n + n];
+            let x1 = &x.data[(s + 1) * n..(s + 1) * n + n];
+            let x2 = &x.data[(s + 2) * n..(s + 2) * n + n];
+            let x3 = &x.data[(s + 3) * n..(s + 3) * n + n];
+            for r in 0..self.rows {
+                let w = &self.data[r * n..(r + 1) * n];
+                let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+                for k in 0..n {
+                    let wk = w[k];
+                    a0 += wk * x0[k];
+                    a1 += wk * x1[k];
+                    a2 += wk * x2[k];
+                    a3 += wk * x3[k];
+                }
+                out.set(s, r, a0);
+                out.set(s + 1, r, a1);
+                out.set(s + 2, r, a2);
+                out.set(s + 3, r, a3);
+            }
+            s += 4;
+        }
+        while s < x.rows {
+            // remainder rows run the per-sample kernel itself
+            let row = &mut out.data[s * out.cols..(s + 1) * out.cols];
+            self.matvec_into(&x.data[s * n..(s + 1) * n], row);
+            s += 1;
+        }
+    }
+
+    /// Batched backward: `out.row(s) += selfᵀ * d.row(s)` for every row
+    /// of `d` — gradient propagation through a linear layer for a whole
+    /// batch.
+    ///
+    /// Replays [`Matrix::matvec_t_add`]'s exact per-element additions —
+    /// including its skip of zero gradient entries — per sample, so the
+    /// result is bit-identical to the per-row loop. When all four
+    /// interleaved samples have a nonzero gradient for an output neuron
+    /// (the common case for tanh nets), the four updates share one pass
+    /// over the weight row.
+    pub fn matmul_t_add_into(&self, d: &Matrix, out: &mut Matrix) {
+        assert_eq!(d.cols, self.rows, "matmul_t: gradient width mismatch");
+        assert_eq!(out.rows, d.rows, "matmul_t: output rows mismatch");
+        assert_eq!(out.cols, self.cols, "matmul_t: output cols mismatch");
+        let n = self.cols;
+        let mut s = 0;
+        while s + 4 <= d.rows {
+            let base = s * n;
+            let block = &mut out.data[base..base + 4 * n];
+            let (o0, rest) = block.split_at_mut(n);
+            let (o1, rest) = rest.split_at_mut(n);
+            let (o2, o3) = rest.split_at_mut(n);
+            let d0 = &d.data[s * d.cols..(s + 1) * d.cols];
+            let d1 = &d.data[(s + 1) * d.cols..(s + 2) * d.cols];
+            let d2 = &d.data[(s + 2) * d.cols..(s + 3) * d.cols];
+            let d3 = &d.data[(s + 3) * d.cols..(s + 4) * d.cols];
+            for r in 0..self.rows {
+                let w = &self.data[r * n..(r + 1) * n];
+                let (y0, y1, y2, y3) = (d0[r], d1[r], d2[r], d3[r]);
+                if y0 != 0.0 && y1 != 0.0 && y2 != 0.0 && y3 != 0.0 {
+                    for k in 0..n {
+                        let wk = w[k];
+                        o0[k] += y0 * wk;
+                        o1[k] += y1 * wk;
+                        o2[k] += y2 * wk;
+                        o3[k] += y3 * wk;
+                    }
+                } else {
+                    // per-sample zero skips, exactly as matvec_t_add
+                    if y0 != 0.0 {
+                        for k in 0..n {
+                            o0[k] += y0 * w[k];
+                        }
+                    }
+                    if y1 != 0.0 {
+                        for k in 0..n {
+                            o1[k] += y1 * w[k];
+                        }
+                    }
+                    if y2 != 0.0 {
+                        for k in 0..n {
+                            o2[k] += y2 * w[k];
+                        }
+                    }
+                    if y3 != 0.0 {
+                        for k in 0..n {
+                            o3[k] += y3 * w[k];
+                        }
+                    }
+                }
+            }
+            s += 4;
+        }
+        while s < d.rows {
+            let row = &mut out.data[s * n..(s + 1) * n];
+            let drow = &d.data[s * d.cols..(s + 1) * d.cols];
+            // remainder rows run the per-sample kernel's exact loop
+            for (r, yr) in drow.iter().enumerate() {
+                if *yr == 0.0 {
+                    continue;
+                }
+                let w = &self.data[r * n..(r + 1) * n];
+                for (o, wk) in row.iter_mut().zip(w.iter()) {
+                    *o += yr * wk;
+                }
+            }
+            s += 1;
+        }
     }
 
     /// `out += selfᵀ * y` where `y.len() == rows`; `out.len() == cols`.
@@ -212,5 +378,44 @@ mod tests {
     fn matvec_shape_checked() {
         let m = Matrix::zeros(2, 3);
         let _ = m.matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_nt_bit_identical_to_matvec_rows() {
+        // batch sizes covering the 8-wide and 4-wide interleaved blocks
+        // and every remainder combination
+        for batch in [1usize, 2, 3, 4, 5, 7, 8, 9, 11, 12, 13, 16, 17, 21] {
+            let m = Matrix::from_fn(4, 6, |r, c| ((r * 7 + c) as f64 * 0.31).sin());
+            let x = Matrix::from_fn(batch, 6, |r, c| ((r * 13 + c) as f64 * 0.53).cos());
+            let mut out = Matrix::zeros(batch, 4);
+            m.matmul_nt_into(&x, &mut out);
+            for s in 0..batch {
+                let mut per = vec![0.0; 4];
+                m.matvec_into(x.row(s), &mut per);
+                assert_eq!(out.row(s), per.as_slice(), "batch {batch} row {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_t_add_bit_identical_to_matvec_t_rows() {
+        for batch in [1usize, 2, 3, 4, 5, 7, 8, 9] {
+            let m = Matrix::from_fn(4, 6, |r, c| ((r * 5 + c) as f64 * 0.71).sin());
+            // include zero gradient entries to exercise the skip paths
+            let d = Matrix::from_fn(batch, 4, |r, c| {
+                if (r + c) % 3 == 0 {
+                    0.0
+                } else {
+                    ((r * 11 + c) as f64 * 0.91).cos()
+                }
+            });
+            let mut out = Matrix::from_fn(batch, 6, |r, c| (r + c) as f64 * 0.01);
+            let mut reference = out.clone();
+            m.matmul_t_add_into(&d, &mut out);
+            for s in 0..batch {
+                m.matvec_t_add(d.row(s), reference.row_mut(s));
+            }
+            assert_eq!(out, reference, "batch {batch}");
+        }
     }
 }

@@ -25,11 +25,27 @@ pub struct Cache {
     preacts: Vec<Vec<f64>>,
 }
 
+/// Scratch space for batched forward/backward passes.
+///
+/// The batched analogue of [`Cache`]: one row-major matrix per layer, one
+/// row per sample. Reused across minibatches to avoid reallocating in the
+/// PPO update hot loop; [`Mlp::forward_batch_cached`] resizes it on demand
+/// when the batch size changes.
+#[derive(Debug, Clone, Default)]
+pub struct BatchCache {
+    /// Input rows fed to each layer (`inputs[0]` holds the network input).
+    inputs: Vec<Matrix>,
+    /// Pre-activation rows `z = W x + b` of each layer.
+    preacts: Vec<Matrix>,
+}
+
 /// Gradient accumulator shaped like an [`Mlp`]. Serializable so optimizer
 /// moments (which share this shape) can be checkpointed.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MlpGrads {
+    /// Weight gradients, one matrix per layer.
     pub w: Vec<Matrix>,
+    /// Bias gradients, one vector per layer.
     pub b: Vec<Vec<f64>>,
 }
 
@@ -48,18 +64,22 @@ impl Mlp {
         Mlp { layers }
     }
 
+    /// Input dimension of the first layer.
     pub fn input_dim(&self) -> usize {
         self.layers.first().expect("non-empty").inputs()
     }
 
+    /// Output dimension of the last layer.
     pub fn output_dim(&self) -> usize {
         self.layers.last().expect("non-empty").outputs()
     }
 
+    /// The layer stack, input-first.
     pub fn layers(&self) -> &[Dense] {
         &self.layers
     }
 
+    /// Mutable access to the layer stack (used by optimizers).
     pub fn layers_mut(&mut self) -> &mut [Dense] {
         &mut self.layers
     }
@@ -69,7 +89,6 @@ impl Mlp {
         self.layers.iter().map(|l| l.w.rows() * l.w.cols() + l.b.len()).sum()
     }
 
-    /// Allocate a cache sized for this network.
     /// `true` iff every weight and bias is a finite number — the
     /// post-update divergence check in `rl`'s training guard.
     pub fn all_finite(&self) -> bool {
@@ -78,10 +97,19 @@ impl Mlp {
         })
     }
 
+    /// Allocate a per-sample cache sized for this network.
     pub fn new_cache(&self) -> Cache {
         Cache {
             inputs: self.layers.iter().map(|l| vec![0.0; l.inputs()]).collect(),
             preacts: self.layers.iter().map(|l| vec![0.0; l.outputs()]).collect(),
+        }
+    }
+
+    /// Allocate a batched cache for `batch` samples.
+    pub fn new_batch_cache(&self, batch: usize) -> BatchCache {
+        BatchCache {
+            inputs: self.layers.iter().map(|l| Matrix::zeros(batch, l.inputs())).collect(),
+            preacts: self.layers.iter().map(|l| Matrix::zeros(batch, l.outputs())).collect(),
         }
     }
 
@@ -131,6 +159,111 @@ impl Mlp {
         }
         delta
     }
+
+    /// Batched forward pass: each row of `x` is one sample, each row of the
+    /// result is the matching network output.
+    ///
+    /// Bit-identical to calling [`Mlp::forward`] per row — see
+    /// [`Mlp::forward_batch_cached`] for the determinism argument.
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        let mut cache = self.new_batch_cache(x.rows());
+        self.forward_batch_cached(x, &mut cache)
+    }
+
+    /// Batched forward pass recording intermediates for a later
+    /// [`Mlp::grads_batch`].
+    ///
+    /// # Determinism
+    ///
+    /// Each sample row is pushed through the exact per-row kernels of the
+    /// serial path ([`Dense::forward_batch_into`] reuses
+    /// [`Matrix::matvec_into`] and the scalar activation per element), so
+    /// outputs are bit-identical to per-sample [`Mlp::forward_cached`]
+    /// calls. Batching buys amortized layer traversal and removes the
+    /// per-sample `Vec` allocations of the serial path — it never changes
+    /// floating-point evaluation order within a sample.
+    pub fn forward_batch_cached(&self, x: &Matrix, cache: &mut BatchCache) -> Matrix {
+        assert_eq!(x.cols(), self.input_dim(), "MLP batch input dimension mismatch");
+        let batch = x.rows();
+        if cache.inputs.len() != self.layers.len()
+            || cache.inputs.first().map(|m| m.rows()) != Some(batch)
+        {
+            *cache = self.new_batch_cache(batch);
+        }
+        let mut cur = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            cache.inputs[i].as_mut_slice().copy_from_slice(cur.as_slice());
+            let mut a = Matrix::zeros(batch, layer.outputs());
+            layer.forward_batch_into(&cur, &mut cache.preacts[i], &mut a);
+            cur = a;
+        }
+        cur
+    }
+
+    /// Batched reverse-mode pass: given per-sample output gradients (one row
+    /// of `dl_dout` per sample), accumulate the summed parameter gradients
+    /// into `grads`.
+    ///
+    /// `cache` must come from the immediately preceding
+    /// [`Mlp::forward_batch_cached`] call on the same inputs. Unlike
+    /// [`Mlp::backward`], no input gradient is returned: no training path
+    /// needs it, and for input-heavy nets skipping the first layer's
+    /// delta propagation removes a large share of the backward work.
+    ///
+    /// # Determinism
+    ///
+    /// Accumulation into each parameter element happens in sample order
+    /// (sample 0, 1, 2, …) via the same [`Matrix::add_outer`] kernel the
+    /// serial path uses, and layers touch disjoint parameter elements — so
+    /// the summed gradients are bit-identical to running [`Mlp::backward`]
+    /// per sample into the same accumulator, despite floating-point
+    /// addition being non-associative. Activation derivatives come from
+    /// the stored activations ([`Activation::derivative_from_output`]),
+    /// which produces the same bits as the serial z-based form without
+    /// recomputing transcendentals.
+    pub fn grads_batch(&self, cache: &BatchCache, dl_dout: &Matrix, grads: &mut MlpGrads) {
+        let batch = dl_dout.rows();
+        assert_eq!(dl_dout.cols(), self.output_dim(), "batch gradient dimension mismatch");
+        assert_eq!(grads.w.len(), self.layers.len(), "grads shape mismatch");
+        assert_eq!(cache.inputs.len(), self.layers.len(), "batch cache shape mismatch");
+        assert_eq!(cache.inputs[0].rows(), batch, "batch cache batch-size mismatch");
+        let mut delta = dl_dout.clone();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            // delta rows hold dL/da for this layer; convert to dL/dz. For
+            // hidden layers the next layer's cached input *is* this
+            // layer's activation output, giving the transcendental-free
+            // derivative form.
+            if i + 1 < self.layers.len() {
+                for s in 0..batch {
+                    let ar = cache.inputs[i + 1].row(s);
+                    for (d, a) in delta.row_mut(s).iter_mut().zip(ar.iter()) {
+                        *d *= layer.act.derivative_from_output(*a);
+                    }
+                }
+            } else {
+                for s in 0..batch {
+                    let zs = cache.preacts[i].row(s);
+                    for (d, z) in delta.row_mut(s).iter_mut().zip(zs.iter()) {
+                        *d *= layer.act.derivative(*z);
+                    }
+                }
+            }
+            // Parameter accumulation in sample order keeps the per-element
+            // addition sequence identical to the serial per-sample loop.
+            for s in 0..batch {
+                grads.w[i].add_outer(1.0, delta.row(s), cache.inputs[i].row(s));
+                for (gb, d) in grads.b[i].iter_mut().zip(delta.row(s).iter()) {
+                    *gb += d;
+                }
+            }
+            if i == 0 {
+                break;
+            }
+            let mut prev = Matrix::zeros(batch, layer.inputs());
+            layer.w.matmul_t_add_into(&delta, &mut prev);
+            delta = prev;
+        }
+    }
 }
 
 impl MlpGrads {
@@ -149,6 +282,26 @@ impl MlpGrads {
         }
         for b in &mut self.b {
             b.iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+
+    /// Elementwise `self += other` (same shape).
+    ///
+    /// The merge primitive for parallel gradient accumulation: workers
+    /// compute per-sample gradient buffers and the coordinator folds them
+    /// into one accumulator **in global sample order**, so the sum is
+    /// bit-identical to serial accumulation no matter how many workers
+    /// produced the pieces (floating-point addition is non-associative, so
+    /// the fold order — not the worker count — determines the bits).
+    pub fn add_assign(&mut self, other: &MlpGrads) {
+        assert_eq!(self.w.len(), other.w.len(), "add_assign: layer count mismatch");
+        for (a, b) in self.w.iter_mut().zip(other.w.iter()) {
+            a.add_scaled(1.0, b);
+        }
+        for (a, b) in self.b.iter_mut().zip(other.b.iter()) {
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                *x += y;
+            }
         }
     }
 
@@ -297,10 +450,138 @@ mod tests {
     }
 
     #[test]
+    fn forward_batch_bit_identical_to_per_sample() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let net = Mlp::new(&[6, 12, 5, 3], Activation::Tanh, &mut rng);
+        let batch = 17;
+        let x = Matrix::from_fn(batch, 6, |r, c| ((r * 7 + c) as f64 * 0.31).sin());
+        let y = net.forward_batch(&x);
+        assert_eq!(y.rows(), batch);
+        assert_eq!(y.cols(), 3);
+        for s in 0..batch {
+            assert_eq!(y.row(s), net.forward(x.row(s)).as_slice(), "row {s}");
+        }
+    }
+
+    #[test]
+    fn grads_batch_bit_identical_to_serial_accumulation() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let net = Mlp::new(&[5, 9, 4], Activation::Relu, &mut rng);
+        let batch = 13;
+        let x = Matrix::from_fn(batch, 5, |r, c| ((r * 3 + c) as f64 * 0.71).cos());
+        let dl = Matrix::from_fn(batch, 4, |r, c| ((r + c * 2) as f64 * 0.13).sin());
+
+        // serial: per-sample forward_cached + backward into one accumulator
+        let mut serial = MlpGrads::zeros_like(&net);
+        let mut cache = net.new_cache();
+        for s in 0..batch {
+            net.forward_cached(x.row(s), &mut cache);
+            net.backward(&cache, dl.row(s), &mut serial);
+        }
+
+        // batched: one forward_batch_cached + grads_batch
+        let mut batched = MlpGrads::zeros_like(&net);
+        let mut bcache = net.new_batch_cache(batch);
+        net.forward_batch_cached(&x, &mut bcache);
+        net.grads_batch(&bcache, &dl, &mut batched);
+
+        assert_eq!(serial, batched);
+    }
+
+    #[test]
+    fn add_assign_merge_matches_serial_fold() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let net = Mlp::new(&[4, 6, 2], Activation::Tanh, &mut rng);
+        let xs: Vec<Vec<f64>> =
+            (0..8).map(|s| (0..4).map(|c| ((s * 5 + c) as f64 * 0.23).sin()).collect()).collect();
+
+        let mut serial = MlpGrads::zeros_like(&net);
+        let mut cache = net.new_cache();
+        for x in &xs {
+            net.forward_cached(x, &mut cache);
+            net.backward(&cache, &[1.0, -0.5], &mut serial);
+        }
+
+        // per-sample buffers merged in sample order, as the parallel path does
+        let mut merged = MlpGrads::zeros_like(&net);
+        for x in &xs {
+            let mut g = MlpGrads::zeros_like(&net);
+            net.forward_cached(x, &mut cache);
+            net.backward(&cache, &[1.0, -0.5], &mut g);
+            merged.add_assign(&g);
+        }
+        assert_eq!(serial, merged);
+    }
+
+    #[test]
     fn forward_deterministic() {
         let mut rng = StdRng::seed_from_u64(5);
         let net = Mlp::new(&[3, 5, 2], Activation::Tanh, &mut rng);
         let x = [0.1, 0.2, 0.3];
         assert_eq!(net.forward(&x), net.forward(&x));
+    }
+}
+
+#[cfg(test)]
+mod kernel_timing {
+    use super::*;
+    use crate::layer::Activation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::time::Instant;
+
+    /// Not a correctness test: prints kernel timings for perf work.
+    /// Run with `cargo test -p nn --release -- --ignored --nocapture`.
+    #[test]
+    #[ignore]
+    fn batch_kernel_timings() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = Mlp::new(&[110, 32, 16, 1], Activation::Tanh, &mut rng);
+        let batch = 64;
+        let x = Matrix::from_fn(batch, 110, |r, c| ((r * 31 + c) as f64 * 0.1).sin());
+        let reps = 2000;
+
+        let mut cache = net.new_cache();
+        let mut grads = MlpGrads::zeros_like(&net);
+        let t = Instant::now();
+        for _ in 0..reps {
+            for s in 0..batch {
+                net.forward_cached(x.row(s), &mut cache);
+                net.backward(&cache, &[1.0], &mut grads);
+            }
+        }
+        println!("serial fwd+bwd: {:.2} us/batch", t.elapsed().as_secs_f64() * 1e6 / reps as f64);
+
+        let t = Instant::now();
+        for _ in 0..reps {
+            for s in 0..batch {
+                std::hint::black_box(net.forward(x.row(s)));
+            }
+        }
+        println!("serial fwd alloc: {:.2} us/batch", t.elapsed().as_secs_f64() * 1e6 / reps as f64);
+
+        let mut bcache = net.new_batch_cache(batch);
+        let t = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(net.forward_batch_cached(&x, &mut bcache));
+        }
+        println!("batch fwd: {:.2} us/batch", t.elapsed().as_secs_f64() * 1e6 / reps as f64);
+
+        let dl = Matrix::from_fn(batch, 1, |_, _| 1.0);
+        let t = Instant::now();
+        for _ in 0..reps {
+            net.forward_batch_cached(&x, &mut bcache);
+            net.grads_batch(&bcache, &dl, &mut grads);
+            std::hint::black_box(&grads);
+        }
+        println!("batch fwd+bwd: {:.2} us/batch", t.elapsed().as_secs_f64() * 1e6 / reps as f64);
+
+        let mut adam = crate::Adam::new(&net, 1e-3);
+        let mut net2 = net.clone();
+        let t = Instant::now();
+        for _ in 0..reps {
+            adam.step(&mut net2, &grads);
+        }
+        println!("adam step: {:.2} us/step", t.elapsed().as_secs_f64() * 1e6 / reps as f64);
     }
 }

@@ -22,6 +22,59 @@ pub fn log_softmax(xs: &[f64]) -> Vec<f64> {
     xs.iter().map(|x| x - lse).collect()
 }
 
+/// Softmax of `xs` written into `out` (stable, no allocation).
+///
+/// Performs the same per-element operations in the same order as
+/// [`softmax`], so batched callers iterating row-by-row produce results
+/// bit-identical to the per-sample path.
+pub fn softmax_into(xs: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "softmax_into: length mismatch");
+    let lse = log_sum_exp(xs);
+    for (o, x) in out.iter_mut().zip(xs.iter()) {
+        *o = (x - lse).exp();
+    }
+}
+
+/// Log-softmax of `xs` written into `out` (stable, no allocation).
+///
+/// Bit-identical to [`log_softmax`] element-for-element.
+pub fn log_softmax_into(xs: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), out.len(), "log_softmax_into: length mismatch");
+    let lse = log_sum_exp(xs);
+    for (o, x) in out.iter_mut().zip(xs.iter()) {
+        *o = x - lse;
+    }
+}
+
+/// Vectorized identity: copy `zs` into `out`.
+///
+/// Exists so batched layer kernels can dispatch every activation through the
+/// same slice interface; see [`tanh_into`] / [`relu_into`].
+pub fn linear_into(zs: &[f64], out: &mut [f64]) {
+    assert_eq!(zs.len(), out.len(), "linear_into: length mismatch");
+    out.copy_from_slice(zs);
+}
+
+/// Vectorized tanh over a slice.
+///
+/// Applies `f64::tanh` to each element in order — bit-identical to calling
+/// the scalar activation per element, which keeps batched forward passes
+/// bit-identical to per-sample forwards.
+pub fn tanh_into(zs: &[f64], out: &mut [f64]) {
+    assert_eq!(zs.len(), out.len(), "tanh_into: length mismatch");
+    for (o, z) in out.iter_mut().zip(zs.iter()) {
+        *o = z.tanh();
+    }
+}
+
+/// Vectorized ReLU over a slice (`max(z, 0.0)` per element, in order).
+pub fn relu_into(zs: &[f64], out: &mut [f64]) {
+    assert_eq!(zs.len(), out.len(), "relu_into: length mismatch");
+    for (o, z) in out.iter_mut().zip(zs.iter()) {
+        *o = z.max(0.0);
+    }
+}
+
 /// Clamp `x` into `[lo, hi]`.
 #[inline]
 pub fn clip(x: f64, lo: f64, hi: f64) -> f64 {
@@ -120,6 +173,22 @@ mod tests {
         assert_eq!(percentile(&xs, 0.0), 1.0);
         assert_eq!(percentile(&xs, 100.0), 4.0);
         assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_variants_bit_identical_to_allocating() {
+        let xs = [0.3, -1.2, 2.0, 0.0, 1e3];
+        let mut out = [0.0; 5];
+        softmax_into(&xs, &mut out);
+        assert_eq!(out.to_vec(), softmax(&xs));
+        log_softmax_into(&xs, &mut out);
+        assert_eq!(out.to_vec(), log_softmax(&xs));
+        tanh_into(&xs, &mut out);
+        assert_eq!(out.to_vec(), xs.iter().map(|z| z.tanh()).collect::<Vec<_>>());
+        relu_into(&xs, &mut out);
+        assert_eq!(out.to_vec(), xs.iter().map(|z| z.max(0.0)).collect::<Vec<_>>());
+        linear_into(&xs, &mut out);
+        assert_eq!(out, xs);
     }
 
     #[test]

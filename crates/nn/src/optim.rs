@@ -7,10 +7,12 @@ use serde::{Deserialize, Serialize};
 /// Plain stochastic gradient descent: `θ ← θ − lr · g`.
 #[derive(Debug, Clone)]
 pub struct Sgd {
+    /// Learning rate.
     pub lr: f64,
 }
 
 impl Sgd {
+    /// SGD with the given learning rate.
     pub fn new(lr: f64) -> Self {
         Sgd { lr }
     }
@@ -31,11 +33,20 @@ impl Sgd {
 /// State is shaped like the network it was created for; do not reuse across
 /// differently shaped networks. Serializable (moments included) so training
 /// can checkpoint and resume bit-identically.
+///
+/// One [`Adam::step`] consumes a *summed* gradient buffer — whether that sum
+/// came from a serial per-sample loop, [`crate::Mlp::grads_batch`], or a
+/// fixed-order parallel merge is invisible to the optimizer, which is what
+/// lets the batched and parallel update paths stay bit-identical.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Adam {
+    /// Learning rate.
     pub lr: f64,
+    /// Exponential decay for the first-moment estimate.
     pub beta1: f64,
+    /// Exponential decay for the second-moment estimate.
     pub beta2: f64,
+    /// Denominator fuzz guarding against division by zero.
     pub eps: f64,
     t: u64,
     m: MlpGrads,
@@ -117,6 +128,7 @@ fn update_matrix(
 /// state-independent log-standard-deviations, which live outside any MLP).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AdamVec {
+    /// Learning rate.
     pub lr: f64,
     beta1: f64,
     beta2: f64,
@@ -127,6 +139,7 @@ pub struct AdamVec {
 }
 
 impl AdamVec {
+    /// Adam state for a parameter vector of length `len` with standard betas.
     pub fn new(len: usize, lr: f64) -> Self {
         AdamVec {
             lr,
@@ -139,6 +152,7 @@ impl AdamVec {
         }
     }
 
+    /// Apply one Adam step to `params` given `grads`.
     pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
         assert_eq!(params.len(), self.m.len(), "AdamVec shape mismatch");
         assert_eq!(grads.len(), self.m.len(), "AdamVec grads mismatch");

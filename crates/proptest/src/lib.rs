@@ -182,7 +182,7 @@ pub mod collection {
     use super::StdRng;
     use rand::Rng;
 
-    /// Sizes accepted by [`vec`]: an exact `usize` or a `Range<usize>`.
+    /// Sizes accepted by [`fn@vec`]: an exact `usize` or a `Range<usize>`.
     pub trait IntoSizeRange {
         fn pick(&self, rng: &mut StdRng) -> usize;
     }

@@ -80,6 +80,21 @@ impl RolloutBuffer {
     pub fn mean_reward(&self) -> f64 {
         nn::ops::mean(&self.transitions.iter().map(|t| t.reward).collect::<Vec<_>>())
     }
+
+    /// Gather the observations of minibatch `indices` into one row-major
+    /// batch matrix (row `s` holds the observation of `indices[s]`), the
+    /// input format of `nn`'s batched forward/backward kernels.
+    pub fn gather_obs(&self, indices: &[usize]) -> nn::Matrix {
+        assert!(!indices.is_empty(), "gather_obs of an empty minibatch");
+        let dim = self.transitions[indices[0]].obs.len();
+        let mut data = Vec::with_capacity(indices.len() * dim);
+        for &i in indices {
+            let obs = &self.transitions[i].obs;
+            assert_eq!(obs.len(), dim, "ragged observations in rollout buffer");
+            data.extend_from_slice(obs);
+        }
+        nn::Matrix::from_vec(indices.len(), dim, data)
+    }
 }
 
 /// Generalized advantage estimation.

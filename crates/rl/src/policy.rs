@@ -53,7 +53,10 @@ impl GaussianPolicy {
         self.log_std.len()
     }
 
-    fn stds(&self) -> Vec<f64> {
+    /// Per-dimension standard deviations (log-stds clamped to the active
+    /// range, then exponentiated). Pure function of `log_std`, so callers
+    /// that hoist it out of per-sample loops get bit-identical results.
+    pub fn stds(&self) -> Vec<f64> {
         self.log_std.iter().map(|l| l.clamp(LOG_STD_MIN, LOG_STD_MAX).exp()).collect()
     }
 
@@ -92,6 +95,37 @@ impl GaussianPolicy {
             }
         }
     }
+
+    /// Per-sample head math for the batched update path: given this
+    /// sample's `mean` row (from a batched forward) and the hoisted `stds`,
+    /// write `dL/dμ` into `dmean` and accumulate the log-std gradient.
+    ///
+    /// Performs the exact per-element operations of
+    /// [`GaussianPolicy::accumulate_grads`] — `c_logp · (a − μ)/σ²` for the
+    /// mean and `c_logp · (z² − 1) + c_ent` for active log-stds — so the
+    /// batched update stays bit-identical to the per-sample path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dmean_row(
+        &self,
+        mean: &[f64],
+        action: &[f64],
+        stds: &[f64],
+        c_logp: f64,
+        c_ent: f64,
+        dmean: &mut [f64],
+        log_std_grad: &mut [f64],
+    ) {
+        for (d, (mu, (a, s))) in mean.iter().zip(action.iter().zip(stds.iter())).enumerate() {
+            dmean[d] = c_logp * (a - mu) / (s * s);
+        }
+        for i in 0..self.log_std.len() {
+            let z = (action[i] - mean[i]) / stds[i];
+            let active = (LOG_STD_MIN..=LOG_STD_MAX).contains(&self.log_std[i]);
+            if active {
+                log_std_grad[i] += c_logp * (z * z - 1.0) + c_ent;
+            }
+        }
+    }
 }
 
 impl PolicyHead for GaussianPolicy {
@@ -121,7 +155,10 @@ impl PolicyHead for GaussianPolicy {
     }
 }
 
-fn gaussian_log_prob(mean: &[f64], stds: &[f64], a: &[f64]) -> f64 {
+/// Log-density of a diagonal Gaussian, summed over dimensions in order.
+/// Shared by the sampling, serial-update, and batched-update paths so all
+/// three produce the same bits from the same `(mean, stds, action)`.
+pub(crate) fn gaussian_log_prob(mean: &[f64], stds: &[f64], a: &[f64]) -> f64 {
     mean.iter()
         .zip(stds.iter().zip(a.iter()))
         .map(|(mu, (s, ai))| {
@@ -175,6 +212,30 @@ impl CategoricalPolicy {
             })
             .collect();
         self.logits_net.backward(cache, &dlogits, grads);
+    }
+
+    /// Per-sample head math for the batched update path: given this
+    /// sample's log-softmax row `logp` (from a batched forward), write
+    /// `dL/d(logits)` into `dlogits`.
+    ///
+    /// Same per-element formulas as [`CategoricalPolicy::accumulate_grads`]
+    /// (`∂logπ(a)/∂l_j = δ_{ja} − p_j`, `∂H/∂l_j = −p_j(log p_j + H)`), so
+    /// the batched update stays bit-identical to the per-sample path.
+    pub fn dlogits_row(
+        &self,
+        logp: &[f64],
+        action: usize,
+        c_logp: f64,
+        c_ent: f64,
+        dlogits: &mut [f64],
+    ) {
+        let p: Vec<f64> = logp.iter().map(|l| l.exp()).collect();
+        let entropy: f64 = -p.iter().zip(logp.iter()).map(|(pi, li)| pi * li).sum::<f64>();
+        for j in 0..logp.len() {
+            let dlp = if j == action { 1.0 - p[j] } else { -p[j] };
+            let dent = -p[j] * (logp[j] + entropy);
+            dlogits[j] = c_logp * dlp + c_ent * dent;
+        }
     }
 }
 

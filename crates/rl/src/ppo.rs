@@ -67,6 +67,22 @@ pub struct PpoConfig {
     /// Multiplier applied to the effective learning rate on every
     /// divergence-guard trip (in `(0, 1]`).
     pub guard_lr_backoff: f64,
+    /// Use the batched matrix–matrix update kernels (`nn::Mlp::forward_batch`
+    /// / `grads_batch`): one batched forward per net per minibatch instead
+    /// of two per-sample forwards per net per transition. `true` (the
+    /// default) and `false` (the legacy per-sample path, kept as the
+    /// reference implementation and benchmark baseline) produce
+    /// bit-identical training trajectories — the kernels replay the exact
+    /// floating-point operation order of the serial path.
+    pub batched_updates: bool,
+    /// Worker threads for minibatch gradient computation. With > 1, each
+    /// minibatch's per-sample gradients are computed in parallel via
+    /// `exec::par_map_fold` and merged **in global sample order**, so the
+    /// summed gradients — and therefore the whole training trajectory — are
+    /// bit-identical to the serial path for every worker count.
+    /// `1` (the default) computes minibatch gradients on the caller's
+    /// thread.
+    pub grad_workers: usize,
     /// Watchdog timeout for vectorized rollout workers, in milliseconds.
     /// When > 0, a monitor thread cancels any worker slot whose heartbeat
     /// (one beat per environment step) is older than this and re-runs it
@@ -97,6 +113,8 @@ impl Default for PpoConfig {
             worker_retries: 1,
             guard_max_trips: 8,
             guard_lr_backoff: 0.5,
+            batched_updates: true,
+            grad_workers: 1,
             watchdog_timeout_ms: 0,
         }
     }
@@ -131,6 +149,7 @@ impl PpoConfig {
             self.guard_lr_backoff > 0.0 && self.guard_lr_backoff <= 1.0,
             "guard_lr_backoff must be in (0, 1]"
         );
+        assert!(self.grad_workers >= 1, "grad_workers must be at least 1");
     }
 }
 
@@ -204,6 +223,9 @@ pub struct TrainReport {
     pub rollout_wall_s: f64,
     /// Collection throughput: `n_steps / rollout_wall_s`.
     pub rollout_steps_per_s: f64,
+    /// Wall-clock seconds spent in the PPO update phase (the gradient
+    /// epochs over the rollout, including optimizer steps).
+    pub update_wall_s: f64,
     /// Wall-clock seconds per worker, in worker order (one entry when
     /// collection is serial). Timing fields vary run to run; everything
     /// else in the report is deterministic for a given seed.
@@ -498,7 +520,9 @@ impl Ppo {
         let t0 = std::time::Instant::now();
         let (buf, raw_step_reward, ep_rewards, mean_entropy, poisoned) = self.collect_rollout(env);
         let rollout_wall_s = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
         let (policy_loss, value_loss) = self.guarded_update(&buf, poisoned)?;
+        let update_wall_s = t1.elapsed().as_secs_f64();
         Ok(TrainReport {
             iteration: self.iteration,
             total_steps: self.total_steps,
@@ -511,6 +535,7 @@ impl Ppo {
             n_envs: 1,
             rollout_wall_s,
             rollout_steps_per_s: self.cfg.n_steps as f64 / rollout_wall_s.max(1e-12),
+            update_wall_s,
             worker_wall_s: vec![rollout_wall_s],
             guard_trips: self.guard_trips,
         })
@@ -592,7 +617,9 @@ impl Ppo {
         let (buf, raw_step_reward, ep_rewards, mean_entropy, worker_wall_s, poisoned) =
             self.collect_rollout_vec(slots)?;
         let rollout_wall_s = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
         let (policy_loss, value_loss) = self.guarded_update(&buf, poisoned)?;
+        let update_wall_s = t1.elapsed().as_secs_f64();
         Ok(TrainReport {
             iteration: self.iteration,
             total_steps: self.total_steps,
@@ -605,6 +632,7 @@ impl Ppo {
             n_envs: slots.len(),
             rollout_wall_s,
             rollout_steps_per_s: self.cfg.n_steps as f64 / rollout_wall_s.max(1e-12),
+            update_wall_s,
             worker_wall_s,
             guard_trips: self.guard_trips,
         })
@@ -860,6 +888,19 @@ impl Ppo {
     /// mean (policy loss, value loss), or a description of the first
     /// non-finite quantity detected (gradients are checked before every
     /// optimizer step, losses and weights after the final epoch).
+    ///
+    /// Three interchangeable minibatch gradient paths sit underneath,
+    /// selected by `cfg.batched_updates` / `cfg.grad_workers`; all produce
+    /// bit-identical gradients, losses, and optimizer steps (see
+    /// `docs/PERF.md` for the argument and the measured speedups):
+    ///
+    /// * **legacy serial** (`batched_updates: false`) — two per-sample
+    ///   forwards per net per transition; the reference implementation.
+    /// * **batched** (`batched_updates: true`, `grad_workers <= 1`) — one
+    ///   batched forward per net per minibatch via `nn`'s matrix–matrix
+    ///   kernels, backward via [`nn::Mlp::grads_batch`].
+    /// * **parallel** (`grad_workers > 1`) — per-sample gradients fan out
+    ///   over `exec::par_map_fold` and merge in global sample order.
     fn update_checked(&mut self, buf: &RolloutBuffer) -> Result<(f64, f64), String> {
         // Fault point `ppo.update`: `panic@ppo.update:<n>` crashes the
         // process at the nth update step (the checkpoint written after the
@@ -876,6 +917,8 @@ impl Ppo {
         let mut vgrads = MlpGrads::zeros_like(&self.value.net);
         let mut pcache = self.policy.net().new_cache();
         let mut vcache = self.value.net.new_cache();
+        let mut bpcache = nn::BatchCache::default();
+        let mut bvcache = nn::BatchCache::default();
         let mut last_policy_loss = 0.0;
         let mut last_value_loss = 0.0;
 
@@ -891,52 +934,35 @@ impl Ppo {
                     PolicyKind::Gaussian(g) => vec![0.0; g.log_std.len()],
                     PolicyKind::Categorical(_) => Vec::new(),
                 };
-                let inv_b = 1.0 / chunk.len() as f64;
-                let mut ploss = 0.0;
-                let mut vloss = 0.0;
-                for &i in chunk {
-                    let t = &buf.transitions[i];
-                    let adv = buf.advantages[i];
-                    let ret = buf.returns[i];
-                    let logp_new = self.policy.log_prob(&t.obs, &t.action);
-                    let ratio = (logp_new - t.log_prob).exp();
-                    let unclipped = ratio * adv;
-                    let clipped = ratio.clamp(1.0 - self.cfg.clip, 1.0 + self.cfg.clip) * adv;
-                    let surrogate = unclipped.min(clipped);
-                    ploss += -surrogate;
-                    // Gradient flows only when the unclipped branch is
-                    // active (min picks it), matching autograd through
-                    // min(ratio·A, clip(ratio)·A).
-                    let c_logp = if unclipped <= clipped { -adv * ratio * inv_b } else { 0.0 };
-                    let c_ent = -self.cfg.ent_coef * inv_b;
-                    match &self.policy {
-                        PolicyKind::Gaussian(g) => g.accumulate_grads(
-                            &t.obs,
-                            t.action.vector(),
-                            c_logp,
-                            c_ent,
-                            &mut pcache,
-                            &mut pgrads,
-                            &mut log_std_grad,
-                        ),
-                        PolicyKind::Categorical(c) => c.accumulate_grads(
-                            &t.obs,
-                            t.action.index(),
-                            c_logp,
-                            c_ent,
-                            &mut pcache,
-                            &mut pgrads,
-                        ),
-                    }
-                    let v = self.value.value(&t.obs);
-                    vloss += 0.5 * (v - ret) * (v - ret);
-                    self.value.accumulate_grads(
-                        &t.obs,
-                        self.cfg.vf_coef * (v - ret) * inv_b,
+                let (ploss, vloss) = if !self.cfg.batched_updates {
+                    self.minibatch_grads_serial(
+                        buf,
+                        chunk,
+                        &mut pcache,
                         &mut vcache,
+                        &mut pgrads,
                         &mut vgrads,
-                    );
-                }
+                        &mut log_std_grad,
+                    )
+                } else if self.cfg.grad_workers > 1 {
+                    self.minibatch_grads_parallel(
+                        buf,
+                        chunk,
+                        &mut pgrads,
+                        &mut vgrads,
+                        &mut log_std_grad,
+                    )
+                } else {
+                    self.minibatch_grads_batched(
+                        buf,
+                        chunk,
+                        &mut bpcache,
+                        &mut bvcache,
+                        &mut pgrads,
+                        &mut vgrads,
+                        &mut log_std_grad,
+                    )
+                };
                 // Fault point `nn.grads`: `nan@nn.grads:<n>` poisons the
                 // nth minibatch's policy gradients, which the finite
                 // check below must catch — tripping the divergence guard
@@ -989,6 +1015,236 @@ impl Ppo {
             return Err("non-finite weights after update".to_string());
         }
         Ok((last_policy_loss, last_value_loss))
+    }
+
+    /// Legacy per-sample minibatch gradients (`batched_updates: false`):
+    /// the reference implementation the batched and parallel paths must
+    /// match bit-for-bit. Two per-sample forwards per network per
+    /// transition (one for the ratio, one cached for backprop). Returns
+    /// the minibatch's summed (policy, value) loss; gradients accumulate
+    /// into `pgrads` / `vgrads` / `log_std_grad`.
+    #[allow(clippy::too_many_arguments)]
+    fn minibatch_grads_serial(
+        &self,
+        buf: &RolloutBuffer,
+        chunk: &[usize],
+        pcache: &mut nn::Cache,
+        vcache: &mut nn::Cache,
+        pgrads: &mut MlpGrads,
+        vgrads: &mut MlpGrads,
+        log_std_grad: &mut [f64],
+    ) -> (f64, f64) {
+        let inv_b = 1.0 / chunk.len() as f64;
+        let mut ploss = 0.0;
+        let mut vloss = 0.0;
+        for &i in chunk {
+            let t = &buf.transitions[i];
+            let adv = buf.advantages[i];
+            let ret = buf.returns[i];
+            let logp_new = self.policy.log_prob(&t.obs, &t.action);
+            let ratio = (logp_new - t.log_prob).exp();
+            let unclipped = ratio * adv;
+            let clipped = ratio.clamp(1.0 - self.cfg.clip, 1.0 + self.cfg.clip) * adv;
+            let surrogate = unclipped.min(clipped);
+            ploss += -surrogate;
+            // Gradient flows only when the unclipped branch is
+            // active (min picks it), matching autograd through
+            // min(ratio·A, clip(ratio)·A).
+            let c_logp = if unclipped <= clipped { -adv * ratio * inv_b } else { 0.0 };
+            let c_ent = -self.cfg.ent_coef * inv_b;
+            match &self.policy {
+                PolicyKind::Gaussian(g) => g.accumulate_grads(
+                    &t.obs,
+                    t.action.vector(),
+                    c_logp,
+                    c_ent,
+                    pcache,
+                    pgrads,
+                    log_std_grad,
+                ),
+                PolicyKind::Categorical(c) => {
+                    c.accumulate_grads(&t.obs, t.action.index(), c_logp, c_ent, pcache, pgrads)
+                }
+            }
+            let v = self.value.value(&t.obs);
+            vloss += 0.5 * (v - ret) * (v - ret);
+            self.value.accumulate_grads(
+                &t.obs,
+                self.cfg.vf_coef * (v - ret) * inv_b,
+                vcache,
+                vgrads,
+            );
+        }
+        (ploss, vloss)
+    }
+
+    /// Batched minibatch gradients (`batched_updates: true`, single
+    /// worker): one batched cached forward per network per minibatch,
+    /// per-sample head math in chunk order, then one
+    /// [`nn::Mlp::grads_batch`] backward per network. Bit-identical to
+    /// [`Ppo::minibatch_grads_serial`] because every batched kernel
+    /// replays the serial path's per-element operation order (see
+    /// `docs/PERF.md` for the argument).
+    #[allow(clippy::too_many_arguments)]
+    fn minibatch_grads_batched(
+        &self,
+        buf: &RolloutBuffer,
+        chunk: &[usize],
+        bpcache: &mut nn::BatchCache,
+        bvcache: &mut nn::BatchCache,
+        pgrads: &mut MlpGrads,
+        vgrads: &mut MlpGrads,
+        log_std_grad: &mut [f64],
+    ) -> (f64, f64) {
+        let inv_b = 1.0 / chunk.len() as f64;
+        let c_ent = -self.cfg.ent_coef * inv_b;
+        let obs = buf.gather_obs(chunk);
+        let pout = self.policy.net().forward_batch_cached(&obs, bpcache);
+        let vout = self.value.net.forward_batch_cached(&obs, bvcache);
+        let mut dpol = nn::Matrix::zeros(chunk.len(), pout.cols());
+        let mut dval = nn::Matrix::zeros(chunk.len(), 1);
+        // `stds()` is a pure function of `log_std`, so hoisting it out of
+        // the sample loop returns the exact bits the serial path recomputes
+        // per sample.
+        let stds = match &self.policy {
+            PolicyKind::Gaussian(g) => g.stds(),
+            PolicyKind::Categorical(_) => Vec::new(),
+        };
+        let mut lp = vec![0.0; pout.cols()];
+        let mut ploss = 0.0;
+        let mut vloss = 0.0;
+        for (s, &i) in chunk.iter().enumerate() {
+            let t = &buf.transitions[i];
+            let adv = buf.advantages[i];
+            let ret = buf.returns[i];
+            let logp_new = match &self.policy {
+                PolicyKind::Gaussian(_) => {
+                    crate::policy::gaussian_log_prob(pout.row(s), &stds, t.action.vector())
+                }
+                PolicyKind::Categorical(_) => {
+                    nn::ops::log_softmax_into(pout.row(s), &mut lp);
+                    lp[t.action.index()]
+                }
+            };
+            let ratio = (logp_new - t.log_prob).exp();
+            let unclipped = ratio * adv;
+            let clipped = ratio.clamp(1.0 - self.cfg.clip, 1.0 + self.cfg.clip) * adv;
+            let surrogate = unclipped.min(clipped);
+            ploss += -surrogate;
+            let c_logp = if unclipped <= clipped { -adv * ratio * inv_b } else { 0.0 };
+            match &self.policy {
+                PolicyKind::Gaussian(g) => g.dmean_row(
+                    pout.row(s),
+                    t.action.vector(),
+                    &stds,
+                    c_logp,
+                    c_ent,
+                    dpol.row_mut(s),
+                    log_std_grad,
+                ),
+                PolicyKind::Categorical(c) => {
+                    c.dlogits_row(&lp, t.action.index(), c_logp, c_ent, dpol.row_mut(s))
+                }
+            }
+            let v = vout.get(s, 0);
+            vloss += 0.5 * (v - ret) * (v - ret);
+            dval.set(s, 0, self.cfg.vf_coef * (v - ret) * inv_b);
+        }
+        self.policy.net().grads_batch(bpcache, &dpol, pgrads);
+        self.value.net.grads_batch(bvcache, &dval, vgrads);
+        // Fault point `nn.grads_batch`: the batched analogue of `nn.grads`
+        // — `nan@nn.grads_batch:<n>` poisons the nth batched backward's
+        // policy gradients, which the finite check in `update_checked`
+        // must catch before any optimizer step.
+        if fault::active() && fault::check("nn.grads_batch") == Some(fault::Injection::Nan) {
+            pgrads.scale(f64::NAN);
+        }
+        (ploss, vloss)
+    }
+
+    /// Parallel minibatch gradients (`grad_workers > 1`): each
+    /// transition's contribution is computed on an [`exec`] worker as a
+    /// fresh per-sample gradient buffer, then merged **in global sample
+    /// order** on the caller's thread via [`exec::par_map_fold`]. A
+    /// per-sample buffer starts from zero, so merging buffers in sample
+    /// order performs the exact element additions of the serial loop —
+    /// the result is bit-identical for *any* worker count (a per-worker
+    /// partial-sum reduction would not be, since it re-associates the
+    /// floating-point sum).
+    fn minibatch_grads_parallel(
+        &self,
+        buf: &RolloutBuffer,
+        chunk: &[usize],
+        pgrads: &mut MlpGrads,
+        vgrads: &mut MlpGrads,
+        log_std_grad: &mut [f64],
+    ) -> (f64, f64) {
+        struct SampleGrad {
+            pgrads: MlpGrads,
+            vgrads: MlpGrads,
+            log_std_grad: Vec<f64>,
+            ploss: f64,
+            vloss: f64,
+        }
+        let inv_b = 1.0 / chunk.len() as f64;
+        let c_ent = -self.cfg.ent_coef * inv_b;
+        let (clip, vf_coef) = (self.cfg.clip, self.cfg.vf_coef);
+        let policy = &self.policy;
+        let value = &self.value;
+        let log_std_len = log_std_grad.len();
+        let map = |_i: usize, i: usize| -> SampleGrad {
+            let t = &buf.transitions[i];
+            let adv = buf.advantages[i];
+            let ret = buf.returns[i];
+            let mut sp = MlpGrads::zeros_like(policy.net());
+            let mut sv = MlpGrads::zeros_like(&value.net);
+            let mut lsg = vec![0.0; log_std_len];
+            let mut pc = policy.net().new_cache();
+            let mut vc = value.net.new_cache();
+            let logp_new = policy.log_prob(&t.obs, &t.action);
+            let ratio = (logp_new - t.log_prob).exp();
+            let unclipped = ratio * adv;
+            let clipped = ratio.clamp(1.0 - clip, 1.0 + clip) * adv;
+            let surrogate = unclipped.min(clipped);
+            let c_logp = if unclipped <= clipped { -adv * ratio * inv_b } else { 0.0 };
+            match policy {
+                PolicyKind::Gaussian(g) => g.accumulate_grads(
+                    &t.obs,
+                    t.action.vector(),
+                    c_logp,
+                    c_ent,
+                    &mut pc,
+                    &mut sp,
+                    &mut lsg,
+                ),
+                PolicyKind::Categorical(c) => {
+                    c.accumulate_grads(&t.obs, t.action.index(), c_logp, c_ent, &mut pc, &mut sp)
+                }
+            }
+            let v = value.value(&t.obs);
+            value.accumulate_grads(&t.obs, vf_coef * (v - ret) * inv_b, &mut vc, &mut sv);
+            SampleGrad {
+                pgrads: sp,
+                vgrads: sv,
+                log_std_grad: lsg,
+                ploss: -surrogate,
+                vloss: 0.5 * (v - ret) * (v - ret),
+            }
+        };
+        exec::par_map_fold(
+            chunk.to_vec(),
+            self.cfg.grad_workers,
+            map,
+            (0.0, 0.0),
+            |(pl, vl), sg: SampleGrad| {
+                pgrads.add_assign(&sg.pgrads);
+                vgrads.add_assign(&sg.vgrads);
+                for (a, b) in log_std_grad.iter_mut().zip(sg.log_std_grad.iter()) {
+                    *a += b;
+                }
+                (pl + sg.ploss, vl + sg.vloss)
+            },
+        )
     }
 }
 

@@ -152,6 +152,26 @@ fn truncated_adversary_checkpoint_is_rejected() {
 }
 
 #[test]
+fn nan_poisoned_batched_gradients_trip_the_guard() {
+    // DESIGN.md §10, row `nn.grads_batch`: poisoning the batched-path
+    // minibatch gradients with NaN must be absorbed by the same
+    // divergence guard (skip + rollback) as the per-sample `nn.grads`
+    // point, leaving the finished adversary finite.
+    let _guard = FAULT_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::install(fault::FaultPlan::parse("nan@nn.grads_batch:1").unwrap());
+    let mut env = abr_env();
+    let result = try_train_abr_adversary(&mut env, &abr_cfg(None));
+    fault::clear();
+    let (ppo, reports) = result.expect("one poisoned minibatch is within the guard budget");
+    assert!(reports[0].policy_loss.is_nan(), "poisoned iteration's update must be skipped");
+    assert_eq!(reports[0].guard_trips, 1);
+    assert_eq!(reports.last().unwrap().guard_trips, 1, "no further trips");
+    assert!(reports.last().unwrap().policy_loss.is_finite());
+    let probe = vec![0.0; rl::Env::obs_dim(&env)];
+    assert!(ppo.policy.mode(&probe).vector().iter().all(|v| v.is_finite()));
+}
+
+#[test]
 fn cc_adversary_vectorized_training_is_reproducible() {
     // Two env clones collect in parallel with decorrelated simulator
     // seeds (`Env::decorrelate` + `exec::split_seed`); the merged run must

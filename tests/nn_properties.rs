@@ -3,7 +3,7 @@
 //! architectures, inputs, and seeds — the foundation everything else
 //! (PPO, the adversaries, Pensieve) rests on.
 
-use nn::{Activation, Mlp, MlpGrads};
+use nn::{Activation, Matrix, Mlp, MlpGrads};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -96,6 +96,78 @@ proptest! {
                 prop_assert!((a * scale - b).abs() < 1e-9);
             }
         }
+    }
+
+    /// Batched forward is bit-identical to per-sample forwards for
+    /// arbitrary architectures, batch sizes, activations, and seeds —
+    /// the invariant that lets PPO switch to matrix–matrix kernels
+    /// without perturbing training trajectories.
+    #[test]
+    fn forward_batch_bit_identical_to_per_sample(
+        seed in 0_u64..10_000,
+        dims in proptest::collection::vec(1_usize..8, 2..5),
+        batch in 1_usize..9,
+        use_relu in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let act = if use_relu { Activation::Relu } else { Activation::Tanh };
+        let net = Mlp::new(&dims, act, &mut rng);
+        let n_in = dims[0];
+        let mut data = Vec::with_capacity(batch * n_in);
+        for s in 0..batch {
+            for i in 0..n_in {
+                data.push(((s * 31 + i) as f64 * 0.37).sin() * 2.0);
+            }
+        }
+        let x = Matrix::from_vec(batch, n_in, data);
+        let y = net.forward_batch(&x);
+        for s in 0..batch {
+            let per = net.forward(x.row(s));
+            // bit equality, not approximate
+            prop_assert_eq!(y.row(s), per.as_slice());
+        }
+    }
+
+    /// Batched backward accumulates gradients bit-identically to the
+    /// serial per-sample forward/backward loop over the same samples in
+    /// the same order.
+    #[test]
+    fn grads_batch_bit_identical_to_serial_loop(
+        seed in 0_u64..10_000,
+        dims in proptest::collection::vec(1_usize..8, 2..5),
+        batch in 1_usize..9,
+        use_relu in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let act = if use_relu { Activation::Relu } else { Activation::Tanh };
+        let net = Mlp::new(&dims, act, &mut rng);
+        let (n_in, n_out) = (dims[0], *dims.last().unwrap());
+        let mut xdata = Vec::with_capacity(batch * n_in);
+        let mut ddata = Vec::with_capacity(batch * n_out);
+        for s in 0..batch {
+            for i in 0..n_in {
+                xdata.push(((s * 13 + i) as f64 * 0.53).cos());
+            }
+            for o in 0..n_out {
+                ddata.push(((s * 7 + o) as f64 * 0.91).sin());
+            }
+        }
+        let x = Matrix::from_vec(batch, n_in, xdata);
+        let dl = Matrix::from_vec(batch, n_out, ddata);
+
+        let mut serial = MlpGrads::zeros_like(&net);
+        let mut cache = net.new_cache();
+        for s in 0..batch {
+            net.forward_cached(x.row(s), &mut cache);
+            net.backward(&cache, dl.row(s), &mut serial);
+        }
+
+        let mut batched = MlpGrads::zeros_like(&net);
+        let mut bcache = net.new_batch_cache(batch);
+        net.forward_batch_cached(&x, &mut bcache);
+        net.grads_batch(&bcache, &dl, &mut batched);
+
+        prop_assert_eq!(serial, batched);
     }
 
     /// softmax/log_softmax agree and are shift-invariant.
