@@ -96,6 +96,7 @@ pub fn replay_abr_trace(
     video: &Video,
     cfg: &AbrAdversaryConfig,
 ) -> f64 {
+    let _span = telemetry::span!("sim.replay");
     let mut net = ChunkNetwork::new(trace.clone(), cfg.latency_ms);
     let outcomes = run_session(video, protocol, &mut net, &cfg.qoe);
     mean_qoe(&outcomes)
@@ -108,6 +109,7 @@ pub fn replay_abr_trace_detailed(
     video: &Video,
     cfg: &AbrAdversaryConfig,
 ) -> Vec<abr::ChunkOutcome> {
+    let _span = telemetry::span!("sim.replay");
     let mut net = ChunkNetwork::new(trace.clone(), cfg.latency_ms);
     run_session(video, protocol, &mut net, &cfg.qoe)
 }
@@ -160,6 +162,7 @@ pub fn replay_cc_schedule(
     sim_cfg: netsim::SimConfig,
 ) -> CcTrace {
     assert!(!params.is_empty(), "schedule must not be empty");
+    let _span = telemetry::span!("sim.replay");
     let mut sim = netsim::FlowSim::new(make_cc(), params[0], sim_cfg);
     let mut out = CcTrace::default();
     for p in params {

@@ -51,6 +51,14 @@ struct UpdateFanoutRow {
 
 #[derive(Debug, Clone, Serialize)]
 struct BenchReport {
+    /// Git commit the numbers were measured at (provenance).
+    commit: String,
+    /// Host the numbers were measured on (provenance).
+    hostname: String,
+    /// Physical parallelism of that host (provenance).
+    cores: usize,
+    /// Toolchain that compiled the benchmark (provenance).
+    rustc: String,
     host_parallelism: usize,
     n_steps: usize,
     iterations_averaged: usize,
@@ -141,7 +149,12 @@ fn bench_rollout_workers(c: &mut Criterion) {
         );
     }
 
+    let prov = telemetry::provenance();
     let report = BenchReport {
+        commit: prov.commit,
+        hostname: prov.hostname,
+        cores: prov.cores,
+        rustc: prov.rustc,
         host_parallelism: exec::default_workers(),
         n_steps: N_STEPS,
         iterations_averaged: iters,

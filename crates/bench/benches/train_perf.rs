@@ -71,6 +71,14 @@ struct UpdateRow {
 
 #[derive(Debug, Clone, Serialize)]
 struct TrainBenchReport {
+    /// Git commit the numbers were measured at (provenance).
+    commit: String,
+    /// Host the numbers were measured on (provenance).
+    hostname: String,
+    /// Physical parallelism of that host (provenance).
+    cores: usize,
+    /// Toolchain that compiled the benchmark (provenance).
+    rustc: String,
     host_parallelism: usize,
     n_steps: usize,
     minibatch_size: usize,
@@ -124,7 +132,12 @@ fn bench_update_paths(_c: &mut Criterion) {
             legacy_wall / wall
         );
     }
+    let prov = telemetry::provenance();
     let report = TrainBenchReport {
+        commit: prov.commit,
+        hostname: prov.hostname,
+        cores: prov.cores,
+        rustc: prov.rustc,
         host_parallelism: exec::default_workers(),
         n_steps: 192,
         minibatch_size: 64,

@@ -219,17 +219,22 @@ impl Pipeline {
             match self.read_cached::<T>(&path, &id) {
                 Ok(v) => {
                     self.cache_hits += 1;
+                    telemetry::counter_add("bench.cache.hit", 1);
                     self.push_record(&id, label, "cached", 0, String::new());
                     eprintln!("[{}] unit {id} ({label}): cache hit", self.name);
                     return Some(v);
                 }
                 Err(why) => {
                     self.quarantine(&path, &why);
+                    telemetry::counter_add("bench.cache.quarantine", 1);
                     was_quarantined = true;
                 }
             }
         }
 
+        telemetry::counter_add("bench.cache.miss", 1);
+        let _span = telemetry::span!("bench.unit");
+        let t_unit = telemetry::enabled().then(std::time::Instant::now);
         let mut attempts = 0usize;
         let value = loop {
             attempts += 1;
@@ -245,6 +250,7 @@ impl Pipeline {
                         self.push_record(&id, label, "failed", attempts, msg);
                         return None;
                     }
+                    telemetry::counter_add("bench.unit.retry", 1);
                     eprintln!(
                         "[{}] warning: unit {id} ({label}) attempt {attempts} panicked: {msg}; retrying",
                         self.name
@@ -254,6 +260,9 @@ impl Pipeline {
             }
         };
 
+        if let Some(t0) = t_unit {
+            telemetry::observe("bench.unit.wall_s", t0.elapsed().as_secs_f64());
+        }
         self.write_cached(&path, &id, &value);
         self.computed += 1;
         let status = if was_quarantined { "recomputed" } else { "computed" };
@@ -307,6 +316,22 @@ impl Pipeline {
             manifest.failed,
             self.manifest_path.display()
         );
+        // with ADVNET_TELEMETRY=on, also flush the process-wide metric
+        // registry as a checksummed run manifest under results/runs/
+        let config = [
+            ("pipeline".to_string(), manifest.pipeline.clone()),
+            ("scale".to_string(), manifest.scale.clone()),
+        ];
+        match telemetry::write_manifest_default(None, &config) {
+            Ok(Some(path)) => {
+                eprintln!("[{}] telemetry run manifest {}", manifest.pipeline, path.display());
+            }
+            Ok(None) => {}
+            Err(e) => eprintln!(
+                "[{}] warning: could not write telemetry run manifest: {e}",
+                manifest.pipeline
+            ),
+        }
         manifest
     }
 

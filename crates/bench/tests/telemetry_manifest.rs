@@ -1,0 +1,87 @@
+//! Telemetry acceptance for the full pipeline (ISSUE PR 5):
+//!
+//! * running the smoke pipeline with `ADVNET_TELEMETRY=on` produces a
+//!   result CSV byte-identical to a run with telemetry off — recording
+//!   is purely observational, down to the last bit of every QoE row;
+//! * the instrumented run flushes a checksum-sealed run manifest whose
+//!   counters and spans cover at least five crates (`rl.`, `exec.`,
+//!   `bench.`, `fault.`, `nn.`), proving the wiring reaches every layer.
+
+use adv_bench::pipeline::{smoke, Pipeline};
+use std::path::PathBuf;
+
+/// Telemetry state, the fault registry, and the env vars below are all
+/// process-global; serialize every test in this binary on one lock.
+static TELEMETRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("advnet-telemetry-manifest").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Crate prefixes the manifest must cover (acceptance: ≥ 5 crates).
+const REQUIRED_PREFIXES: [&str; 5] = ["rl.", "exec.", "bench.", "fault.", "nn."];
+
+#[test]
+fn smoke_csv_is_bit_identical_and_manifest_covers_five_crates() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    // reference run, telemetry off
+    telemetry::set_enabled(false);
+    telemetry::reset();
+    let off_dir = scratch("off");
+    let off_csv = off_dir.join("smoke.csv");
+    let pipe = Pipeline::new_at(off_dir.join("cache"), "pipeline_smoke", "reduced");
+    let off = smoke::run_at(pipe, off_csv.clone(), 2, 77).unwrap();
+    assert!(off.manifest.complete);
+    let off_bytes = std::fs::read(&off_csv).unwrap();
+
+    // instrumented run: same inputs, fresh cache, telemetry on, manifest
+    // routed into the scratch dir via the same env vars the CI jobs use
+    let on_dir = scratch("on");
+    let on_csv = on_dir.join("smoke.csv");
+    std::env::set_var("RESULTS_DIR", &on_dir);
+    std::env::set_var(telemetry::ENV_RUN_ID, "manifest-test");
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    let pipe = Pipeline::new_at(on_dir.join("cache"), "pipeline_smoke", "reduced");
+    let on = smoke::run_at(pipe, on_csv.clone(), 2, 77).unwrap();
+    assert!(on.manifest.complete);
+    telemetry::set_enabled(false);
+    telemetry::reset();
+    std::env::remove_var("RESULTS_DIR");
+    std::env::remove_var(telemetry::ENV_RUN_ID);
+
+    // bit-identity: telemetry cannot change a single CSV byte
+    let on_bytes = std::fs::read(&on_csv).unwrap();
+    assert_eq!(on_bytes, off_bytes, "telemetry changed the pipeline result CSV");
+
+    // the manifest Pipeline::finish flushed must verify and parse
+    let manifest_path = on_dir.join("runs").join("manifest-test.json");
+    let text = std::fs::read_to_string(&manifest_path)
+        .unwrap_or_else(|e| panic!("missing run manifest {}: {e}", manifest_path.display()));
+    let body = telemetry::manifest_body(text.trim_end()).expect("manifest checksum");
+    let doc: serde::Value = serde_json::from_str(body).expect("manifest body parses");
+    assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some(telemetry::MANIFEST_SCHEMA),);
+    assert_eq!(doc.get("run_id").and_then(|v| v.as_str()), Some("manifest-test"));
+
+    // coverage: counter/span names from ≥ 5 crates made it into the file
+    let names: Vec<&str> = ["counters", "spans", "gauges", "histograms"]
+        .iter()
+        .filter_map(|sec| doc.get(sec))
+        .filter_map(|v| v.as_object())
+        .flatten()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    for prefix in REQUIRED_PREFIXES {
+        // span names use phase groups (train./sim./bench.) rather than
+        // crate prefixes, so counters are the canonical coverage signal;
+        // accept either to keep the assertion about reach, not naming
+        let hit = names.iter().any(|n| n.starts_with(prefix))
+            || matches!(prefix, "rl." if names.iter().any(|n| n.starts_with("train.")))
+            || matches!(prefix, "bench." if names.iter().any(|n| n.starts_with("bench.")));
+        assert!(hit, "manifest has no metric from crate prefix {prefix:?}; names: {names:?}");
+    }
+}

@@ -158,6 +158,7 @@ where
 {
     let n_items = items.len();
     let workers = n_workers.min(n_items);
+    telemetry::counter_add("exec.items", n_items as u64);
     if workers <= 1 {
         return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
@@ -169,14 +170,26 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let telem = telemetry::enabled();
+                    let mut wait_s = 0.0;
                     let mut local: Vec<(usize, U)> = Vec::new();
                     loop {
                         // take the lock only to pull; run f outside it
-                        let next = queue.lock().expect("exec queue poisoned").next();
+                        let next = if telem {
+                            let tq = Instant::now();
+                            let mut guard = queue.lock().expect("exec queue poisoned");
+                            wait_s += tq.elapsed().as_secs_f64();
+                            guard.next()
+                        } else {
+                            queue.lock().expect("exec queue poisoned").next()
+                        };
                         match next {
                             Some((i, item)) => local.push((i, f(i, item))),
                             None => break,
                         }
+                    }
+                    if telem {
+                        telemetry::observe("exec.queue.wait_s", wait_s);
                     }
                     local
                 })
@@ -285,6 +298,7 @@ where
                             message: panic_message(payload.as_ref()),
                         });
                     }
+                    telemetry::counter_add("exec.retry.item", 1);
                     cur = backup.as_ref().expect("backup exists when retries > 0").clone();
                     backoff.pause(attempts);
                 }
@@ -342,6 +356,21 @@ where
     Ok(oks.into_iter().map(|(_, u)| u).collect())
 }
 
+/// Per-slot utilization telemetry for one fan-out: every slot's wall time
+/// goes into the `exec.slot.busy_s` histogram and its idle tail relative
+/// to the slowest slot into `exec.slot.idle_s` (straggler imbalance).
+/// Observational only; no-op when telemetry is disabled.
+fn record_slot_stats(stats: &[WorkerStats]) {
+    if !telemetry::enabled() || stats.is_empty() {
+        return;
+    }
+    let max = stats.iter().map(|s| s.wall_s).fold(0.0_f64, f64::max);
+    for s in stats {
+        telemetry::observe("exec.slot.busy_s", s.wall_s);
+        telemetry::observe("exec.slot.idle_s", max - s.wall_s);
+    }
+}
+
 /// Run `job(worker, &mut slots[worker])` once per slot, in parallel,
 /// returning results in slot order plus per-worker wall-clock stats.
 ///
@@ -358,14 +387,16 @@ where
     R: Send,
     F: Fn(usize, &mut S) -> R + Sync,
 {
+    let _span = telemetry::span!("exec.slots");
     if slots.len() <= 1 {
         let t0 = Instant::now();
         let results: Vec<R> = slots.iter_mut().enumerate().map(|(w, slot)| job(w, slot)).collect();
-        let stats = results
+        let stats: Vec<WorkerStats> = results
             .iter()
             .enumerate()
             .map(|(w, _)| WorkerStats { worker: w, wall_s: t0.elapsed().as_secs_f64() })
             .collect();
+        record_slot_stats(&stats);
         return WorkerRun { results, stats };
     }
     let outcomes: Vec<(R, f64)> = std::thread::scope(|scope| {
@@ -402,6 +433,7 @@ where
         run.results.push(result);
         run.stats.push(WorkerStats { worker: w, wall_s });
     }
+    record_slot_stats(&run.stats);
     run
 }
 
@@ -530,6 +562,7 @@ where
     R: Send,
     F: Fn(usize, &mut S, &Heartbeat) -> R + Sync,
 {
+    let _span = telemetry::span!("exec.slots");
     let epoch = Instant::now();
     let mons: Vec<SlotMon> = (0..slots.len()).map(|_| SlotMon::new()).collect();
     let run_one = |w: usize, slot: &mut S, mon: &SlotMon| -> Result<(R, f64), ExecError> {
@@ -570,6 +603,7 @@ where
                         });
                     }
                     // roll the slot back to its pre-attempt state
+                    telemetry::counter_add("exec.retry.slot", 1);
                     *slot = backup.as_ref().expect("backup exists when retries > 0").clone();
                     backoff.pause(attempts);
                 }
@@ -611,6 +645,7 @@ where
                             if now.saturating_sub(m.last_beat_ms.load(Ordering::SeqCst))
                                 > timeout_ms
                             {
+                                telemetry::counter_add("exec.watchdog.cancel", 1);
                                 m.cancelled.store(true, Ordering::SeqCst);
                             }
                         }
@@ -630,6 +665,7 @@ where
         run.results.push(result);
         run.stats.push(WorkerStats { worker: w, wall_s });
     }
+    record_slot_stats(&run.stats);
     Ok(run)
 }
 
@@ -664,14 +700,17 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    let _span = telemetry::span!("exec.slots");
     let n = n_workers.max(1);
     if n == 1 {
         let t0 = Instant::now();
         let result = job(0);
-        return WorkerRun {
+        let run = WorkerRun {
             results: vec![result],
             stats: vec![WorkerStats { worker: 0, wall_s: t0.elapsed().as_secs_f64() }],
         };
+        record_slot_stats(&run.stats);
+        return run;
     }
     let mut run = WorkerRun { results: Vec::with_capacity(n), stats: Vec::with_capacity(n) };
     let outcomes: Vec<(R, f64)> = std::thread::scope(|scope| {
@@ -702,6 +741,7 @@ where
         run.results.push(result);
         run.stats.push(WorkerStats { worker: w, wall_s });
     }
+    record_slot_stats(&run.stats);
     run
 }
 

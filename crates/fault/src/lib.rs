@@ -301,6 +301,9 @@ fn with_state<R>(f: impl FnOnce(&mut PlanState) -> R) -> R {
 }
 
 fn fire(kind: FaultKind, point: &str, trigger: u64, stall_ms: u64) -> Option<Injection> {
+    // recorded before the Panic arm unwinds, so every injection — crashes
+    // included — is visible as `fault.fired.<kind>.<point>` in the manifest
+    telemetry::counter_add(&format!("fault.fired.{}.{point}", kind.name()), 1);
     match kind {
         FaultKind::Panic => {
             panic!("fault-plan: injected panic at {point} (trigger {trigger})")
@@ -317,6 +320,7 @@ fn fire(kind: FaultKind, point: &str, trigger: u64, stall_ms: u64) -> Option<Inj
 /// responsible for acting on. Returns `None` (and is cheap) when no
 /// plan is armed for this point.
 pub fn check(point: &str) -> Option<Injection> {
+    telemetry::counter_add("fault.checks", 1);
     if !active() {
         // Cheap path — but make sure lazy env bootstrap still happens
         // for processes that never call install().
@@ -345,6 +349,7 @@ pub fn check(point: &str) -> Option<Injection> {
 /// like the legacy `ADVNET_FAULT_ITER=3` did, even though a resumed
 /// process starts its hit counts from zero.
 pub fn check_value(point: &str, value: u64) -> Option<Injection> {
+    telemetry::counter_add("fault.checks", 1);
     if !active() {
         let bootstrapped = {
             let guard = STATE.lock().unwrap_or_else(|e| e.into_inner());

@@ -127,6 +127,9 @@ impl Matrix {
         assert_eq!(x.cols, self.cols, "matmul_nt: input width mismatch");
         assert_eq!(out.rows, x.rows, "matmul_nt: output rows mismatch");
         assert_eq!(out.cols, self.rows, "matmul_nt: output cols mismatch");
+        if telemetry::enabled() {
+            telemetry::counter_add("nn.flops", (2 * x.rows * self.rows * self.cols) as u64);
+        }
         let n = self.cols;
         let mut s = 0;
         while s + 8 <= x.rows {
@@ -195,6 +198,9 @@ impl Matrix {
         assert_eq!(d.cols, self.rows, "matmul_t: gradient width mismatch");
         assert_eq!(out.rows, d.rows, "matmul_t: output rows mismatch");
         assert_eq!(out.cols, self.cols, "matmul_t: output cols mismatch");
+        if telemetry::enabled() {
+            telemetry::counter_add("nn.flops", (2 * d.rows * self.rows * self.cols) as u64);
+        }
         let n = self.cols;
         let mut s = 0;
         while s + 4 <= d.rows {

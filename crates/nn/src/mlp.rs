@@ -143,6 +143,10 @@ impl Mlp {
     pub fn backward(&self, cache: &Cache, dl_dout: &[f64], grads: &mut MlpGrads) -> Vec<f64> {
         assert_eq!(dl_dout.len(), self.output_dim(), "gradient dimension mismatch");
         assert_eq!(grads.w.len(), self.layers.len(), "grads shape mismatch");
+        if telemetry::enabled() {
+            let params: usize = self.layers.iter().map(|l| l.w.rows() * l.w.cols()).sum();
+            telemetry::counter_add("nn.flops", (2 * params) as u64);
+        }
         let mut delta = dl_dout.to_vec();
         for (i, layer) in self.layers.iter().enumerate().rev() {
             // delta currently holds dL/da for this layer; convert to dL/dz.
@@ -227,6 +231,10 @@ impl Mlp {
         assert_eq!(grads.w.len(), self.layers.len(), "grads shape mismatch");
         assert_eq!(cache.inputs.len(), self.layers.len(), "batch cache shape mismatch");
         assert_eq!(cache.inputs[0].rows(), batch, "batch cache batch-size mismatch");
+        if telemetry::enabled() {
+            let params: usize = self.layers.iter().map(|l| l.w.rows() * l.w.cols()).sum();
+            telemetry::counter_add("nn.flops", (2 * batch * params) as u64);
+        }
         let mut delta = dl_dout.clone();
         for (i, layer) in self.layers.iter().enumerate().rev() {
             // delta rows hold dL/da for this layer; convert to dL/dz. For

@@ -173,6 +173,8 @@ const VERSION: &str = "v1";
 /// Atomically write a checkpoint body: temporary file in the target
 /// directory, `fsync`, rename over `path`.
 pub fn write_checkpoint_file(path: &Path, body: &str) -> Result<(), TrainError> {
+    telemetry::counter_add("rl.ckpt.writes", 1);
+    let _span = telemetry::span!("train.ckpt.write");
     let io = |what: &'static str| {
         let p = path.display().to_string();
         move |e: std::io::Error| TrainError::Io(format!("{what} {p}: {e}"))
@@ -201,6 +203,7 @@ pub fn write_checkpoint_file(path: &Path, body: &str) -> Result<(), TrainError> 
 /// Rejects wrong magic/version, truncated bodies (length mismatch), and
 /// corrupted bodies (checksum mismatch) as [`TrainError::Corrupt`].
 pub fn read_checkpoint_file(path: &Path) -> Result<String, TrainError> {
+    telemetry::counter_add("rl.ckpt.reads", 1);
     let text = std::fs::read_to_string(path)
         .map_err(|e| TrainError::Io(format!("read checkpoint {}: {e}", path.display())))?;
     let corrupt = |why: String| TrainError::Corrupt(format!("{}: {why}", path.display()));

@@ -517,11 +517,18 @@ impl Ppo {
     /// One collect + update cycle behind the divergence guard.
     pub fn try_train_iteration<E: Env>(&mut self, env: &mut E) -> Result<TrainReport, TrainError> {
         self.iteration += 1;
+        telemetry::counter_add("rl.iterations", 1);
         let t0 = std::time::Instant::now();
-        let (buf, raw_step_reward, ep_rewards, mean_entropy, poisoned) = self.collect_rollout(env);
+        let (buf, raw_step_reward, ep_rewards, mean_entropy, poisoned) = {
+            let _span = telemetry::span!("train.rollout");
+            self.collect_rollout(env)
+        };
         let rollout_wall_s = t0.elapsed().as_secs_f64();
         let t1 = std::time::Instant::now();
-        let (policy_loss, value_loss) = self.guarded_update(&buf, poisoned)?;
+        let (policy_loss, value_loss) = {
+            let _span = telemetry::span!("train.update");
+            self.guarded_update(&buf, poisoned)?
+        };
         let update_wall_s = t1.elapsed().as_secs_f64();
         Ok(TrainReport {
             iteration: self.iteration,
@@ -613,12 +620,18 @@ impl Ppo {
         slots: &mut [EnvSlot<E>],
     ) -> Result<TrainReport, TrainError> {
         self.iteration += 1;
+        telemetry::counter_add("rl.iterations", 1);
         let t0 = std::time::Instant::now();
-        let (buf, raw_step_reward, ep_rewards, mean_entropy, worker_wall_s, poisoned) =
-            self.collect_rollout_vec(slots)?;
+        let (buf, raw_step_reward, ep_rewards, mean_entropy, worker_wall_s, poisoned) = {
+            let _span = telemetry::span!("train.rollout");
+            self.collect_rollout_vec(slots)?
+        };
         let rollout_wall_s = t0.elapsed().as_secs_f64();
         let t1 = std::time::Instant::now();
-        let (policy_loss, value_loss) = self.guarded_update(&buf, poisoned)?;
+        let (policy_loss, value_loss) = {
+            let _span = telemetry::span!("train.update");
+            self.guarded_update(&buf, poisoned)?
+        };
         let update_wall_s = t1.elapsed().as_secs_f64();
         Ok(TrainReport {
             iteration: self.iteration,
@@ -850,8 +863,10 @@ impl Ppo {
         }
     }
 
-    /// Record a divergence-guard trip: back off the learning rate, warn,
-    /// and fail with [`TrainError::Diverged`] once the budget is spent.
+    /// Record a divergence-guard trip: back off the learning rate, emit a
+    /// telemetry event (`rl.guard.trips` counter + `rl.guard.trip` event —
+    /// stderr stays reserved for fatal errors), and fail with
+    /// [`TrainError::Diverged`] once the budget is spent.
     fn trip(&mut self, reason: String) -> Result<(), TrainError> {
         self.guard_trips += 1;
         self.lr_scale *= self.cfg.guard_lr_backoff;
@@ -864,7 +879,8 @@ impl Ppo {
         if self.guard_trips > self.cfg.guard_max_trips {
             return Err(TrainError::Diverged(report));
         }
-        eprintln!("warning: {report}; update skipped, nets rolled back");
+        telemetry::counter_add("rl.guard.trips", 1);
+        telemetry::event("rl.guard.trip", &format!("{report}; update skipped, nets rolled back"));
         Ok(())
     }
 
@@ -1185,6 +1201,11 @@ impl Ppo {
             log_std_grad: Vec<f64>,
             ploss: f64,
             vloss: f64,
+        }
+        if telemetry::enabled() {
+            telemetry::counter_add("rl.grad.fanout.minibatches", 1);
+            telemetry::counter_add("rl.grad.fanout.samples", chunk.len() as u64);
+            telemetry::gauge_set("rl.grad.workers", self.cfg.grad_workers as f64);
         }
         let inv_b = 1.0 / chunk.len() as f64;
         let c_ent = -self.cfg.ent_coef * inv_b;

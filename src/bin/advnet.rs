@@ -102,16 +102,28 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    // arm telemetry the same way: one env read up front, so every
+    // subsystem's counters land in this process's registry
+    telemetry::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { return usage() };
-    match cmd.as_str() {
+    let code = match cmd.as_str() {
         "gen-corpus" => gen_corpus(&args),
         "stats" => stats(&args),
         "attack-abr" => attack_abr(&args),
         "replay-abr" => replay_abr(&args),
         "attack-cem" => attack_cem(&args),
         _ => usage(),
+    };
+    // flush the metric registry as a checksummed run manifest (no-op
+    // unless ADVNET_TELEMETRY=on)
+    let config = [("command".to_string(), args.join(" "))];
+    match telemetry::write_manifest_default(None, &config) {
+        Ok(Some(path)) => eprintln!("[advnet] telemetry run manifest {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("[advnet] warning: could not write telemetry run manifest: {e}"),
     }
+    code
 }
 
 fn gen_corpus(args: &[String]) -> ExitCode {
