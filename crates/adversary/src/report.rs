@@ -4,12 +4,14 @@
 use serde::{Deserialize, Serialize};
 
 /// Empirical CDF points `(value, F(value))`, sorted by value.
+///
+/// Sorting/validation is shared with the percentile helpers via
+/// [`nn::ops::try_sorted`]; NaN QoE values panic, as before.
 pub fn qoe_cdf(values: &[f64]) -> Vec<(f64, f64)> {
     if values.is_empty() {
         return Vec::new();
     }
-    let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("QoE values must not be NaN"));
+    let v = nn::ops::try_sorted(values).expect("QoE values must not be NaN");
     let n = v.len() as f64;
     v.into_iter().enumerate().map(|(i, x)| (x, (i + 1) as f64 / n)).collect()
 }
@@ -37,10 +39,24 @@ pub struct RatioSummary {
 
 impl RatioSummary {
     /// `target[i]` and `other[i]` are the two protocols' mean QoE on trace
-    /// `i` (the adversary targeted `target`).
+    /// `i` (the adversary targeted `target`). Panics on malformed input;
+    /// see [`RatioSummary::try_compute`].
     pub fn compute(target: &[f64], other: &[f64]) -> Self {
-        assert_eq!(target.len(), other.len(), "paired per-trace QoE required");
-        assert!(!target.is_empty(), "need at least one trace");
+        match Self::try_compute(target, other) {
+            Ok(s) => s,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// Non-panicking [`RatioSummary::compute`] (the workspace `try_*`
+    /// convention): errors on length mismatch, empty input, or NaN QoE.
+    pub fn try_compute(target: &[f64], other: &[f64]) -> Result<Self, String> {
+        if target.len() != other.len() {
+            return Err("paired per-trace QoE required".to_string());
+        }
+        if target.is_empty() {
+            return Err("need at least one trace".to_string());
+        }
         const FLOOR: f64 = 0.25;
         let ratios: Vec<f64> = target
             .iter()
@@ -48,13 +64,13 @@ impl RatioSummary {
             .map(|(&t, &o)| (o.max(FLOOR)) / (t.max(FLOOR)))
             .collect();
         let worse = target.iter().zip(other.iter()).filter(|(t, o)| t < o).count();
-        RatioSummary {
+        Ok(RatioSummary {
             mean: nn::ops::mean(&ratios),
-            p95: nn::ops::percentile(&ratios, 95.0),
+            p95: nn::ops::try_percentile(&ratios, 95.0)?,
             max: ratios.iter().copied().fold(f64::NEG_INFINITY, f64::max),
             target_worse_frac: worse as f64 / target.len() as f64,
             n: target.len(),
-        }
+        })
     }
 }
 
@@ -88,6 +104,14 @@ mod tests {
         assert!((s.mean - 1.5).abs() < 1e-12);
         assert_eq!(s.max, 2.0);
         assert!((s.target_worse_frac - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_compute_reports_malformed_input() {
+        assert!(RatioSummary::try_compute(&[1.0], &[]).unwrap_err().contains("paired"));
+        assert!(RatioSummary::try_compute(&[], &[]).unwrap_err().contains("at least one"));
+        let ok = RatioSummary::try_compute(&[1.0, 2.0], &[2.0, 1.0]).unwrap();
+        assert_eq!(ok.n, 2);
     }
 
     #[test]

@@ -19,15 +19,18 @@ fn main() {
         let set = data.set(set_name);
         banner(&format!("Fig. 1{sub}: {set_name} ({} traces)", set.traces.len()));
         let mut rows: Vec<(String, f64, f64)> = Vec::new();
+        // a protocol with no replayed traces renders as NaN instead of
+        // panicking the whole figure
+        let pct = |xs: &[f64], p: f64| nn::ops::try_percentile(xs, p).unwrap_or(f64::NAN);
         println!("{:>10} {:>10} {:>10} {:>10} {:>10}", "protocol", "mean", "p25", "median", "p75");
         for (proto, qoe) in &set.qoe {
             println!(
                 "{:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
                 proto,
                 nn::ops::mean(qoe),
-                nn::ops::percentile(qoe, 25.0),
-                nn::ops::percentile(qoe, 50.0),
-                nn::ops::percentile(qoe, 75.0),
+                pct(qoe, 25.0),
+                pct(qoe, 50.0),
+                pct(qoe, 75.0),
             );
             for (x, f) in qoe_cdf(qoe) {
                 rows.push((proto.clone(), x, f));

@@ -94,9 +94,11 @@ fn main() {
                     robust_model,
                     &format!("{train_label} adv@{:.0}%", inject_at * 100.0),
                 );
+                // empty eval sets render as NaN instead of panicking
+                let p5 = |xs: &[f64]| nn::ops::try_percentile(xs, 5.0).unwrap_or(f64::NAN);
                 let stats = [
                     ("mean", nn::ops::mean(&base), nn::ops::mean(&robust)),
-                    ("p5", nn::ops::percentile(&base, 5.0), nn::ops::percentile(&robust, 5.0)),
+                    ("p5", p5(&base), p5(&robust)),
                 ];
                 for (stat, b, r) in stats {
                     println!(

@@ -111,21 +111,50 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
 }
 
-/// `p`-th percentile (0..=100) by linear interpolation on sorted data.
-/// Panics on empty input.
-pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    assert!(!xs.is_empty(), "percentile of empty slice");
+/// Ascending sorted copy of `xs`; errors on NaN (any other float,
+/// including infinities, orders totally). The shared sort-and-validate
+/// step behind [`percentile`] / [`try_percentile`] and CDF builders such
+/// as `adversary::report::qoe_cdf`.
+pub fn try_sorted(xs: &[f64]) -> Result<Vec<f64>, String> {
+    if xs.iter().any(|x| x.is_nan()) {
+        return Err("NaN in percentile input".to_string());
+    }
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected above"));
+    Ok(v)
+}
+
+/// `p`-th percentile (0..=100) by linear interpolation on sorted data.
+/// Panics on empty input, NaN data, or a rank outside `[0, 100]`; see
+/// [`try_percentile`] for the non-panicking variant (the workspace `try_*`
+/// convention) used on untrusted or possibly-empty inputs.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    match try_percentile(xs, p) {
+        Ok(v) => v,
+        Err(msg) => panic!("{msg}"),
+    }
+}
+
+/// `p`-th percentile (0..=100) by linear interpolation on sorted data,
+/// returning a descriptive error instead of panicking on empty input,
+/// NaN data, or a non-finite / out-of-range rank.
+pub fn try_percentile(xs: &[f64], p: f64) -> Result<f64, String> {
+    if xs.is_empty() {
+        return Err("percentile of empty slice".to_string());
+    }
+    if !p.is_finite() || !(0.0..=100.0).contains(&p) {
+        return Err(format!("percentile rank {p} outside [0, 100]"));
+    }
+    let v = try_sorted(xs)?;
     let rank = (p / 100.0) * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
-    if lo == hi {
+    Ok(if lo == hi {
         v[lo]
     } else {
         let frac = rank - lo as f64;
         v[lo] * (1.0 - frac) + v[hi] * frac
-    }
+    })
 }
 
 #[cfg(test)]
@@ -189,6 +218,31 @@ mod tests {
         assert_eq!(out.to_vec(), xs.iter().map(|z| z.max(0.0)).collect::<Vec<_>>());
         linear_into(&xs, &mut out);
         assert_eq!(out, xs);
+    }
+
+    #[test]
+    fn try_percentile_matches_panicking_api_and_reports_errors() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        for p in [0.0, 5.0, 50.0, 95.0, 100.0] {
+            assert_eq!(try_percentile(&xs, p).unwrap(), percentile(&xs, p));
+        }
+        assert!(try_percentile(&[], 50.0).unwrap_err().contains("empty"));
+        assert!(try_percentile(&[1.0, f64::NAN], 50.0).unwrap_err().contains("NaN"));
+        assert!(try_percentile(&xs, 101.0).unwrap_err().contains("outside"));
+        assert!(try_percentile(&xs, f64::NAN).unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty slice")]
+    fn percentile_still_panics_on_empty() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn try_sorted_sorts_and_rejects_nan() {
+        assert_eq!(try_sorted(&[3.0, 1.0, 2.0]).unwrap(), vec![1.0, 2.0, 3.0]);
+        assert!(try_sorted(&[1.0, f64::NAN]).is_err());
+        assert!(try_sorted(&[]).unwrap().is_empty());
     }
 
     #[test]

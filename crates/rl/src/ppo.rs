@@ -184,6 +184,34 @@ impl PolicyKind {
         }
     }
 
+    /// Deterministic (mode) actions for a batch of observations, one per
+    /// matrix row — the inference handle `serve`'s fleet engine amortizes
+    /// per-tick policy calls through.
+    ///
+    /// Runs one [`nn::Mlp::forward_batch`] (bit-identical per row to the
+    /// per-sample forward) and applies the same per-row head math as
+    /// [`PolicyKind::mode`] — including the identical `max_by` argmax
+    /// tie-breaking for categorical heads — so
+    /// `mode_batch(m)[i] == mode(m.row(i))` bit-for-bit.
+    pub fn mode_batch(&self, obs: &nn::Matrix) -> Vec<Action> {
+        let out = self.net().forward_batch(obs);
+        (0..out.rows())
+            .map(|r| match self {
+                PolicyKind::Gaussian(_) => Action::Continuous(out.row(r).to_vec()),
+                PolicyKind::Categorical(_) => {
+                    let best = out
+                        .row(r)
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                        .map(|(i, _)| i)
+                        .expect("non-empty logits");
+                    Action::Discrete(best)
+                }
+            })
+            .collect()
+    }
+
     /// Log-probability of an action.
     pub fn log_prob(&self, obs: &[f64], action: &Action) -> f64 {
         match self {
@@ -1520,6 +1548,26 @@ mod tests {
         }
         fn step(&mut self, action: &Action, _rng: &mut StdRng) -> Step {
             Step { obs: vec![0.0], reward: self.payoffs[action.index()], done: true }
+        }
+    }
+
+    #[test]
+    fn mode_batch_bit_identical_to_per_sample_mode() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let obs: Vec<Vec<f64>> =
+            (0..9).map(|i| (0..4).map(|j| ((i * 4 + j) as f64).sin()).collect()).collect();
+        let m = nn::Matrix::from_vec(9, 4, obs.concat());
+
+        let cat = PolicyKind::Categorical(CategoricalPolicy::new(&[4, 8, 5], &mut rng));
+        let batched = cat.mode_batch(&m);
+        for (i, o) in obs.iter().enumerate() {
+            assert_eq!(batched[i].index(), cat.mode(o).index(), "categorical row {i}");
+        }
+
+        let gauss = PolicyKind::Gaussian(GaussianPolicy::new(&[4, 8, 2], 0.5, &mut rng));
+        let batched = gauss.mode_batch(&m);
+        for (i, o) in obs.iter().enumerate() {
+            assert_eq!(batched[i].vector(), gauss.mode(o).vector(), "gaussian row {i}");
         }
     }
 

@@ -1,0 +1,269 @@
+//! The session-sharded batch-inference engine.
+//!
+//! N sessions are split into `shards` **contiguous id blocks**; each
+//! block becomes one [`exec::run_on_slots`] worker slot. A shard runs
+//! its sessions in lock-step ticks: per tick it assembles one
+//! observation-feature matrix (one row per live session) and makes a
+//! single batched policy call ([`rl::PolicyKind::mode_batch`] →
+//! [`nn::Mlp::forward_batch`]) instead of one forward per session —
+//! the PR-4 batched kernels amortized across the fleet.
+//!
+//! Invariants (DESIGN.md §13):
+//!
+//! * **Session independence.** A session's trajectory depends only on
+//!   `(policy, its trace)`; sessions never observe each other, so the
+//!   shard partition cannot change any trajectory.
+//! * **Bit-identical batching.** `mode_batch` is bit-identical per row
+//!   to the per-sample `mode`, so the batched path reproduces the
+//!   single-session `abr::run_session` path exactly.
+//! * **Shard-invariant aggregation.** Shard results are concatenated
+//!   in slot order (= session-id order, blocks are contiguous) and fed
+//!   to one [`QuantileSketch`] on the caller's thread — never merged —
+//!   so the aggregate summary is byte-identical for any shard count.
+//!
+//! Classic protocols (BB, MPC) have no batched forward; they run on the
+//! same shard loop with one policy instance per session
+//! ([`FleetPolicy::PerSession`]) — MPC is stateful, so instances are
+//! never shared.
+
+use crate::session::{Session, SessionResult};
+use crate::sketch::QuantileSketch;
+use abr::protocols::pensieve::{pensieve_features, PENSIEVE_OBS_DIM};
+use abr::{AbrPolicy, Pensieve, QoeParams, Video};
+use std::time::Instant;
+use traces::TraceStream;
+
+/// How the fleet drives its protocol.
+pub enum FleetPolicy {
+    /// A Pensieve model shared read-only across the fleet; inference is
+    /// batched per shard tick through [`rl::PolicyKind::mode_batch`].
+    Batched(Pensieve),
+    /// One fresh protocol instance per session, built by the factory
+    /// from the session id. Required for stateful protocols (MPC keeps
+    /// per-session throughput-error history) and used for all classic
+    /// protocols.
+    PerSession(Box<dyn Fn(u64) -> Box<dyn AbrPolicy + Send> + Send + Sync>),
+}
+
+impl FleetPolicy {
+    /// Batched-inference fleet over a trained Pensieve.
+    pub fn batched(p: Pensieve) -> Self {
+        FleetPolicy::Batched(p)
+    }
+
+    /// Per-session protocol instances from a factory.
+    pub fn per_session<F>(factory: F) -> Self
+    where
+        F: Fn(u64) -> Box<dyn AbrPolicy + Send> + Send + Sync + 'static,
+    {
+        FleetPolicy::PerSession(Box::new(factory))
+    }
+}
+
+/// Fleet-run parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of concurrent sessions.
+    pub sessions: usize,
+    /// Worker shards; clamped to `[1, sessions]`.
+    pub shards: usize,
+    /// The video every session streams.
+    pub video: Video,
+    /// QoE weights.
+    pub qoe: QoeParams,
+    /// Rank-error target of the aggregation sketch.
+    pub sketch_eps: f64,
+    /// Record per-chunk QoE trajectories in every [`SessionResult`]
+    /// (tests and small fleets only — O(chunks) memory per session).
+    pub record_chunks: bool,
+}
+
+impl FleetConfig {
+    /// Standard fleet: Pensieve's CBR video and default QoE weights,
+    /// sketch `ε = 0.005` (±0.5 % rank error), no trajectory recording.
+    pub fn new(sessions: usize, shards: usize) -> Self {
+        FleetConfig {
+            sessions,
+            shards,
+            video: Video::cbr(),
+            qoe: QoeParams::default(),
+            sketch_eps: 0.005,
+            record_chunks: false,
+        }
+    }
+}
+
+/// Aggregate outcome of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetSummary {
+    /// Sessions completed.
+    pub sessions: usize,
+    /// Shards actually used (after clamping).
+    pub shards: usize,
+    /// Total policy decisions (= chunks fetched fleet-wide).
+    pub decisions: u64,
+    /// Exact fleet mean of per-session mean QoE (from the sketch's
+    /// exact running sum).
+    pub mean_qoe: f64,
+    /// 5th-percentile session QoE from the sketch (rank error ≤ εn+1).
+    pub p5_qoe: f64,
+    /// The aggregation sketch itself, for further quantile queries.
+    pub sketch: QuantileSketch,
+    /// Wall-clock seconds of the sharded run (measurement, not part of
+    /// the deterministic result).
+    pub wall_s: f64,
+    /// Serving throughput: `decisions / wall_s`.
+    pub decisions_per_s: f64,
+    /// Per-session results in session-id order. `chunk_qoe` inside is
+    /// populated only under [`FleetConfig::record_chunks`].
+    pub per_session: Vec<SessionResult>,
+}
+
+/// Contiguous id block `[start, end)` owned by shard `b` of `shards`.
+fn block(sessions: usize, shards: usize, b: usize) -> (u64, u64) {
+    let q = sessions / shards;
+    let r = sessions % shards;
+    let start = b * q + b.min(r);
+    let len = q + usize::from(b < r);
+    (start as u64, (start + len) as u64)
+}
+
+/// Run one shard's sessions to completion, batching per-tick inference.
+fn run_shard(
+    ids: (u64, u64),
+    cfg: &FleetConfig,
+    policy: &FleetPolicy,
+    stream: &TraceStream,
+) -> Vec<SessionResult> {
+    let (lo, hi) = ids;
+    let mut sessions: Vec<Session> = (lo..hi)
+        .map(|id| {
+            let trace = stream.nth_trace(id);
+            Session::new(id, &cfg.video, &cfg.qoe, &trace, cfg.record_chunks)
+        })
+        .collect();
+    let n = sessions.len();
+    let ticks = cfg.video.n_chunks();
+    match policy {
+        FleetPolicy::Batched(p) => {
+            let n_q = cfg.video.n_qualities();
+            let mut feats = nn::Matrix::zeros(n, PENSIEVE_OBS_DIM);
+            for _tick in 0..ticks {
+                for (i, s) in sessions.iter().enumerate() {
+                    let raw = pensieve_features(&s.observation());
+                    let feat = match &p.obs_norm {
+                        Some(norm) => norm.normalize(&raw),
+                        None => raw,
+                    };
+                    feats.row_mut(i).copy_from_slice(&feat);
+                }
+                // one batched forward for the whole shard tick
+                let actions = p.policy.mode_batch(&feats);
+                for (s, a) in sessions.iter_mut().zip(&actions) {
+                    // same clamp as Pensieve::select
+                    s.step(a.index().min(n_q - 1));
+                }
+            }
+        }
+        FleetPolicy::PerSession(factory) => {
+            let mut protocols: Vec<Box<dyn AbrPolicy + Send>> = (lo..hi)
+                .map(|id| {
+                    let mut proto = factory(id);
+                    proto.reset(); // mirror run_session's per-session reset
+                    proto
+                })
+                .collect();
+            for _tick in 0..ticks {
+                for (s, proto) in sessions.iter_mut().zip(protocols.iter_mut()) {
+                    let quality = proto.select(&s.observation());
+                    s.step(quality);
+                }
+            }
+        }
+    }
+    debug_assert!(sessions.iter().all(Session::finished));
+    sessions.into_iter().map(Session::into_result).collect()
+}
+
+/// Run a fleet of `cfg.sessions` concurrent sessions: session `i`
+/// streams trace [`TraceStream::nth_trace`]`(i)` under `policy`.
+///
+/// Telemetry (when enabled): span `serve.fleet`, counter
+/// `serve.decisions`, gauges `serve.sessions` and
+/// `serve.decisions_per_s` — the decisions/s metric defined in
+/// PERF.md.
+pub fn run_fleet(cfg: &FleetConfig, policy: &FleetPolicy, stream: &TraceStream) -> FleetSummary {
+    assert!(cfg.sessions > 0, "fleet needs at least one session");
+    let shards = cfg.shards.clamp(1, cfg.sessions);
+    let _span = telemetry::span!("serve.fleet");
+    let t0 = Instant::now();
+
+    let mut slots: Vec<(u64, u64)> = (0..shards).map(|b| block(cfg.sessions, shards, b)).collect();
+    let run = exec::run_on_slots(&mut slots, |_w, ids| run_shard(*ids, cfg, policy, stream));
+    // slot order = session-id order (blocks are contiguous and sorted)
+    let per_session: Vec<SessionResult> = run.results.into_iter().flatten().collect();
+    debug_assert_eq!(per_session.len(), cfg.sessions);
+
+    // single-sketch aggregation on the caller's thread, in session-id
+    // order: no sketch merging, so the summary is shard-count invariant
+    let mut sketch = QuantileSketch::new(cfg.sketch_eps);
+    let mut decisions = 0u64;
+    for r in &per_session {
+        decisions += r.chunks as u64;
+        sketch.insert(r.mean_qoe);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let decisions_per_s = decisions as f64 / wall_s.max(1e-9);
+    telemetry::counter_add("serve.decisions", decisions);
+    telemetry::gauge_set("serve.sessions", cfg.sessions as f64);
+    telemetry::gauge_set("serve.decisions_per_s", decisions_per_s);
+
+    FleetSummary {
+        sessions: cfg.sessions,
+        shards,
+        decisions,
+        mean_qoe: sketch.mean(),
+        p5_qoe: sketch.quantile(0.05).expect("non-empty fleet"),
+        sketch,
+        wall_s,
+        decisions_per_s,
+        per_session,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr::BufferBased;
+    use traces::{GenConfig, TraceFamily};
+
+    #[test]
+    fn shard_blocks_partition_the_fleet() {
+        for (sessions, shards) in [(10, 3), (7, 7), (5, 1), (20_000, 16), (3, 8)] {
+            let shards_eff = shards.clamp(1, sessions);
+            let mut next = 0u64;
+            for b in 0..shards_eff {
+                let (lo, hi) = block(sessions, shards_eff, b);
+                assert_eq!(lo, next, "{sessions}x{shards} shard {b}");
+                assert!(hi > lo, "every shard owns at least one session");
+                next = hi;
+            }
+            assert_eq!(next, sessions as u64);
+        }
+    }
+
+    #[test]
+    fn small_bb_fleet_completes_and_counts_decisions() {
+        let cfg = FleetConfig::new(6, 2);
+        let policy =
+            FleetPolicy::per_session(|_id| Box::new(BufferBased::pensieve_defaults()) as _);
+        let stream = TraceStream::new(TraceFamily::BenignMix, 42, GenConfig::default());
+        let summary = run_fleet(&cfg, &policy, &stream);
+        assert_eq!(summary.sessions, 6);
+        assert_eq!(summary.decisions, 6 * cfg.video.n_chunks() as u64);
+        assert_eq!(summary.per_session.len(), 6);
+        assert!(summary.mean_qoe.is_finite());
+        assert!(summary.p5_qoe.is_finite());
+        assert!(summary.decisions_per_s > 0.0);
+    }
+}

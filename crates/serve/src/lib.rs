@@ -1,0 +1,39 @@
+//! Fleet-scale serving: tens of thousands of concurrent ABR sessions
+//! stepped against a policy with batched inference, aggregated by
+//! constant-memory quantile sketches.
+//!
+//! The paper evaluates protocols on dozens of traces; the roadmap's
+//! north star is a production-scale system serving user *fleets* (as in
+//! the real-world Pensieve deployment of Mao et al., PAPERS.md). This
+//! crate is the serving layer that makes fleet-scale evaluation a
+//! first-class workload:
+//!
+//! * [`session::Session`] — one independent ABR session: an
+//!   [`abr::Player`] plus its own trace cursor, stepped one chunk at a
+//!   time.
+//! * [`engine::run_fleet`] — the session-sharded engine: N sessions are
+//!   partitioned into contiguous shards fanned over [`exec`] worker
+//!   slots; each shard amortizes policy inference by assembling a
+//!   per-tick observation batch and calling the policy's batched
+//!   forward ([`rl::PolicyKind::mode_batch`] →
+//!   [`nn::Mlp::forward_batch`]) once per tick instead of per session.
+//! * [`sketch::QuantileSketch`] — a Greenwald–Khanna streaming quantile
+//!   sketch with bounded rank error, so fleet mean + p5 QoE (the
+//!   paper's headline metrics) aggregate in memory independent of the
+//!   session count.
+//!
+//! Everything obeys the workspace determinism contract: a fleet's
+//! per-session trajectories and its aggregate summary are pure
+//! functions of `(config, policy, trace stream)` — independent of shard
+//! count and thread scheduling (regression-tested in
+//! `tests/fleet_equivalence.rs`). See DESIGN.md §13.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod session;
+pub mod sketch;
+
+pub use engine::{run_fleet, FleetConfig, FleetPolicy, FleetSummary};
+pub use session::{Session, SessionResult};
+pub use sketch::QuantileSketch;

@@ -1,0 +1,230 @@
+//! Streaming quantile sketch (Greenwald–Khanna, SIGMOD '01) with a
+//! deterministic insertion path and a documented rank-error bound.
+//!
+//! A fleet run produces one QoE value per session — hundreds of
+//! thousands at full scale. The exact percentile path
+//! ([`nn::ops::percentile`]) copies and sorts all values; this sketch
+//! instead keeps `O((1/ε)·log(εn))` tuples regardless of stream length
+//! and answers any quantile query with rank error at most `εn + 1`:
+//!
+//! > For a query at rank `r`, the returned value's true rank lies in
+//! > `[r − (εn + 1), r + (εn + 1)]`.
+//!
+//! (The classic bound is `εn`; the extra `+1` covers the floor in the
+//! insertion capacity `⌊2εn⌋` and the linear interpolation of the exact
+//! reference implementation. `tests/sketch_properties.rs` checks the
+//! bound against [`nn::ops::percentile`] on random, sorted, reversed
+//! and constant streams.)
+//!
+//! Sketches are **not merged**: merging GK summaries degrades the error
+//! bound in subtle ways, so the fleet engine feeds a single sketch on
+//! the caller's thread in session-id order — which also makes the
+//! summary byte-identical across shard counts (serialization is
+//! deterministic; same stream → same bytes).
+
+use serde::{Deserialize, Serialize};
+
+/// One GK tuple: a sample value `v` covering `g` ranks, with `delta`
+/// uncertainty about where those ranks start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct GkTuple {
+    /// Sample value.
+    v: f64,
+    /// Number of ranks covered by this tuple (`rmin_i − rmin_{i−1}`).
+    g: u64,
+    /// Rank uncertainty (`rmax_i − rmin_i`).
+    delta: u64,
+}
+
+/// Greenwald–Khanna streaming quantile sketch with target rank error
+/// `ε`, plus exact running mean / min / max (those are O(1) anyway).
+///
+/// Inserts are deterministic and single-threaded; two sketches fed the
+/// same stream are equal structure-for-structure and serialize to
+/// identical bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantileSketch {
+    eps: f64,
+    n: u64,
+    tuples: Vec<GkTuple>,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// New sketch with rank-error target `eps` (e.g. `0.005` keeps any
+    /// quantile within ±0.5 % of the true rank, ±1 rank slack aside).
+    pub fn new(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 0.5, "sketch eps must be in (0, 0.5), got {eps}");
+        QuantileSketch {
+            eps,
+            n: 0,
+            tuples: Vec::new(),
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The configured rank-error target.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Number of values inserted.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Exact running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Exact minimum inserted value (`+∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Exact maximum inserted value (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Current tuple count — the sketch's memory footprint, bounded by
+    /// `O((1/ε)·log(εn))` independent of the stream length.
+    pub fn tuples_len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Insert one value. Panics on NaN (QoE values are always finite;
+    /// a NaN would silently poison every later query).
+    pub fn insert(&mut self, v: f64) {
+        assert!(!v.is_nan(), "NaN in sketch input");
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        // new extrema carry delta 0 (their rank is known exactly at
+        // insertion); interior inserts get the full capacity ⌊2εn⌋
+        let pos = self.tuples.partition_point(|t| t.v <= v);
+        let delta = if pos == 0 || pos == self.tuples.len() { 0 } else { self.capacity() };
+        self.tuples.insert(pos, GkTuple { v, g: 1, delta });
+        self.n += 1;
+        // compress every ⌊1/(2ε)⌋ inserts, the GK schedule
+        let period = ((1.0 / (2.0 * self.eps)) as u64).max(1);
+        if self.n.is_multiple_of(period) {
+            self.compress();
+        }
+    }
+
+    /// `⌊2εn⌋`: the band capacity a tuple (or a merge) must not exceed.
+    fn capacity(&self) -> u64 {
+        (2.0 * self.eps * self.n as f64).floor() as u64
+    }
+
+    /// Merge adjacent tuples whose combined coverage fits the capacity.
+    /// The first and last tuples are never removed, so min/max queries
+    /// stay exact.
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let cap = self.capacity();
+        let mut i = self.tuples.len() - 2;
+        while i >= 1 {
+            let merged = self.tuples[i].g + self.tuples[i + 1].g;
+            if merged + self.tuples[i + 1].delta <= cap {
+                self.tuples[i + 1].g = merged;
+                self.tuples.remove(i);
+            }
+            i -= 1;
+        }
+    }
+
+    /// Value at quantile `phi ∈ [0, 1]`; `None` when the sketch is
+    /// empty. The returned value's true rank is within `εn + 1` of the
+    /// target rank `phi·(n−1) + 1` (the same rank convention as
+    /// [`nn::ops::percentile`]).
+    pub fn quantile(&self, phi: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&phi), "quantile {phi} outside [0, 1]");
+        if self.n == 0 {
+            return None;
+        }
+        let n = self.n as f64;
+        let target = phi * (n - 1.0) + 1.0; // 1-based rank
+        let threshold = target + self.eps * n;
+        let mut rmin = 0u64;
+        let mut prev = self.tuples[0].v;
+        for t in &self.tuples {
+            rmin += t.g;
+            if (rmin + t.delta) as f64 > threshold {
+                return Some(prev);
+            }
+            prev = t.v;
+        }
+        Some(prev)
+    }
+
+    /// Percentile convenience: `p ∈ [0, 100]`, mirroring
+    /// [`nn::ops::percentile`]'s scale.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile rank {p} outside [0, 100]");
+        self.quantile(p / 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_tiny_streams() {
+        let mut s = QuantileSketch::new(0.01);
+        assert_eq!(s.quantile(0.5), None);
+        for v in [3.0, 1.0, 2.0] {
+            s.insert(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(3.0));
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrema_stay_exact_under_compression() {
+        let mut s = QuantileSketch::new(0.02);
+        for i in 0..10_000 {
+            s.insert((i as f64 * 0.761).sin());
+        }
+        let lo = s.quantile(0.0).unwrap();
+        let hi = s.quantile(1.0).unwrap();
+        assert_eq!(lo, s.min());
+        assert_eq!(hi, s.max());
+        assert!(s.tuples_len() < 10_000, "compression must actually run");
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN in sketch input")]
+    fn nan_rejected() {
+        QuantileSketch::new(0.01).insert(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_quantile_rejected() {
+        let mut s = QuantileSketch::new(0.01);
+        s.insert(1.0);
+        s.quantile(1.5);
+    }
+}

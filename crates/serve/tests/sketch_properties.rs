@@ -1,0 +1,117 @@
+//! Property tests for the GK quantile sketch against the exact
+//! sort-based reference ([`nn::ops::percentile`] / [`nn::ops::try_sorted`]):
+//!
+//! * every query stays within the advertised rank-error bound `εn + 1`
+//!   on random, sorted, reversed and constant streams;
+//! * same stream → structurally equal sketch and byte-identical
+//!   serialization (the engine's shard-invariance contract relies on
+//!   this);
+//! * memory (tuple count) grows sub-linearly in the stream length.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::QuantileSketch;
+
+const PERCENTILES: [f64; 7] = [0.0, 5.0, 25.0, 50.0, 75.0, 95.0, 100.0];
+
+/// Assert every queried percentile of `values` is within the sketch's
+/// documented rank-error bound `εn + 1`: the returned value must lie
+/// between the exact order statistics at ranks `target ∓ (εn + 1)`.
+fn assert_within_rank_error(values: &[f64], eps: f64) {
+    let mut sketch = QuantileSketch::new(eps);
+    for &v in values {
+        sketch.insert(v);
+    }
+    let sorted = nn::ops::try_sorted(values).expect("finite test data");
+    let n = sorted.len() as f64;
+    let err = eps * n + 1.0;
+    for p in PERCENTILES {
+        let got = sketch.percentile(p).expect("non-empty sketch");
+        // same 1-based rank convention as nn::ops::percentile
+        let target = (p / 100.0) * (n - 1.0) + 1.0;
+        let lo_idx = ((target - err).floor() - 1.0).max(0.0) as usize;
+        let hi_idx = (((target + err).ceil() - 1.0) as usize).min(sorted.len() - 1);
+        assert!(
+            sorted[lo_idx] <= got && got <= sorted[hi_idx],
+            "p{p}: sketch {got} outside rank window [{}, {}] \
+             (n={n}, eps={eps}, target rank {target:.1} +/- {err:.1})",
+            sorted[lo_idx],
+            sorted[hi_idx],
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random streams: every percentile query within `εn + 1` ranks of
+    /// the exact sorted answer.
+    #[test]
+    fn random_streams_stay_within_bound(
+        seed in 0_u64..10_000,
+        n in 50_usize..500,
+        eps_case in 0_usize..3,
+    ) {
+        let eps = [0.2, 0.05, 0.01][eps_case];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        assert_within_rank_error(&values, eps);
+    }
+
+    /// Two sketches fed the same random stream are equal and serialize
+    /// to identical bytes — the determinism the fleet engine's
+    /// shard-invariance test builds on.
+    #[test]
+    fn same_stream_gives_byte_identical_summaries(
+        seed in 0_u64..10_000,
+        n in 1_usize..300,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let feed = |vals: &[f64]| {
+            let mut s = QuantileSketch::new(0.02);
+            for &v in vals {
+                s.insert(v);
+            }
+            s
+        };
+        let (a, b) = (feed(&values), feed(&values));
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(
+            serde_json::to_string(&a).expect("sketch serializes"),
+            serde_json::to_string(&b).expect("sketch serializes")
+        );
+    }
+}
+
+#[test]
+fn adversarial_orderings_stay_within_bound() {
+    let n = 2_000;
+    let sorted: Vec<f64> = (0..n).map(|i| i as f64 * 0.01).collect();
+    let reversed: Vec<f64> = sorted.iter().rev().copied().collect();
+    let constant = vec![1.25; n];
+    for eps in [0.1, 0.01] {
+        assert_within_rank_error(&sorted, eps);
+        assert_within_rank_error(&reversed, eps);
+        assert_within_rank_error(&constant, eps);
+    }
+}
+
+#[test]
+fn memory_grows_sublinearly_with_stream_length() {
+    let tuples_after = |n: usize| {
+        let mut s = QuantileSketch::new(0.01);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..n {
+            s.insert(rng.gen_range(0.0..1.0));
+        }
+        s.tuples_len()
+    };
+    let small = tuples_after(20_000);
+    let large = tuples_after(200_000);
+    // 10x the stream must cost far less than 10x the tuples (GK is
+    // O((1/eps) log(eps n))); in practice the growth is ~logarithmic
+    assert!(large < small * 3, "tuples grew {small} -> {large} over a 10x stream; not sublinear");
+    assert!(large < 20_000 / 10, "sketch holds {large} tuples; hardly constant-memory");
+}

@@ -20,9 +20,10 @@
 use crate::{Segment, Trace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Shared generator knobs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GenConfig {
     /// Total trace duration in seconds.
     pub duration_s: f64,
@@ -135,6 +136,123 @@ pub fn random_cc_trace(seed: u64, n_intervals: usize) -> Trace {
     Trace::new(format!("random-cc-{seed}"), segments)
 }
 
+/// Adversarial-style "lure-and-drop" trace inside the paper's adversary
+/// action range (0.8–4.8 Mbit/s): sustained high-bandwidth phases lure an
+/// ABR protocol up the bitrate ladder, then bandwidth collapses to the
+/// bottom of the range mid-buffer — the attack pattern RL adversaries
+/// discover against buffer- and throughput-predictive protocols (§3).
+///
+/// This is a *statistical* stand-in for trained-adversary traces: it lets
+/// fleet-scale evaluation stream hundreds of thousands of hostile traces
+/// without training (or storing) an adversary per trace.
+pub fn adversarial_like(seed: u64, cfg: &GenConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xadfe_0000_0000_0000);
+    let n = (cfg.duration_s / cfg.granularity_s).ceil() as usize;
+    let mut segments = Vec::with_capacity(n);
+    while segments.len() < n {
+        // lure: 3–8 segments near the top of the action range
+        let lure = rng.gen_range(3..=8usize);
+        let high = rng.gen_range(3.5_f64..4.8);
+        for _ in 0..lure {
+            if segments.len() >= n {
+                break;
+            }
+            let jitter = rng.gen_range(0.92_f64..1.0);
+            segments.push(Segment::bw(cfg.granularity_s, high * jitter, cfg.latency_ms));
+        }
+        // drop: 2–5 segments pinned to the bottom of the range
+        let drop = rng.gen_range(2..=5usize);
+        let low = rng.gen_range(0.8_f64..1.0);
+        for _ in 0..drop {
+            if segments.len() >= n {
+                break;
+            }
+            segments.push(Segment::bw(cfg.granularity_s, low, cfg.latency_ms));
+        }
+    }
+    Trace::new(format!("adversarial-like-{seed}"), segments)
+}
+
+/// Which generator family a [`TraceStream`] draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceFamily {
+    /// [`fcc_like`] broadband traces.
+    FccLike,
+    /// [`hsdpa_like`] mobile-commute traces.
+    HsdpaLike,
+    /// [`adversarial_like`] lure-and-drop traces.
+    AdversarialLike,
+    /// The benign fleet mix: even indices draw [`fcc_like`], odd indices
+    /// [`hsdpa_like`] — the FCC/Norway split of the paper's corpora.
+    BenignMix,
+}
+
+impl TraceFamily {
+    /// Stable tag for cache keys and CSV rows.
+    pub fn tag(self) -> &'static str {
+        match self {
+            TraceFamily::FccLike => "fcc_like",
+            TraceFamily::HsdpaLike => "hsdpa_like",
+            TraceFamily::AdversarialLike => "adversarial_like",
+            TraceFamily::BenignMix => "benign_mix",
+        }
+    }
+}
+
+/// A streaming trace corpus: an infinite iterator of synthetic traces
+/// generated on demand — hundreds of thousands of traces never exist in
+/// memory at once. Trace `i` is a pure function of
+/// `(family, base_seed + i, cfg)`, so any consumer (a fleet shard, a
+/// resumed run) can regenerate exactly the trace it needs via
+/// [`TraceStream::nth_trace`] without coordinating with other consumers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceStream {
+    family: TraceFamily,
+    base_seed: u64,
+    cfg: GenConfig,
+    next: u64,
+}
+
+impl TraceStream {
+    /// Stream over `family` with per-trace seeds `base_seed + i`.
+    pub fn new(family: TraceFamily, base_seed: u64, cfg: GenConfig) -> Self {
+        TraceStream { family, base_seed, cfg, next: 0 }
+    }
+
+    /// The stream's family.
+    pub fn family(&self) -> TraceFamily {
+        self.family
+    }
+
+    /// The `i`-th trace of the stream (random access, pure function).
+    pub fn nth_trace(&self, i: u64) -> Trace {
+        let seed = self.base_seed.wrapping_add(i);
+        match self.family {
+            TraceFamily::FccLike => fcc_like(seed, &self.cfg),
+            TraceFamily::HsdpaLike => hsdpa_like(seed, &self.cfg),
+            TraceFamily::AdversarialLike => adversarial_like(seed, &self.cfg),
+            TraceFamily::BenignMix => {
+                if i.is_multiple_of(2) {
+                    fcc_like(seed, &self.cfg)
+                } else {
+                    hsdpa_like(seed, &self.cfg)
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for TraceStream {
+    type Item = Trace;
+
+    /// Infinite: yields [`TraceStream::nth_trace`] of `0, 1, 2, …` in turn.
+    fn next(&mut self) -> Option<Trace> {
+        let t = self.nth_trace(self.next);
+        self.next += 1;
+        Some(t)
+    }
+}
+
 /// Generate a whole corpus by seed offsets.
 pub fn corpus(
     kind: impl Fn(u64, &GenConfig) -> Trace,
@@ -199,6 +317,46 @@ mod tests {
             assert!(s.latency_ms >= 15.0 && s.latency_ms <= 60.0);
             assert!(s.loss_rate <= 0.10);
         }
+    }
+
+    #[test]
+    fn adversarial_like_lures_and_drops() {
+        let cfg = GenConfig::default();
+        for seed in 0..20u64 {
+            let t = adversarial_like(seed, &cfg);
+            t.validate();
+            // every bandwidth stays inside the adversary's action range
+            for s in &t.segments {
+                assert!(
+                    s.bandwidth_mbps >= 0.7 && s.bandwidth_mbps <= 4.8,
+                    "bw {} outside action range",
+                    s.bandwidth_mbps
+                );
+            }
+            // both phases must occur: a lure above 3 Mbit/s and a drop below 1
+            assert!(t.segments.iter().any(|s| s.bandwidth_mbps > 3.0), "seed {seed}: no lure");
+            assert!(t.segments.iter().any(|s| s.bandwidth_mbps < 1.0), "seed {seed}: no drop");
+        }
+    }
+
+    #[test]
+    fn trace_stream_is_lazy_pure_and_mixed() {
+        let cfg = GenConfig::default();
+        let stream = TraceStream::new(TraceFamily::BenignMix, 100, cfg.clone());
+        // iterator agrees with random access, trace by trace
+        for (i, t) in stream.clone().take(6).enumerate() {
+            assert_eq!(t, stream.nth_trace(i as u64));
+        }
+        // even ids are fcc-like, odd ids hsdpa-like
+        assert_eq!(stream.nth_trace(0), fcc_like(100, &cfg));
+        assert_eq!(stream.nth_trace(1), hsdpa_like(101, &cfg));
+        // random access is independent of iteration order
+        let mut it = TraceStream::new(TraceFamily::AdversarialLike, 7, cfg.clone());
+        let direct = it.nth_trace(3);
+        assert_eq!(it.nth(3).unwrap(), direct);
+        // the stream never ends (spot-check a far index works)
+        let far = TraceStream::new(TraceFamily::FccLike, 0, cfg).nth_trace(250_000);
+        far.validate();
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub mod io;
 pub mod stats;
 
 pub use cursor::TraceCursor;
-pub use gen::{fcc_like, hsdpa_like, random_abr_trace, random_cc_trace, GenConfig};
+pub use gen::{
+    adversarial_like, fcc_like, hsdpa_like, random_abr_trace, random_cc_trace, GenConfig,
+    TraceFamily, TraceStream,
+};
 pub use stats::TraceStats;
 
 use serde::{Deserialize, Serialize};

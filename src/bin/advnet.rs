@@ -252,12 +252,15 @@ fn replay_abr(args: &[String]) -> ExitCode {
         println!("{:>24}: QoE/chunk {q:>8.3}", t.name);
         qoes.push(q);
     }
+    // an empty or malformed trace file yields zero replays; report that
+    // instead of panicking inside percentile
+    let pct = |p: f64| nn::ops::try_percentile(&qoes, p).unwrap_or(f64::NAN);
     println!(
         "\n{proto} over {} traces: mean {:.3}, p5 {:.3}, median {:.3}",
         qoes.len(),
         nn::ops::mean(&qoes),
-        nn::ops::percentile(&qoes, 5.0),
-        nn::ops::percentile(&qoes, 50.0),
+        pct(5.0),
+        pct(50.0),
     );
     ExitCode::SUCCESS
 }

@@ -185,6 +185,19 @@ fn diff(ref_path: &str, cand_path: &str, warn_pct: f64, fail: bool) -> Result<Ex
         commit(&candidate)
     );
 
+    // wall-time comparisons across hosts with different core counts are
+    // apples-to-oranges for parallel phases — surface the parallelism of
+    // both hosts and warn loudly when they differ
+    let cores = |d: &Value| d.get("provenance").map(|p| field_f64(p, "cores")).unwrap_or(f64::NAN);
+    let (ref_cores, cand_cores) = (cores(&reference), cores(&candidate));
+    println!("  host_parallelism: ref {ref_cores} cores, candidate {cand_cores} cores");
+    if ref_cores != cand_cores && !(ref_cores.is_nan() && cand_cores.is_nan()) {
+        eprintln!(
+            "warning: host_parallelism differs ({ref_cores} vs {cand_cores} cores) — \
+             wall-time deltas for parallel phases are not comparable"
+        );
+    }
+
     // per-span wall time
     let ref_spans: BTreeMap<&str, f64> = section(&reference, "spans")
         .into_iter()
