@@ -48,7 +48,7 @@ pub use trace_based::{cem_search, score_trace, CemConfig, CemOutcome};
 pub use trace_gen::{
     abr_traces_to_corpus, generate_abr_traces, generate_abr_traces_with, generate_cc_trace,
     generate_cc_trace_with, random_abr_traces, replay_abr_trace, replay_abr_trace_detailed,
-    replay_cc_schedule, try_generate_abr_traces_with, AbrTrace,
+    replay_cc_schedule, try_abr_traces_to_corpus, try_generate_abr_traces_with, AbrTrace,
 };
 pub use train::{
     train_abr_adversary, train_cc_adversary, try_train_abr_adversary, try_train_cc_adversary,

@@ -178,22 +178,46 @@ pub fn replay_cc_schedule(
 /// Convert chunk-indexed ABR traces into the common [`traces::Trace`]
 /// format (one nominal chunk-duration segment per bandwidth), e.g. to mix
 /// them into a Pensieve training corpus.
+///
+/// Panics on a non-physical trace (empty, non-finite or non-positive
+/// bandwidth); see [`try_abr_traces_to_corpus`] for the Result-returning
+/// form used when the traces come from an untrusted source — or from a
+/// policy that may have diverged.
 pub fn abr_traces_to_corpus(
     traces_in: &[AbrTrace],
     video: &Video,
     latency_ms: f64,
     name_prefix: &str,
 ) -> Vec<traces::Trace> {
+    try_abr_traces_to_corpus(traces_in, video, latency_ms, name_prefix)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`abr_traces_to_corpus`]: each converted trace is validated
+/// through [`traces::Trace::try_validate`] and the first offending trace
+/// surfaces as a descriptive error (naming the trace and segment) instead
+/// of a panic. A diverged adversary emitting NaN bandwidths therefore
+/// fails cleanly at the conversion boundary rather than deep inside a
+/// replay.
+pub fn try_abr_traces_to_corpus(
+    traces_in: &[AbrTrace],
+    video: &Video,
+    latency_ms: f64,
+    name_prefix: &str,
+) -> Result<Vec<traces::Trace>, String> {
     traces_in
         .iter()
         .enumerate()
         .map(|(i, t)| {
-            traces::Trace::new(
-                format!("{name_prefix}-{i}"),
-                t.iter()
+            let trace = traces::Trace {
+                name: format!("{name_prefix}-{i}"),
+                segments: t
+                    .iter()
                     .map(|&bw| traces::Segment::bw(video.chunk_seconds(), bw, latency_ms))
                     .collect(),
-            )
+            };
+            trace.try_validate()?;
+            Ok(trace)
         })
         .collect()
 }
@@ -251,5 +275,17 @@ mod tests {
         assert_eq!(corpus[0].segments.len(), 48);
         assert!((corpus[0].duration_s() - 192.0).abs() < 1e-9);
         assert_eq!(corpus[1].name, "adv-1");
+    }
+
+    #[test]
+    fn try_corpus_conversion_rejects_poisoned_traces_with_context() {
+        let video = Video::cbr();
+        let mut ts = random_abr_traces(2, 8, 9);
+        ts[1][3] = f64::NAN;
+        let err = try_abr_traces_to_corpus(&ts, &video, 80.0, "adv").unwrap_err();
+        assert!(err.contains("adv-1"), "{err}");
+        assert!(err.contains("segment 3"), "{err}");
+        // the good prefix alone converts fine
+        assert_eq!(try_abr_traces_to_corpus(&ts[..1], &video, 80.0, "adv").unwrap().len(), 1);
     }
 }

@@ -1,0 +1,104 @@
+//! The arena's headline guarantee, tested end-to-end: kill the process at
+//! an arbitrary point (here: the injected `pool.write` panic in the middle
+//! of generation 2) and re-invoke with the same config — the completed run
+//! must be **byte-identical** to an uninterrupted one, both the trajectory
+//! CSV and the persisted pool file.
+//!
+//! One `#[test]` only: the fault plan is a process-wide registry, so the
+//! kill scenario must not run concurrently with another arena.
+
+use arena::{run_arena, ArenaConfig};
+use rl::PpoConfig;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// Micro arena: 3 generations (gen 0 + 2 adversarial), budgets sized for
+/// a debug-build test. Determinism is what's under test, not quality.
+fn micro_cfg(dir: PathBuf) -> ArenaConfig {
+    ArenaConfig {
+        generations: 2,
+        initial_steps: 960,
+        steps_per_gen: 480,
+        protocol_ppo: PpoConfig {
+            n_steps: 480,
+            minibatch_size: 96,
+            epochs: 2,
+            lr: 3e-4,
+            ent_coef: 0.01,
+            ..PpoConfig::default()
+        },
+        adversary: adversary::AdversaryTrainConfig {
+            total_steps: 480,
+            ppo: PpoConfig { n_steps: 480, minibatch_size: 96, epochs: 2, ..PpoConfig::default() },
+            ..adversary::AdversaryTrainConfig::default()
+        },
+        traces_per_gen: 3,
+        benign_traces: 4,
+        heldout_benign: 4,
+        max_pool_mix: 8,
+        fleet_sessions: 32,
+        fleet_shards: 2,
+        seed: 11,
+        dir,
+        checkpoint_every: 1,
+        ..ArenaConfig::default()
+    }
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("advnet-arena-kill-resume").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn killed_and_resumed_arena_is_byte_identical() {
+    let dir_a = fresh_dir("uninterrupted");
+    let dir_b = fresh_dir("killed");
+
+    // ---- run A: straight through
+    let out_a = run_arena(&micro_cfg(dir_a.clone())).expect("uninterrupted arena");
+    assert_eq!(out_a.rows.len(), 3, "gen 0 + 2 adversarial generations");
+
+    // ---- run B: die at the *second* pool write — i.e. in the middle of
+    // generation 2, after its adversary leg and harvest but before its
+    // protocol leg. The plan must be armed through the env var (not
+    // `fault::install`) because every `Checkpointer::new` inside the
+    // arena calls `fault::reload_from_env`, which would wipe a plan the
+    // environment does not corroborate.
+    std::env::set_var("ADVNET_FAULT_PLAN", "panic@pool.write:2");
+    fault::reload_from_env().expect("valid plan");
+    let killed = catch_unwind(AssertUnwindSafe(|| run_arena(&micro_cfg(dir_b.clone()))));
+    std::env::remove_var("ADVNET_FAULT_PLAN");
+    fault::clear();
+    assert!(killed.is_err(), "the injected pool.write panic must fire");
+    // the crash landed between checkpoints: generation 1 is durable,
+    // generation 2 is in flight
+    assert_eq!(
+        std::fs::read_to_string(dir_b.join("trajectory.csv")).unwrap().lines().count(),
+        3, // header + gen 0 + gen 1
+        "gen 2 must not have committed a row yet"
+    );
+
+    // ---- resume: same config, same dir, no fault plan
+    let out_b = run_arena(&micro_cfg(dir_b.clone())).expect("resumed arena");
+
+    assert_eq!(out_a.rows, out_b.rows, "trajectories must match row-for-row");
+    for file in ["trajectory.csv", "pool.ckpt", "arena.state"] {
+        let a = std::fs::read(dir_a.join(file)).unwrap();
+        let b = std::fs::read(dir_b.join(file)).unwrap();
+        assert_eq!(a, b, "{file} must be byte-identical across kill+resume");
+    }
+
+    // ---- idempotent tail: re-invoking a finished arena is a fast no-op
+    // that leaves every artifact untouched
+    let again = run_arena(&micro_cfg(dir_b.clone())).expect("re-run of finished arena");
+    assert_eq!(again.rows, out_b.rows);
+    assert_eq!(
+        std::fs::read(dir_a.join("pool.ckpt")).unwrap(),
+        std::fs::read(dir_b.join("pool.ckpt")).unwrap()
+    );
+
+    std::fs::remove_dir_all(dir_a).ok();
+    std::fs::remove_dir_all(dir_b).ok();
+}

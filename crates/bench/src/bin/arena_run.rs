@@ -1,0 +1,148 @@
+//! Generational self-play robustification driver (`crates/arena`).
+//!
+//! Runs the arena — alternating adversary/protocol training with the
+//! persistent damage-scored trace pool — and emits the robustness
+//! trajectory: one CSV row per generation with the protocol's held-out
+//! fleet QoE (benign and adversarial, mean and p5) and the pool's shape.
+//!
+//! Run: `cargo run -p adv-bench --release --bin arena_run`. Writes
+//! `results/arena_trajectory.csv`; working state (checkpoints, the pool
+//! file, `trajectory.csv`) lives under `ARENA_DIR`. Kill the process at
+//! any point and re-run with the same knobs: every leg resumes from its
+//! checkpoint and the completed run is byte-identical to an
+//! uninterrupted one. The finished trajectory is additionally cached as
+//! a pipeline unit, so a re-invocation after completion is instant.
+//!
+//! Knobs (env):
+//!
+//! * `ARENA_GENERATIONS` — adversarial generations after gen 0 (default 3).
+//! * `ARENA_INITIAL_STEPS` / `ARENA_STEPS_PER_GEN` — protocol training
+//!   budget for generation 0 / each later generation (defaults 12 000 /
+//!   6 000).
+//! * `ARENA_ADV_STEPS` — adversary budget per generation (default 8 000).
+//! * `ARENA_N_STEPS` — PPO rollout length for both trainers (default
+//!   960; lower it together with the step budgets for smoke runs).
+//! * `ARENA_TRACES_PER_GEN` — harvest size (default 12).
+//! * `ARENA_SESSIONS` / `ARENA_SHARDS` — held-out evaluation fleet size
+//!   and worker shards (defaults 2 000 / [`exec::default_workers`];
+//!   shard count never changes results).
+//! * `ARENA_EVICT_DAMAGE` / `ARENA_EVICT_PATIENCE` — eviction threshold
+//!   and consecutive beaten generations required (defaults 0.05 / 1).
+//! * `ARENA_SEED` — master seed (default 7).
+//! * `ARENA_DIR` — working directory (default `results/arena`).
+
+use adv_bench::pipeline::{Pipeline, UnitKey};
+use adv_bench::{banner, fmt_row, results_dir, Scale};
+use arena::{run_arena, trajectory_csv, ArenaConfig, GenerationRow};
+use rl::PpoConfig;
+use std::path::PathBuf;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let generations = env_u64("ARENA_GENERATIONS", 3);
+    let initial_steps = env_usize("ARENA_INITIAL_STEPS", 12_000);
+    let steps_per_gen = env_usize("ARENA_STEPS_PER_GEN", 6_000);
+    let adv_steps = env_usize("ARENA_ADV_STEPS", 8_000);
+    let n_steps = env_usize("ARENA_N_STEPS", 960);
+    let traces_per_gen = env_usize("ARENA_TRACES_PER_GEN", 12);
+    let sessions = env_usize("ARENA_SESSIONS", 2_000);
+    let shards = env_usize("ARENA_SHARDS", exec::default_workers());
+    let evict_damage = env_f64("ARENA_EVICT_DAMAGE", 0.05);
+    let evict_patience = env_u64("ARENA_EVICT_PATIENCE", 1);
+    let seed = env_u64("ARENA_SEED", 7);
+    let dir = std::env::var("ARENA_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| results_dir().join("arena"));
+    banner(&format!(
+        "arena_run — {generations}+1 generations, {traces_per_gen} traces/gen, \
+         fleet {sessions}x2 ({} scale)",
+        scale.tag()
+    ));
+
+    let mut cfg = ArenaConfig {
+        generations,
+        initial_steps,
+        steps_per_gen,
+        protocol_ppo: PpoConfig {
+            n_steps,
+            minibatch_size: 96,
+            epochs: 5,
+            lr: 3e-4,
+            ent_coef: 0.01,
+            ..PpoConfig::default()
+        },
+        traces_per_gen,
+        fleet_sessions: sessions,
+        fleet_shards: shards,
+        evict_damage,
+        evict_patience,
+        seed,
+        dir: dir.clone(),
+        ..ArenaConfig::default()
+    };
+    cfg.adversary.total_steps = adv_steps;
+    cfg.adversary.ppo.n_steps = n_steps;
+    cfg.adversary.ppo.minibatch_size = 96;
+
+    // the trajectory is a pure function of these knobs (shards excluded
+    // by the fleet engine's invariance contract; dir holds only working
+    // state), so a finished arena replays from the unit cache
+    let key = UnitKey::of(
+        &(generations, initial_steps as u64, steps_per_gen as u64, adv_steps as u64, seed),
+        "arena_run",
+        &(
+            n_steps as u64,
+            traces_per_gen as u64,
+            sessions as u64,
+            evict_damage,
+            evict_patience,
+            "arena v1",
+        ),
+    );
+    let mut pipe = Pipeline::new("arena_run", scale)
+        // a panic in the arena (including injected `pool.write` faults) is
+        // deterministic — retrying in-process would just repeat it, and a
+        // kill+resume test wants the process to die visibly instead
+        .with_backoff(fault::Backoff::none(0));
+    let rows: Vec<GenerationRow> = Pipeline::require(
+        pipe.unit("generational self-play arena", &key, || {
+            let outcome = run_arena(&cfg).unwrap_or_else(|e| panic!("arena failed: {e}"));
+            outcome.rows
+        }),
+        "arena run",
+    );
+
+    for r in &rows {
+        println!(
+            "{}",
+            fmt_row(
+                &format!(
+                    "gen {} (pool {}, evicted {})",
+                    r.generation, r.pool_size, r.pool_evicted_total
+                ),
+                &[r.benign_mean_qoe, r.benign_p5_qoe, r.adv_mean_qoe, r.adv_p5_qoe],
+            )
+        );
+    }
+    println!("\n(columns: benign mean, benign p5, adversarial mean, adversarial p5)");
+
+    let path = results_dir().join("arena_trajectory.csv");
+    if let Err(e) = std::fs::write(&path, trajectory_csv(&rows)) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    pipe.finish();
+    println!("wrote {}", path.display());
+}

@@ -57,7 +57,7 @@ fn main() {
         banner(&format!("training on {train_label} (baseline + adv@90% + adv@70%)"));
         // one pipeline unit per training corpus: the six Pensieve
         // trainings are by far the expensive part of this figure
-        let train_key = UnitKey::of(
+        let train_key = UnitKey::of_trace_set(
             train_corpus,
             &format!("robustify_{train_label}"),
             &(base_cfg.total_steps, base_cfg.n_adv_traces, base_cfg.adversary.total_steps),
@@ -78,8 +78,11 @@ fn main() {
         for (test_label, test_corpus) in tests {
             let combo = format!("{train_label} training/{test_label} testing");
             let eval_unit = |pipe: &mut Pipeline, model: &Pensieve, tag: &str| -> Vec<f64> {
-                let key =
-                    UnitKey::of(test_corpus, "pensieve_eval", &(UnitKey::hash_of(model), "v1"));
+                let key = UnitKey::of_trace_set(
+                    test_corpus,
+                    "pensieve_eval",
+                    &(UnitKey::hash_of(model), "v1"),
+                );
                 Pipeline::require(
                     pipe.unit(&format!("eval {tag} on {test_label}"), &key, || {
                         eval_pensieve(model, test_corpus, &video, &qoe)

@@ -70,6 +70,30 @@ impl UnitKey {
         }
     }
 
+    /// Canonical constructor for units keyed by a set of
+    /// [`traces::Trace`]s: the trace hash is FNV-1a 64 over each trace's
+    /// [`traces::Trace::content_hash`] (little-endian, in order). The key
+    /// therefore sees exactly the network conditions — renaming a trace
+    /// does not invalidate the cache; editing or reordering one does.
+    /// Prefer this over [`UnitKey::of`] whenever the inputs are traces:
+    /// it skips the full JSON serialization and shares one hash
+    /// discipline with the arena's pool deduplication.
+    pub fn of_trace_set<C: Serialize>(
+        traces: &[traces::Trace],
+        protocol: &str,
+        config: &C,
+    ) -> UnitKey {
+        let mut bytes = Vec::with_capacity(traces.len() * 8);
+        for t in traces {
+            bytes.extend_from_slice(&t.content_hash().to_le_bytes());
+        }
+        UnitKey {
+            trace_hash: fnv1a64(&bytes),
+            protocol: protocol.to_string(),
+            config_hash: UnitKey::hash_of(config),
+        }
+    }
+
     /// Filesystem-safe identifier; the cache entry lives at
     /// `results/cache/units/<id>.unit`.
     pub fn id(&self) -> String {
@@ -563,6 +587,24 @@ mod tests {
         // …but the protocol string round-trips into distinct ids
         let other = UnitKey::of(&vec![vec![1.0f64, 2.0]], "bb", &(48usize, 80.0f64));
         assert_ne!(other.id(), id);
+    }
+
+    #[test]
+    fn trace_set_keys_see_content_not_names() {
+        let mk = |name: &str, bw: f64| {
+            traces::Trace::new(name, vec![traces::Segment::bw(4.0, bw, 80.0)])
+        };
+        let a = UnitKey::of_trace_set(&[mk("x", 1.0), mk("y", 2.0)], "eval", &"v1");
+        // renaming traces must hit the same cache entry…
+        let renamed = UnitKey::of_trace_set(&[mk("p", 1.0), mk("q", 2.0)], "eval", &"v1");
+        assert_eq!(a, renamed);
+        // …while changing conditions, order, or config must miss
+        let edited = UnitKey::of_trace_set(&[mk("x", 1.0), mk("y", 2.5)], "eval", &"v1");
+        assert_ne!(a, edited);
+        let reordered = UnitKey::of_trace_set(&[mk("y", 2.0), mk("x", 1.0)], "eval", &"v1");
+        assert_ne!(a, reordered);
+        let reconfigured = UnitKey::of_trace_set(&[mk("x", 1.0), mk("y", 2.0)], "eval", &"v2");
+        assert_ne!(a, reconfigured);
     }
 
     #[test]

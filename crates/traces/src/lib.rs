@@ -27,6 +27,19 @@ pub use stats::TraceStats;
 
 use serde::{Deserialize, Serialize};
 
+/// FNV-1a 64 offset basis (the same constants `rl::ckpt::fnv1a64` and
+/// `telemetry::fnv1a64` use; kept local so `traces` stays a leaf crate).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Feed `bytes` into a running FNV-1a 64 state.
+fn fnv1a64_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// One piecewise-constant span of network conditions.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Segment {
@@ -116,6 +129,27 @@ impl Trace {
         Ok(())
     }
 
+    /// Stable FNV-1a 64 hash of the trace **content**: every segment's
+    /// four fields as little-endian `f64` bit patterns, in order. The
+    /// name is deliberately excluded — two traces describing identical
+    /// network conditions hash equally no matter what they were called,
+    /// which is what pool deduplication and evaluation-cache keys want.
+    ///
+    /// Same algorithm and constants as the telemetry manifest / `rl::ckpt`
+    /// checksums (FNV-1a 64), so one hash discipline covers the whole
+    /// workspace; stable across runs, hosts, and compiler versions
+    /// because it is defined on the `f64` bit patterns, never on any
+    /// serialized text form.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for s in &self.segments {
+            for v in [s.duration_s, s.bandwidth_mbps, s.latency_ms, s.loss_rate] {
+                h = fnv1a64_update(h, &v.to_bits().to_le_bytes());
+            }
+        }
+        h
+    }
+
     /// The bandwidth in effect at time `t` seconds from the start. Times
     /// past the end wrap around (traces are replayed cyclically, as in the
     /// Pensieve simulator).
@@ -199,6 +233,48 @@ mod tests {
         assert!(t.try_validate().unwrap_err().contains("non-positive bandwidth"));
 
         assert!(simple().try_validate().is_ok());
+    }
+
+    #[test]
+    fn content_hash_ignores_names_and_sees_every_field() {
+        let a = simple();
+        let mut renamed = a.clone();
+        renamed.name = "completely-different".into();
+        assert_eq!(a.content_hash(), renamed.content_hash(), "name must not affect the hash");
+        assert_eq!(a.content_hash(), a.content_hash(), "pure function of the segments");
+
+        // every field perturbation must change the hash
+        for field in 0..4 {
+            let mut t = a.clone();
+            let s = &mut t.segments[1];
+            match field {
+                0 => s.duration_s += 0.5,
+                1 => s.bandwidth_mbps += 0.5,
+                2 => s.latency_ms += 0.5,
+                _ => s.loss_rate += 0.5,
+            }
+            assert_ne!(a.content_hash(), t.content_hash(), "field {field} not hashed");
+        }
+        // segment order matters (it changes what the trace describes)
+        let mut swapped = a.clone();
+        swapped.segments.swap(0, 1);
+        assert_ne!(a.content_hash(), swapped.content_hash());
+    }
+
+    #[test]
+    fn content_hash_uses_fnv1a64_over_bit_patterns() {
+        // Cross-check against the published FNV-1a 64 algorithm applied
+        // to the little-endian f64 bit patterns by hand.
+        let t = Trace::new("x", vec![Segment::bw(1.0, 2.0, 3.0)]);
+        let mut bytes = Vec::new();
+        for v in [1.0f64, 2.0, 3.0, 0.0] {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        assert_eq!(t.content_hash(), fnv1a64_update(FNV_OFFSET, &bytes));
+        // and the FNV-1a reference vectors for the helper itself
+        assert_eq!(fnv1a64_update(FNV_OFFSET, b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64_update(FNV_OFFSET, b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64_update(FNV_OFFSET, b"foobar"), 0x8594_4171_f739_67e8);
     }
 
     #[test]

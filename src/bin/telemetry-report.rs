@@ -114,6 +114,16 @@ fn render(path: &str) -> Result<(), String> {
         for (name, v) in &counters {
             println!("  {:<40}{:>16}", name, num(v));
         }
+        // per-phase rollup, mirroring the span grouping: subsystem
+        // counters (`arena.pool.insert`, `serve.decisions`, …) sum under
+        // their first dot segment so a phase's activity reads at a glance
+        let groups = counter_group_totals(&doc);
+        if groups.len() > 1 {
+            println!("\n  {:<40}{:>16}", "counter group", "total");
+            for (g, total) in &groups {
+                println!("  {:<40}{:>16}", g, total);
+            }
+        }
     }
 
     let gauges = section(&doc, "gauges");
@@ -145,6 +155,17 @@ fn render(path: &str) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Counter totals per phase group (first dot-separated name segment),
+/// the counter analogue of [`group_totals`].
+fn counter_group_totals(doc: &Value) -> BTreeMap<String, f64> {
+    let mut groups: BTreeMap<String, f64> = BTreeMap::new();
+    for (name, v) in section(doc, "counters") {
+        let group = name.split('.').next().unwrap_or(name).to_string();
+        *groups.entry(group).or_insert(0.0) += num(v);
+    }
+    groups
 }
 
 /// Span totals per phase group (first dot-separated name segment).
@@ -242,6 +263,22 @@ fn diff(ref_path: &str, cand_path: &str, warn_pct: f64, fail: bool) -> Result<Ex
                 ref_ctrs.get(name).copied().unwrap_or(0.0),
                 cand_ctrs.get(name).copied().unwrap_or(0.0)
             );
+        }
+    }
+
+    // counter-group rollup (informational; counters measure work done,
+    // not wall time, so they are never gated)
+    let ref_cgroups = counter_group_totals(&reference);
+    let cand_cgroups = counter_group_totals(&candidate);
+    let mut cgroups: Vec<&String> = ref_cgroups.keys().chain(cand_cgroups.keys()).collect();
+    cgroups.sort_unstable();
+    cgroups.dedup();
+    if !cgroups.is_empty() {
+        println!("\n  {:<12}{:>14}{:>14}{:>10}", "counters", "ref", "new", "delta");
+        for g in cgroups {
+            let r = ref_cgroups.get(g).copied().unwrap_or(0.0);
+            let c = cand_cgroups.get(g).copied().unwrap_or(0.0);
+            println!("  {:<12}{:>14}{:>14}{:>+9.1}%", g, r, c, pct(r, c));
         }
     }
 
