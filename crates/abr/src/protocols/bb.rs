@@ -61,6 +61,10 @@ impl AbrPolicy for BufferBased {
     }
 
     fn reset(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn AbrPolicy + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

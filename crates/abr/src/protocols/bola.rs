@@ -73,6 +73,10 @@ impl AbrPolicy for Bola {
     }
 
     fn reset(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn AbrPolicy + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

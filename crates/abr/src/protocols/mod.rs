@@ -36,6 +36,13 @@ pub trait AbrPolicy {
 
     /// Clear any per-session state before a new video.
     fn reset(&mut self);
+
+    /// Clone the protocol, mid-stream state included, behind a fresh box.
+    ///
+    /// This is what lets a fleet supervisor snapshot a shard's per-session
+    /// protocol instances (MPC carries throughput-error history) and roll
+    /// them back deterministically after a crashed or stalled attempt.
+    fn clone_box(&self) -> Box<dyn AbrPolicy + Send>;
 }
 
 #[cfg(test)]

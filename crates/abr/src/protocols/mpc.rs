@@ -135,6 +135,10 @@ impl AbrPolicy for Mpc {
         self.errors.clear();
         self.last_prediction = None;
     }
+
+    fn clone_box(&self) -> Box<dyn AbrPolicy + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

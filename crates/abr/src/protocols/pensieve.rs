@@ -83,6 +83,10 @@ impl AbrPolicy for Pensieve {
     }
 
     fn reset(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn AbrPolicy + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

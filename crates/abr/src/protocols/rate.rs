@@ -33,6 +33,10 @@ impl AbrPolicy for RateBased {
     }
 
     fn reset(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn AbrPolicy + Send> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,273 @@
+//! Chaos soak harness for the supervised serving fleet (DESIGN.md §15):
+//! long sequences of fleet runs under randomized-but-seeded
+//! `ADVNET_FAULT_PLAN` schedules — panics, NaN observations, poisoned
+//! policy outputs and stalls across the `serve.shard.<id>` /
+//! `serve.obs` / `serve.policy` fault points — asserting after every
+//! run that the robustness layer kept its contract:
+//!
+//! 1. **Accounting** — `quarantined + completed + shed == admitted`.
+//! 2. **Sketch purity** — no non-finite QoE reached the aggregation
+//!    sketch (`rejected == 0`), the sketch holds exactly the completed
+//!    sessions, and mean/p5 are finite.
+//! 3. **Blast-radius isolation** — every *non-quarantined* session's
+//!    result is bit-identical to the undisturbed baseline: a fault only
+//!    ever affects the session (or shard window) it hit.
+//! 4. **Bit-transparency** — with an empty plan (and whenever nothing
+//!    was quarantined or shed) the whole summary is byte-identical to
+//!    the baseline, fallbacks and retries included.
+//!
+//! Any violation exits non-zero. Run:
+//! `cargo run -p adv-bench --release --bin chaos_soak`.
+//!
+//! Knobs (env):
+//!
+//! * `ADVNET_FAULT_PLAN` — when set, soak under exactly this plan
+//!   (reinstalled before every run so hit counters restart) instead of
+//!   generating randomized ones. This is how CI's chaos-smoke job pins
+//!   a deterministic schedule.
+//! * `CHAOS_RUNS` — fleet runs per policy mode (default 6).
+//! * `CHAOS_SESSIONS` — fleet size (default 24).
+//! * `CHAOS_SHARDS` — worker shards (default 3).
+//! * `CHAOS_SEED` — seed of the randomized plan generator (default 1);
+//!   a soak is fully replayable from its seed.
+
+use abr::protocols::pensieve::PENSIEVE_OBS_DIM;
+use abr::{BufferBased, Pensieve};
+use serve::{try_run_fleet, FleetConfig, FleetPolicy, FleetSummary, SupervisorConfig};
+use std::time::{Duration, Instant};
+use traces::{GenConfig, TraceFamily, TraceStream};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// SplitMix64 — the workspace-standard seeded generator, so a soak is
+/// replayable from `CHAOS_SEED` alone.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Generate one seeded random plan: 2–4 specs over all fault kinds and
+/// every serving fault point. Panic/stall specs (each costs one window
+/// attempt when it fires) are capped at 3 per plan and 2 per point so a
+/// schedule can never exhaust the supervisor's retry budget by itself —
+/// the soak tests absorption, not designed-to-lose overload.
+fn random_plan(rng: &mut u64, shards: usize, ticks: usize) -> String {
+    let mut points: Vec<String> = (0..shards).map(|s| format!("serve.shard.{s}")).collect();
+    points.push("serve.obs".to_string());
+    points.push("serve.policy".to_string());
+    let kinds = ["panic", "nan", "corrupt", "stall"];
+
+    let n_specs = 2 + (splitmix(rng) % 3) as usize;
+    let mut specs: Vec<String> = Vec::with_capacity(n_specs + 1);
+    let mut hard_total = 0usize; // panic+stall across the plan
+    let mut hard_per_point: Vec<usize> = vec![0; points.len()];
+    for _ in 0..n_specs {
+        let p = (splitmix(rng) % points.len() as u64) as usize;
+        let mut kind = kinds[(splitmix(rng) % kinds.len() as u64) as usize];
+        let hard = matches!(kind, "panic" | "stall");
+        if hard && (hard_total >= 3 || hard_per_point[p] >= 2) {
+            kind = "nan"; // soften: keep the schedule absorbable
+        } else if hard {
+            hard_total += 1;
+            hard_per_point[p] += 1;
+        }
+        // shard points are hit once per window attempt, obs/policy once
+        // per tick; draw triggers from the matching range (some never
+        // fire — that exercises the no-fault transparency path too)
+        let trigger = if points[p].starts_with("serve.shard.") {
+            1 + splitmix(rng) % 5
+        } else {
+            1 + splitmix(rng) % (ticks as u64 + 8)
+        };
+        specs.push(format!("{kind}@{}:{trigger}", points[p]));
+    }
+    specs.push("stall_ms=1500".to_string());
+    specs.join(",")
+}
+
+/// Supervision armed for chaos: generous retry budget, a watchdog that
+/// cancels injected 1.5 s stalls in ~200 ms (explicit fast poll — the
+/// monitor thread is joined at run end).
+fn chaos_supervisor() -> SupervisorConfig {
+    SupervisorConfig {
+        backoff: fault::Backoff::none(3),
+        watchdog: Some(exec::WatchdogConfig {
+            timeout: Duration::from_millis(200),
+            poll: Duration::from_millis(5),
+        }),
+        snapshot_ticks: 12,
+        spool_dir: None,
+    }
+}
+
+/// Assert every soak invariant for one disturbed run against the
+/// undisturbed baseline of the same policy.
+fn check_invariants(tag: &str, summary: &FleetSummary, baseline: &FleetSummary) {
+    // 1. accounting
+    assert_eq!(
+        summary.quarantined as usize + summary.completed + summary.shed,
+        summary.admitted,
+        "{tag}: quarantined + completed + shed != admitted"
+    );
+    assert_eq!(summary.sessions, summary.admitted - summary.shed, "{tag}: session accounting");
+    // 2. sketch purity
+    assert_eq!(summary.sketch.rejected(), 0, "{tag}: non-finite QoE reached the sketch");
+    assert_eq!(
+        summary.sketch.count(),
+        summary.completed as u64,
+        "{tag}: sketch must hold exactly the completed sessions"
+    );
+    assert!(summary.mean_qoe.is_finite(), "{tag}: poisoned mean QoE");
+    assert!(summary.p5_qoe.is_finite(), "{tag}: poisoned p5 QoE");
+    // 3. blast-radius isolation: un-quarantined sessions are untouched
+    for r in &summary.per_session {
+        let want = &baseline.per_session[r.id as usize];
+        assert_eq!(r.chunks, want.chunks, "{tag}: session {} chunk count drifted", r.id);
+        if !r.quarantined {
+            assert_eq!(
+                r.mean_qoe.to_bits(),
+                want.mean_qoe.to_bits(),
+                "{tag}: un-quarantined session {} drifted from baseline QoE",
+                r.id
+            );
+        }
+    }
+    // 4. full byte-identity whenever nothing was quarantined or shed
+    if summary.quarantined == 0 && summary.shed == 0 {
+        assert_eq!(
+            summary.per_session, baseline.per_session,
+            "{tag}: fault-free-result run must be bit-identical to baseline"
+        );
+        assert_eq!(
+            serde_json::to_string(&summary.sketch).expect("sketch serializes"),
+            serde_json::to_string(&baseline.sketch).expect("sketch serializes"),
+            "{tag}: aggregation sketch bytes drifted from baseline"
+        );
+    }
+}
+
+/// Silence the panic-hook output of *expected* chaos — injected faults
+/// and watchdog cancellations are absorbed by supervision and would
+/// otherwise spray backtraces over the soak log. Anything else (a real
+/// bug, an invariant assert) still prints in full.
+fn quiet_expected_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if msg.starts_with("fault-plan:") || msg.starts_with("[watchdog]") {
+            return;
+        }
+        default_hook(info);
+    }));
+}
+
+fn main() {
+    telemetry::init_from_env();
+    quiet_expected_panics();
+    let runs = env_u64("CHAOS_RUNS", 6) as usize;
+    let sessions = env_u64("CHAOS_SESSIONS", 24) as usize;
+    let shards = env_u64("CHAOS_SHARDS", 3) as usize;
+    let seed = env_u64("CHAOS_SEED", 1);
+    let env_plan = std::env::var("ADVNET_FAULT_PLAN").ok().filter(|s| !s.trim().is_empty());
+
+    let cfg = FleetConfig::new(sessions, shards);
+    let ticks = cfg.video.n_chunks();
+    let stream = TraceStream::new(TraceFamily::BenignMix, seed ^ 0x5eed, GenConfig::default());
+    let sup = chaos_supervisor();
+
+    // an untrained but deterministic Pensieve: the soak exercises
+    // execution paths, not model quality
+    let ppo = rl::Ppo::new_categorical(
+        PENSIEVE_OBS_DIM,
+        6,
+        &[16],
+        rl::PpoConfig { seed: 17, ..rl::PpoConfig::default() },
+    );
+    let policies: Vec<(&str, FleetPolicy)> = vec![
+        ("bb", FleetPolicy::per_session(|_id| Box::new(BufferBased::pensieve_defaults()) as _)),
+        ("pensieve", FleetPolicy::batched(Pensieve::new(ppo.policy.clone(), ppo.obs_norm.clone()))),
+    ];
+
+    println!(
+        "=== chaos_soak — {runs} runs x {} policies, {sessions} sessions / {shards} shards, \
+         seed {seed}{} ===",
+        policies.len(),
+        if env_plan.is_some() { " (plan from ADVNET_FAULT_PLAN)" } else { "" }
+    );
+
+    let mut rng = seed;
+    let mut total = (0u64, 0u64, 0u64); // quarantined, fallbacks, retries
+    for (name, policy) in &policies {
+        // undisturbed baseline: identical supervision, empty plan
+        fault::clear();
+        let baseline = try_run_fleet(&cfg, policy, &stream, &sup).expect("baseline run");
+        // bit-transparency of the armed-but-empty plan
+        check_invariants(&format!("{name}/empty-plan"), &baseline, &baseline);
+
+        for run in 0..runs {
+            let plan = match &env_plan {
+                Some(p) => p.clone(),
+                None => random_plan(&mut rng, shards, ticks),
+            };
+            // every 3rd run also sheds, so the accounting identity is
+            // soaked with all three terms non-trivial
+            let mut cfg_run = cfg.clone();
+            if run % 3 == 2 {
+                cfg_run.max_inflight = Some((sessions * 3) / 4);
+            }
+            fault::install(fault::FaultPlan::parse(&plan).expect("generated plan parses"));
+            let t0 = Instant::now();
+            let summary = match try_run_fleet(&cfg_run, policy, &stream, &sup) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("chaos_soak: run {run} [{name}] plan '{plan}' NOT absorbed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            fault::clear();
+            check_invariants(&format!("{name}/run{run}"), &summary, &baseline);
+            println!(
+                "run {run:>2} [{name:>8}] plan '{plan}' -> quarantined={} fallbacks={} \
+                 shed={} retries={} ({:.2}s)",
+                summary.quarantined,
+                summary.fallbacks,
+                summary.shed,
+                summary.shard_retries,
+                t0.elapsed().as_secs_f64()
+            );
+            total.0 += summary.quarantined;
+            total.1 += summary.fallbacks;
+            total.2 += summary.shard_retries;
+        }
+    }
+
+    println!(
+        "chaos_soak: {} runs absorbed — {} quarantines, {} fallback decisions, {} shard \
+         retries; all invariants held",
+        runs * policies.len(),
+        total.0,
+        total.1,
+        total.2
+    );
+    let config = [
+        ("bench".to_string(), "chaos_soak".to_string()),
+        ("sessions".to_string(), sessions.to_string()),
+        ("shards".to_string(), shards.to_string()),
+        ("runs".to_string(), runs.to_string()),
+    ];
+    match telemetry::write_manifest_default(Some(seed), &config) {
+        Ok(Some(path)) => println!("telemetry run manifest {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: could not write telemetry run manifest: {e}"),
+    }
+}

@@ -146,6 +146,11 @@ fn main() {
             // wall-clock is a fresh measurement, captured outside the
             // cacheable value (cache hits have no meaningful timing)
             let timing: Cell<Option<(f64, f64)>> = Cell::new(None);
+            // robustness accounting (quarantined / fallbacks / shed /
+            // shard retries) is all zero on a healthy fleet and only
+            // meaningful on the run that computed the cell, so it is
+            // printed fresh and kept out of the cached value
+            let accounting: Cell<Option<(u64, u64, usize, u64)>> = Cell::new(None);
             let cell: FleetCell = Pipeline::require(
                 pipe.unit(&format!("fleet {proto} on {stream_tag}"), &key, || {
                     let cfg = FleetConfig::new(n_sessions, shards);
@@ -160,6 +165,12 @@ fn main() {
                     };
                     let summary = run_fleet(&cfg, &policy, &stream);
                     timing.set(Some((summary.wall_s, summary.decisions_per_s)));
+                    accounting.set(Some((
+                        summary.quarantined,
+                        summary.fallbacks,
+                        summary.shed,
+                        summary.shard_retries,
+                    )));
                     FleetCell {
                         sessions: summary.sessions,
                         decisions: summary.decisions,
@@ -188,6 +199,12 @@ fn main() {
                      throughput)",
                     cell.decisions
                 ),
+            }
+            if let Some((quarantined, fallbacks, shed, retries)) = accounting.get() {
+                println!(
+                    "    robustness: {quarantined} quarantined, {fallbacks} fallback \
+                     decisions, {shed} shed, {retries} shard retries"
+                );
             }
             rows.push(format!(
                 "{proto},{stream_tag},{},{shards},{},{:.6},{:.6},{}",

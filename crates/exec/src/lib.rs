@@ -105,6 +105,11 @@ pub struct WorkerStats {
     pub worker: usize,
     /// Wall-clock seconds this worker's job took.
     pub wall_s: f64,
+    /// Attempts the job took on this slot: 1 on the plain (retry-free)
+    /// fan-out paths, and `1 + rollbacks` under
+    /// [`run_on_slots_watchdog`] — a fleet supervisor reads this to
+    /// account shard retries without threading its own counters.
+    pub attempts: usize,
 }
 
 /// Result bundle of [`run_workers`]: per-worker results in slot order.
@@ -394,7 +399,11 @@ where
         let stats: Vec<WorkerStats> = results
             .iter()
             .enumerate()
-            .map(|(w, _)| WorkerStats { worker: w, wall_s: t0.elapsed().as_secs_f64() })
+            .map(|(w, _)| WorkerStats {
+                worker: w,
+                wall_s: t0.elapsed().as_secs_f64(),
+                attempts: 1,
+            })
             .collect();
         record_slot_stats(&stats);
         return WorkerRun { results, stats };
@@ -431,7 +440,7 @@ where
     };
     for (w, (result, wall_s)) in outcomes.into_iter().enumerate() {
         run.results.push(result);
-        run.stats.push(WorkerStats { worker: w, wall_s });
+        run.stats.push(WorkerStats { worker: w, wall_s, attempts: 1 });
     }
     record_slot_stats(&run.stats);
     run
@@ -565,7 +574,7 @@ where
     let _span = telemetry::span!("exec.slots");
     let epoch = Instant::now();
     let mons: Vec<SlotMon> = (0..slots.len()).map(|_| SlotMon::new()).collect();
-    let run_one = |w: usize, slot: &mut S, mon: &SlotMon| -> Result<(R, f64), ExecError> {
+    let run_one = |w: usize, slot: &mut S, mon: &SlotMon| -> Result<(R, f64, usize), ExecError> {
         let t0 = Instant::now();
         let backup = if backoff.retries > 0 { Some(slot.clone()) } else { None };
         let mut attempts = 0;
@@ -590,7 +599,7 @@ where
             match outcome {
                 Ok(r) => {
                     mon.done.store(true, Ordering::SeqCst);
-                    return Ok((r, t0.elapsed().as_secs_f64()));
+                    return Ok((r, t0.elapsed().as_secs_f64(), attempts));
                 }
                 Err(payload) => {
                     if attempts > backoff.retries {
@@ -611,7 +620,7 @@ where
         }
     };
     let inline = slots.len() <= 1 && watchdog.is_none();
-    let outcomes: Vec<Result<(R, f64), ExecError>> = if inline {
+    let outcomes: Vec<Result<(R, f64, usize), ExecError>> = if inline {
         slots
             .iter_mut()
             .zip(&mons)
@@ -661,9 +670,9 @@ where
         stats: Vec::with_capacity(outcomes.len()),
     };
     for (w, outcome) in outcomes.into_iter().enumerate() {
-        let (result, wall_s) = outcome?;
+        let (result, wall_s, attempts) = outcome?;
         run.results.push(result);
-        run.stats.push(WorkerStats { worker: w, wall_s });
+        run.stats.push(WorkerStats { worker: w, wall_s, attempts });
     }
     record_slot_stats(&run.stats);
     Ok(run)
@@ -707,7 +716,7 @@ where
         let result = job(0);
         let run = WorkerRun {
             results: vec![result],
-            stats: vec![WorkerStats { worker: 0, wall_s: t0.elapsed().as_secs_f64() }],
+            stats: vec![WorkerStats { worker: 0, wall_s: t0.elapsed().as_secs_f64(), attempts: 1 }],
         };
         record_slot_stats(&run.stats);
         return run;
@@ -739,7 +748,7 @@ where
     });
     for (w, (result, wall_s)) in outcomes.into_iter().enumerate() {
         run.results.push(result);
-        run.stats.push(WorkerStats { worker: w, wall_s });
+        run.stats.push(WorkerStats { worker: w, wall_s, attempts: 1 });
     }
     record_slot_stats(&run.stats);
     run

@@ -1,14 +1,22 @@
 //! The session-sharded batch-inference engine.
 //!
 //! N sessions are split into `shards` **contiguous id blocks**; each
-//! block becomes one [`exec::run_on_slots`] worker slot. A shard runs
-//! its sessions in lock-step ticks: per tick it assembles one
-//! observation-feature matrix (one row per live session) and makes a
-//! single batched policy call ([`rl::PolicyKind::mode_batch`] →
-//! [`nn::Mlp::forward_batch`]) instead of one forward per session —
-//! the PR-4 batched kernels amortized across the fleet.
+//! block becomes one [`exec`] worker slot. A shard runs its sessions in
+//! lock-step ticks: per tick it assembles one observation-feature
+//! matrix (one row per live session) and makes a single batched policy
+//! call ([`rl::PolicyKind::mode_batch`] → [`nn::Mlp::forward_batch`])
+//! instead of one forward per session — the PR-4 batched kernels
+//! amortized across the fleet.
 //!
-//! Invariants (DESIGN.md §13):
+//! Since PR 8 the shard loop itself lives in [`crate::supervisor`]: the
+//! engine's [`run_fleet`] is a thin wrapper over
+//! [`crate::supervisor::try_run_fleet`] with the default
+//! [`crate::supervisor::SupervisorConfig`] — shards heartbeat, panics
+//! and stalls retry from snapshots, bad observations quarantine their
+//! session onto a BB fallback, and `max_inflight` sheds overload
+//! deterministically.
+//!
+//! Invariants (DESIGN.md §13, §15):
 //!
 //! * **Session independence.** A session's trajectory depends only on
 //!   `(policy, its trace)`; sessions never observe each other, so the
@@ -20,17 +28,20 @@
 //!   in slot order (= session-id order, blocks are contiguous) and fed
 //!   to one [`QuantileSketch`] on the caller's thread — never merged —
 //!   so the aggregate summary is byte-identical for any shard count.
+//! * **Supervision is bit-transparent.** With no fault fired and no
+//!   quarantine triggered, the supervised engine's summary is
+//!   byte-identical to the pre-supervision engine's
+//!   (`tests/supervised_equivalence.rs`).
 //!
 //! Classic protocols (BB, MPC) have no batched forward; they run on the
 //! same shard loop with one policy instance per session
 //! ([`FleetPolicy::PerSession`]) — MPC is stateful, so instances are
 //! never shared.
 
-use crate::session::{Session, SessionResult};
+use crate::session::SessionResult;
 use crate::sketch::QuantileSketch;
-use abr::protocols::pensieve::{pensieve_features, PENSIEVE_OBS_DIM};
+use crate::supervisor::{try_run_fleet, SupervisorConfig};
 use abr::{AbrPolicy, Pensieve, QoeParams, Video};
-use std::time::Instant;
 use traces::TraceStream;
 
 /// How the fleet drives its protocol.
@@ -63,9 +74,10 @@ impl FleetPolicy {
 /// Fleet-run parameters.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
-    /// Number of concurrent sessions.
+    /// Number of sessions asking to be served ("admitted" in the
+    /// summary's accounting).
     pub sessions: usize,
-    /// Worker shards; clamped to `[1, sessions]`.
+    /// Worker shards; clamped to `[1, running sessions]`.
     pub shards: usize,
     /// The video every session streams.
     pub video: Video,
@@ -76,11 +88,16 @@ pub struct FleetConfig {
     /// Record per-chunk QoE trajectories in every [`SessionResult`]
     /// (tests and small fleets only — O(chunks) memory per session).
     pub record_chunks: bool,
+    /// Admission-control cap: at most this many sessions actually run;
+    /// the rest are **shed** deterministically (highest session ids
+    /// first — ids `cap..sessions` never start). `None` = no cap.
+    pub max_inflight: Option<usize>,
 }
 
 impl FleetConfig {
     /// Standard fleet: Pensieve's CBR video and default QoE weights,
-    /// sketch `ε = 0.005` (±0.5 % rank error), no trajectory recording.
+    /// sketch `ε = 0.005` (±0.5 % rank error), no trajectory recording,
+    /// no admission cap.
     pub fn new(sessions: usize, shards: usize) -> Self {
         FleetConfig {
             sessions,
@@ -89,6 +106,7 @@ impl FleetConfig {
             qoe: QoeParams::default(),
             sketch_eps: 0.005,
             record_chunks: false,
+            max_inflight: None,
         }
     }
 }
@@ -96,16 +114,36 @@ impl FleetConfig {
 /// Aggregate outcome of one fleet run.
 #[derive(Debug, Clone)]
 pub struct FleetSummary {
-    /// Sessions completed.
+    /// Sessions that actually ran (admitted minus shed).
     pub sessions: usize,
+    /// Sessions that asked to run (`FleetConfig::sessions`).
+    pub admitted: usize,
+    /// Sessions that ran to completion un-quarantined; their QoE is
+    /// what the sketch aggregates. `quarantined + completed + shed ==
+    /// admitted` always holds.
+    pub completed: usize,
+    /// Sessions quarantined mid-stream (invalid observation or policy
+    /// output); they finish under the BB fallback but their QoE is
+    /// excluded from the sketch.
+    pub quarantined: u64,
+    /// Chunk decisions made by fallback policies on quarantined
+    /// sessions.
+    pub fallbacks: u64,
+    /// Sessions shed by admission control ([`FleetConfig::max_inflight`]).
+    pub shed: usize,
+    /// Shard snapshot-window retries absorbed by supervision (panics,
+    /// watchdog cancellations).
+    pub shard_retries: u64,
     /// Shards actually used (after clamping).
     pub shards: usize,
     /// Total policy decisions (= chunks fetched fleet-wide).
     pub decisions: u64,
-    /// Exact fleet mean of per-session mean QoE (from the sketch's
-    /// exact running sum).
+    /// Exact fleet mean of per-session mean QoE over un-quarantined
+    /// sessions (from the sketch's exact running sum). `0.0` sentinel
+    /// when nothing completed.
     pub mean_qoe: f64,
     /// 5th-percentile session QoE from the sketch (rank error ≤ εn+1).
+    /// `0.0` sentinel when nothing completed.
     pub p5_qoe: f64,
     /// The aggregation sketch itself, for further quantile queries.
     pub sketch: QuantileSketch,
@@ -114,13 +152,14 @@ pub struct FleetSummary {
     pub wall_s: f64,
     /// Serving throughput: `decisions / wall_s`.
     pub decisions_per_s: f64,
-    /// Per-session results in session-id order. `chunk_qoe` inside is
-    /// populated only under [`FleetConfig::record_chunks`].
+    /// Per-session results in session-id order (shed sessions are
+    /// absent). `chunk_qoe` inside is populated only under
+    /// [`FleetConfig::record_chunks`].
     pub per_session: Vec<SessionResult>,
 }
 
 /// Contiguous id block `[start, end)` owned by shard `b` of `shards`.
-fn block(sessions: usize, shards: usize, b: usize) -> (u64, u64) {
+pub(crate) fn block(sessions: usize, shards: usize, b: usize) -> (u64, u64) {
     let q = sessions / shards;
     let r = sessions % shards;
     let start = b * q + b.min(r);
@@ -128,107 +167,24 @@ fn block(sessions: usize, shards: usize, b: usize) -> (u64, u64) {
     (start as u64, (start + len) as u64)
 }
 
-/// Run one shard's sessions to completion, batching per-tick inference.
-fn run_shard(
-    ids: (u64, u64),
-    cfg: &FleetConfig,
-    policy: &FleetPolicy,
-    stream: &TraceStream,
-) -> Vec<SessionResult> {
-    let (lo, hi) = ids;
-    let mut sessions: Vec<Session> = (lo..hi)
-        .map(|id| {
-            let trace = stream.nth_trace(id);
-            Session::new(id, &cfg.video, &cfg.qoe, &trace, cfg.record_chunks)
-        })
-        .collect();
-    let n = sessions.len();
-    let ticks = cfg.video.n_chunks();
-    match policy {
-        FleetPolicy::Batched(p) => {
-            let n_q = cfg.video.n_qualities();
-            let mut feats = nn::Matrix::zeros(n, PENSIEVE_OBS_DIM);
-            for _tick in 0..ticks {
-                for (i, s) in sessions.iter().enumerate() {
-                    let raw = pensieve_features(&s.observation());
-                    let feat = match &p.obs_norm {
-                        Some(norm) => norm.normalize(&raw),
-                        None => raw,
-                    };
-                    feats.row_mut(i).copy_from_slice(&feat);
-                }
-                // one batched forward for the whole shard tick
-                let actions = p.policy.mode_batch(&feats);
-                for (s, a) in sessions.iter_mut().zip(&actions) {
-                    // same clamp as Pensieve::select
-                    s.step(a.index().min(n_q - 1));
-                }
-            }
-        }
-        FleetPolicy::PerSession(factory) => {
-            let mut protocols: Vec<Box<dyn AbrPolicy + Send>> = (lo..hi)
-                .map(|id| {
-                    let mut proto = factory(id);
-                    proto.reset(); // mirror run_session's per-session reset
-                    proto
-                })
-                .collect();
-            for _tick in 0..ticks {
-                for (s, proto) in sessions.iter_mut().zip(protocols.iter_mut()) {
-                    let quality = proto.select(&s.observation());
-                    s.step(quality);
-                }
-            }
-        }
-    }
-    debug_assert!(sessions.iter().all(Session::finished));
-    sessions.into_iter().map(Session::into_result).collect()
-}
-
 /// Run a fleet of `cfg.sessions` concurrent sessions: session `i`
 /// streams trace [`TraceStream::nth_trace`]`(i)` under `policy`.
 ///
-/// Telemetry (when enabled): span `serve.fleet`, counter
-/// `serve.decisions`, gauges `serve.sessions` and
+/// This is [`try_run_fleet`] under the default
+/// [`SupervisorConfig`] — watchdog from `ADVNET_WATCHDOG_MS`, two
+/// immediate snapshot retries per shard window, no spool — with a
+/// shard that exhausts its retry budget escalated to a panic. Callers
+/// that want structured errors, a crash spool, or custom budgets use
+/// [`try_run_fleet`] directly.
+///
+/// Telemetry (when enabled): span `serve.fleet`, counters
+/// `serve.decisions` / `serve.quarantined` / `serve.fallback` /
+/// `serve.shed` / `serve.shard.retry`, gauges `serve.sessions` and
 /// `serve.decisions_per_s` — the decisions/s metric defined in
 /// PERF.md.
 pub fn run_fleet(cfg: &FleetConfig, policy: &FleetPolicy, stream: &TraceStream) -> FleetSummary {
-    assert!(cfg.sessions > 0, "fleet needs at least one session");
-    let shards = cfg.shards.clamp(1, cfg.sessions);
-    let _span = telemetry::span!("serve.fleet");
-    let t0 = Instant::now();
-
-    let mut slots: Vec<(u64, u64)> = (0..shards).map(|b| block(cfg.sessions, shards, b)).collect();
-    let run = exec::run_on_slots(&mut slots, |_w, ids| run_shard(*ids, cfg, policy, stream));
-    // slot order = session-id order (blocks are contiguous and sorted)
-    let per_session: Vec<SessionResult> = run.results.into_iter().flatten().collect();
-    debug_assert_eq!(per_session.len(), cfg.sessions);
-
-    // single-sketch aggregation on the caller's thread, in session-id
-    // order: no sketch merging, so the summary is shard-count invariant
-    let mut sketch = QuantileSketch::new(cfg.sketch_eps);
-    let mut decisions = 0u64;
-    for r in &per_session {
-        decisions += r.chunks as u64;
-        sketch.insert(r.mean_qoe);
-    }
-    let wall_s = t0.elapsed().as_secs_f64();
-    let decisions_per_s = decisions as f64 / wall_s.max(1e-9);
-    telemetry::counter_add("serve.decisions", decisions);
-    telemetry::gauge_set("serve.sessions", cfg.sessions as f64);
-    telemetry::gauge_set("serve.decisions_per_s", decisions_per_s);
-
-    FleetSummary {
-        sessions: cfg.sessions,
-        shards,
-        decisions,
-        mean_qoe: sketch.mean(),
-        p5_qoe: sketch.quantile(0.05).expect("non-empty fleet"),
-        sketch,
-        wall_s,
-        decisions_per_s,
-        per_session,
-    }
+    try_run_fleet(cfg, policy, stream, &SupervisorConfig::default())
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -265,5 +221,35 @@ mod tests {
         assert!(summary.mean_qoe.is_finite());
         assert!(summary.p5_qoe.is_finite());
         assert!(summary.decisions_per_s > 0.0);
+        // robustness accounting on a healthy fleet: everything admitted
+        // ran to completion, nothing quarantined / fell back / shed
+        assert_eq!(summary.admitted, 6);
+        assert_eq!(summary.completed, 6);
+        assert_eq!(summary.quarantined, 0);
+        assert_eq!(summary.fallbacks, 0);
+        assert_eq!(summary.shed, 0);
+        assert_eq!(summary.shard_retries, 0);
+    }
+
+    #[test]
+    fn admission_cap_sheds_deterministically() {
+        let stream = TraceStream::new(TraceFamily::BenignMix, 42, GenConfig::default());
+        let policy =
+            FleetPolicy::per_session(|_id| Box::new(BufferBased::pensieve_defaults()) as _);
+        let mut capped = FleetConfig::new(10, 2);
+        capped.max_inflight = Some(6);
+        let summary = run_fleet(&capped, &policy, &stream);
+        assert_eq!(summary.admitted, 10);
+        assert_eq!(summary.shed, 4);
+        assert_eq!(summary.sessions, 6);
+        assert_eq!(summary.completed, 6);
+        // shedding is by session id: the capped fleet is exactly the
+        // 6-session fleet, bit for bit
+        let small = run_fleet(&FleetConfig::new(6, 2), &policy, &stream);
+        assert_eq!(summary.per_session, small.per_session);
+        assert_eq!(
+            serde_json::to_string(&summary.sketch).unwrap(),
+            serde_json::to_string(&small.sketch).unwrap()
+        );
     }
 }

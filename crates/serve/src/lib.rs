@@ -22,18 +22,34 @@
 //!   paper's headline metrics) aggregate in memory independent of the
 //!   session count.
 //!
+//! Since PR 8 the engine runs under a **fleet robustness layer**
+//! (DESIGN.md §15):
+//!
+//! * [`supervisor::try_run_fleet`] — shard supervision (per-tick
+//!   heartbeats, deterministic snapshot-rollback retries under
+//!   [`fault::Backoff`]), per-session quarantine with a BB fallback
+//!   when observations or policy outputs fail validation
+//!   ([`quarantine`]), deterministic load shedding via
+//!   [`engine::FleetConfig::max_inflight`], and an optional crash
+//!   spool for kill+resume.
+//!
 //! Everything obeys the workspace determinism contract: a fleet's
 //! per-session trajectories and its aggregate summary are pure
 //! functions of `(config, policy, trace stream)` — independent of shard
 //! count and thread scheduling (regression-tested in
-//! `tests/fleet_equivalence.rs`). See DESIGN.md §13.
+//! `tests/fleet_equivalence.rs`), and the robustness layer is
+//! bit-transparent while no fault fires
+//! (`tests/supervised_equivalence.rs`). See DESIGN.md §13 and §15.
 
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod quarantine;
 pub mod session;
 pub mod sketch;
+pub mod supervisor;
 
 pub use engine::{run_fleet, FleetConfig, FleetPolicy, FleetSummary};
 pub use session::{Session, SessionResult};
 pub use sketch::QuantileSketch;
+pub use supervisor::{try_run_fleet, FleetError, SupervisorConfig};

@@ -1,0 +1,165 @@
+//! Input/output validation for the serving fleet: the quarantine
+//! decision.
+//!
+//! The paper's operating assumption is that learned protocols meet
+//! hostile inputs in deployment; the fleet's first line of defence is
+//! therefore to *validate* everything that crosses the policy boundary
+//! instead of trusting it. Two checks run on every tick of every live
+//! session:
+//!
+//! * [`validate_observation`] — the observation handed to the policy
+//!   must be physically plausible: finite, non-negative where the
+//!   quantity is non-negative, and inside generous magnitude bounds. A
+//!   NaN buffer level or a `-1e12` throughput sample is a corrupt
+//!   telemetry pipe, not a network condition.
+//! * [`validate_action`] — the policy's output must be a real rung of
+//!   the bitrate ladder. An out-of-range index would panic the player
+//!   (and at fleet scale, the whole shard).
+//!
+//! A violation does **not** panic: the supervisor quarantines the
+//! session (see `supervisor` module) — its QoE leaves the aggregate
+//! sketch, a per-session [`abr::BufferBased`] fallback drives the
+//! remaining chunks, and `serve.quarantined` / `serve.fallback`
+//! telemetry records the event. One bad session costs one session, not
+//! the fleet.
+
+use abr::AbrObservation;
+
+/// Upper plausibility bound for a playback buffer, seconds. Far above
+/// anything a real player accumulates (videos here are ~192 s); beyond
+/// it the value is corrupt, not large.
+pub const MAX_BUFFER_S: f64 = 1e7;
+
+/// Upper plausibility bound for a throughput sample, Mbit/s.
+pub const MAX_THROUGHPUT_MBPS: f64 = 1e6;
+
+/// Upper plausibility bound for a download time, seconds.
+pub const MAX_DOWNLOAD_S: f64 = 1e7;
+
+/// Validate one observation before it reaches the policy.
+///
+/// Returns `Err` with a short reason when any field is non-finite,
+/// negative where it must not be, outside the plausibility bounds, or
+/// structurally inconsistent (empty ladder, `last_quality` off the
+/// ladder). The checks are O(history length) — negligible next to the
+/// policy forward they guard.
+pub fn validate_observation(obs: &AbrObservation) -> Result<(), String> {
+    if !(obs.buffer_s.is_finite() && (0.0..=MAX_BUFFER_S).contains(&obs.buffer_s)) {
+        return Err(format!("implausible buffer level {}", obs.buffer_s));
+    }
+    for &tp in &obs.throughput_mbps {
+        if !(tp.is_finite() && (0.0..=MAX_THROUGHPUT_MBPS).contains(&tp)) {
+            return Err(format!("implausible throughput sample {tp}"));
+        }
+    }
+    for &d in &obs.download_s {
+        if !(d.is_finite() && (0.0..=MAX_DOWNLOAD_S).contains(&d)) {
+            return Err(format!("implausible download time {d}"));
+        }
+    }
+    for &s in &obs.next_sizes {
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(format!("implausible chunk size {s}"));
+        }
+    }
+    if obs.n_qualities == 0 || obs.bitrates_mbps.is_empty() {
+        return Err("empty bitrate ladder".to_string());
+    }
+    for &b in &obs.bitrates_mbps {
+        if !(b.is_finite() && b > 0.0) {
+            return Err(format!("implausible ladder bitrate {b}"));
+        }
+    }
+    if let Some(q) = obs.last_quality {
+        if q >= obs.n_qualities {
+            return Err(format!("last_quality {q} off a {}-rung ladder", obs.n_qualities));
+        }
+    }
+    Ok(())
+}
+
+/// Validate a policy output against the ladder: `Ok` iff `action` is a
+/// real quality index (`< n_qualities`).
+pub fn validate_action(action: usize, n_qualities: usize) -> Result<(), String> {
+    if action < n_qualities {
+        Ok(())
+    } else {
+        Err(format!("policy output {action} off a {n_qualities}-rung ladder"))
+    }
+}
+
+/// Whether a per-chunk QoE contribution is trustworthy (finite).
+pub fn qoe_is_sane(qoe: f64) -> bool {
+    qoe.is_finite()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs() -> AbrObservation {
+        AbrObservation {
+            last_quality: Some(2),
+            buffer_s: 12.0,
+            throughput_mbps: vec![1.0, 2.0, 3.0],
+            download_s: vec![4.0, 2.0, 1.0],
+            next_sizes: vec![150_000.0, 375_000.0, 600_000.0, 925_000.0, 1_425_000.0, 2_150_000.0],
+            chunk_index: 3,
+            chunks_remaining: 45,
+            total_chunks: 48,
+            n_qualities: 6,
+            bitrates_mbps: vec![0.3, 0.75, 1.2, 1.85, 2.85, 4.3],
+        }
+    }
+
+    #[test]
+    fn healthy_observation_passes() {
+        assert!(validate_observation(&obs()).is_ok());
+        // first-chunk shape: empty histories, no last quality
+        let mut first = obs();
+        first.last_quality = None;
+        first.throughput_mbps.clear();
+        first.download_s.clear();
+        assert!(validate_observation(&first).is_ok());
+    }
+
+    #[test]
+    fn poisoned_observations_are_rejected() {
+        let mut o = obs();
+        o.buffer_s = f64::NAN;
+        assert!(validate_observation(&o).is_err());
+        let mut o = obs();
+        o.buffer_s = -1e12;
+        assert!(validate_observation(&o).is_err());
+        let mut o = obs();
+        o.throughput_mbps[1] = f64::INFINITY;
+        assert!(validate_observation(&o).is_err());
+        let mut o = obs();
+        o.download_s[0] = -1.0;
+        assert!(validate_observation(&o).is_err());
+        let mut o = obs();
+        o.next_sizes[3] = f64::NAN;
+        assert!(validate_observation(&o).is_err());
+        let mut o = obs();
+        o.bitrates_mbps[0] = 0.0;
+        assert!(validate_observation(&o).is_err());
+        let mut o = obs();
+        o.last_quality = Some(6);
+        assert!(validate_observation(&o).is_err());
+    }
+
+    #[test]
+    fn action_range_is_enforced() {
+        assert!(validate_action(0, 6).is_ok());
+        assert!(validate_action(5, 6).is_ok());
+        assert!(validate_action(6, 6).is_err());
+        assert!(validate_action(usize::MAX, 6).is_err());
+    }
+
+    #[test]
+    fn qoe_sanity() {
+        assert!(qoe_is_sane(-3.7));
+        assert!(!qoe_is_sane(f64::NAN));
+        assert!(!qoe_is_sane(f64::NEG_INFINITY));
+    }
+}

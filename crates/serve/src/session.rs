@@ -19,6 +19,9 @@ pub struct Session {
     /// Per-chunk QoE trajectory; recorded only when the engine runs
     /// with `record_chunks` (equivalence tests, small fleets).
     chunk_qoe: Option<Vec<f64>>,
+    /// Set once the supervisor has quarantined this session (an invalid
+    /// observation or poisoned policy output was detected mid-stream).
+    quarantined: bool,
 }
 
 impl Session {
@@ -37,6 +40,7 @@ impl Session {
             qoe_sum: 0.0,
             chunks: 0,
             chunk_qoe: record_chunks.then(Vec::new),
+            quarantined: false,
         }
     }
 
@@ -49,6 +53,18 @@ impl Session {
     /// Whether every chunk of the video has been fetched.
     pub fn finished(&self) -> bool {
         self.player.finished()
+    }
+
+    /// Whether the supervisor has quarantined this session.
+    pub fn quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// Mark the session quarantined: its QoE is no longer trusted and
+    /// is excluded from fleet aggregation; a fallback policy drives the
+    /// remaining chunks. Irreversible for the life of the session.
+    pub fn quarantine(&mut self) {
+        self.quarantined = true;
     }
 
     /// The observation the policy conditions on for the next chunk.
@@ -83,6 +99,7 @@ impl Session {
             chunks: self.chunks,
             mean_qoe: if self.chunks == 0 { 0.0 } else { self.qoe_sum / self.chunks as f64 },
             chunk_qoe: self.chunk_qoe.unwrap_or_default(),
+            quarantined: self.quarantined,
         }
     }
 }
@@ -99,4 +116,8 @@ pub struct SessionResult {
     /// Per-chunk QoE trajectory; empty unless the engine ran with
     /// `record_chunks`.
     pub chunk_qoe: Vec<f64>,
+    /// Whether the session was quarantined mid-stream; quarantined
+    /// sessions complete under the fallback policy but their QoE is
+    /// excluded from the fleet sketch.
+    pub quarantined: bool,
 }

@@ -50,6 +50,8 @@ pub struct QuantileSketch {
     sum: f64,
     min: f64,
     max: f64,
+    /// Non-finite inserts rejected so far (not part of the stream).
+    rejected: u64,
 }
 
 impl QuantileSketch {
@@ -64,6 +66,7 @@ impl QuantileSketch {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            rejected: 0,
         }
     }
 
@@ -102,10 +105,23 @@ impl QuantileSketch {
         self.tuples.len()
     }
 
-    /// Insert one value. Panics on NaN (QoE values are always finite;
-    /// a NaN would silently poison every later query).
-    pub fn insert(&mut self, v: f64) {
-        assert!(!v.is_nan(), "NaN in sketch input");
+    /// Number of non-finite inserts rejected (never part of the stream).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Insert one value. Non-finite values (NaN/±∞) are **rejected**, not
+    /// inserted: a single NaN breaks the GK tuple ordering and silently
+    /// poisons every later query, and an infinity destroys the running
+    /// mean. Rejects are counted (see [`QuantileSketch::rejected`]) and
+    /// bump the `sketch.rejected` telemetry counter; the return value says
+    /// whether the value entered the stream.
+    pub fn insert(&mut self, v: f64) -> bool {
+        if !v.is_finite() {
+            self.rejected += 1;
+            telemetry::counter_add("sketch.rejected", 1);
+            return false;
+        }
         self.sum += v;
         if v < self.min {
             self.min = v;
@@ -124,6 +140,7 @@ impl QuantileSketch {
         if self.n.is_multiple_of(period) {
             self.compress();
         }
+        true
     }
 
     /// `⌊2εn⌋`: the band capacity a tuple (or a merge) must not exceed.
@@ -215,9 +232,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "NaN in sketch input")]
-    fn nan_rejected() {
-        QuantileSketch::new(0.01).insert(f64::NAN);
+    fn non_finite_rejected_without_poisoning() {
+        let mut s = QuantileSketch::new(0.01);
+        assert!(s.insert(2.0));
+        assert!(!s.insert(f64::NAN));
+        assert!(!s.insert(f64::INFINITY));
+        assert!(!s.insert(f64::NEG_INFINITY));
+        assert!(s.insert(4.0));
+        // the rejects never entered the stream: count, mean and every
+        // quantile behave exactly as if only 2.0 and 4.0 were inserted
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.rejected(), 3);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(s.quantile(0.0), Some(2.0));
+        assert_eq!(s.quantile(1.0), Some(4.0));
+        let mut clean = QuantileSketch::new(0.01);
+        clean.insert(2.0);
+        clean.insert(4.0);
+        assert_eq!(s.quantile(0.5), clean.quantile(0.5));
     }
 
     #[test]

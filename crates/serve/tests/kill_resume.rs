@@ -1,0 +1,136 @@
+//! Kill+resume for supervised fleets (DESIGN.md §15): with a
+//! `spool_dir` configured, every finished shard spools its results as a
+//! checksummed `rl::ckpt` envelope; a re-run over the same inputs
+//! resumes finished shards from the spool instead of recomputing, and
+//! the resumed fleet is byte-identical to an undisturbed one. Corrupt
+//! or mismatched spools are quarantined aside and recomputed.
+
+use abr::BufferBased;
+use serve::{try_run_fleet, FleetConfig, FleetPolicy, SupervisorConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::SystemTime;
+use traces::{GenConfig, TraceFamily, TraceStream};
+
+/// Fault registry is process-global: serialize everything that installs
+/// a plan (or must run plan-free) on one lock.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn bb_policy() -> FleetPolicy {
+    FleetPolicy::per_session(|_id| Box::new(BufferBased::pensieve_defaults()) as _)
+}
+
+fn stream(seed: u64) -> TraceStream {
+    TraceStream::new(TraceFamily::BenignMix, seed, GenConfig::default())
+}
+
+fn sup(spool: &Path, retries: usize) -> SupervisorConfig {
+    SupervisorConfig {
+        backoff: fault::Backoff::none(retries),
+        watchdog: None,
+        snapshot_ticks: 12,
+        spool_dir: Some(spool.to_path_buf()),
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("advnet-kill-resume-{}-{tag}", std::process::id()))
+}
+
+fn mtime(path: &Path) -> SystemTime {
+    std::fs::metadata(path).and_then(|m| m.modified()).expect("spool file has an mtime")
+}
+
+#[test]
+fn crashed_fleet_resumes_from_spooled_shards_byte_identically() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = scratch_dir("crash");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cfg = FleetConfig::new(8, 4); // contiguous blocks: 0-2, 2-4, 4-6, 6-8
+    let policy = bb_policy();
+    let stream = stream(42);
+
+    fault::clear();
+    let baseline = try_run_fleet(
+        &cfg,
+        &policy,
+        &stream,
+        &SupervisorConfig { watchdog: None, ..SupervisorConfig::default() },
+    )
+    .expect("spool-free baseline");
+
+    // "kill" the fleet: shard 1 panics with a zero retry budget, so
+    // try_run_fleet errors — but the surviving shards finish and spool
+    fault::install(fault::FaultPlan::parse("panic@serve.shard.1:1").expect("valid plan"));
+    let err = try_run_fleet(&cfg, &policy, &stream, &sup(&dir, 0)).expect_err("shard 1 must die");
+    fault::clear();
+    assert_eq!(err.shard, 1);
+    let spool = |lo: u64, hi: u64| dir.join(format!("shard-{lo}-{hi}.ckpt"));
+    for (lo, hi) in [(0, 2), (4, 6), (6, 8)] {
+        assert!(spool(lo, hi).exists(), "surviving shard {lo}-{hi} must have spooled");
+    }
+    assert!(!spool(2, 4).exists(), "the crashed shard must not leave a spool");
+
+    // resume: finished shards come back from the spool (their files are
+    // not rewritten), the crashed shard recomputes — and the summary is
+    // byte-identical to the undisturbed run
+    let spooled_at: Vec<SystemTime> =
+        [(0, 2), (4, 6), (6, 8)].iter().map(|&(lo, hi)| mtime(&spool(lo, hi))).collect();
+    let resumed = try_run_fleet(&cfg, &policy, &stream, &sup(&dir, 2)).expect("resume succeeds");
+    assert_eq!(resumed.per_session, baseline.per_session);
+    assert_eq!(
+        serde_json::to_string(&resumed.sketch).unwrap(),
+        serde_json::to_string(&baseline.sketch).unwrap()
+    );
+    assert_eq!(resumed.quarantined, 0);
+    assert!(spool(2, 4).exists(), "the recomputed shard spools on the resume run");
+    for (&(lo, hi), &before) in [(0, 2), (4, 6), (6, 8)].iter().zip(&spooled_at) {
+        assert_eq!(mtime(&spool(lo, hi)), before, "resumed shard {lo}-{hi} must not recompute");
+    }
+
+    // bit-rot one spool: the checksummed reader rejects it, the shard
+    // is quarantined aside and recomputed — results unchanged
+    fault::corrupt_file(&spool(0, 2)).expect("corrupt the spool");
+    let healed = try_run_fleet(&cfg, &policy, &stream, &sup(&dir, 2)).expect("heals over rot");
+    assert_eq!(healed.per_session, baseline.per_session);
+    let mut aside = spool(0, 2).into_os_string();
+    aside.push(".quarantined");
+    assert!(Path::new(&aside).exists(), "rotten spool must be kept aside, not deleted");
+    assert!(spool(0, 2).exists(), "recomputed shard must re-spool");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spool_for_different_inputs_is_quarantined_and_recomputed() {
+    let _guard = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear();
+    let dir = scratch_dir("fingerprint");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cfg = FleetConfig::new(4, 1);
+    let policy = bb_policy();
+
+    // spool a fleet over seed 42, then run seed 43 against the same dir
+    try_run_fleet(&cfg, &policy, &stream(42), &sup(&dir, 2)).expect("first fleet");
+    let spool = dir.join("shard-0-4.ckpt");
+    assert!(spool.exists());
+
+    let clean = try_run_fleet(
+        &cfg,
+        &policy,
+        &stream(43),
+        &SupervisorConfig { watchdog: None, ..SupervisorConfig::default() },
+    )
+    .expect("spool-free reference");
+    let other = try_run_fleet(&cfg, &policy, &stream(43), &sup(&dir, 2)).expect("second fleet");
+
+    // the stale spool must not leak seed-42 results into the seed-43 run
+    assert_eq!(other.per_session, clean.per_session);
+    let mut aside = spool.clone().into_os_string();
+    aside.push(".quarantined");
+    assert!(Path::new(&aside).exists(), "mismatched spool must be kept aside");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -40,9 +40,86 @@ impl Default for GenConfig {
     }
 }
 
+impl GenConfig {
+    /// Debug-assert the knobs are physical: positive duration and
+    /// granularity, finite non-negative latency. Generators call this on
+    /// entry so a bad config fails loudly at the source instead of
+    /// producing a degenerate corpus.
+    fn check(&self) {
+        debug_assert!(
+            self.duration_s > 0.0 && self.duration_s.is_finite(),
+            "GenConfig.duration_s must be positive and finite, got {}",
+            self.duration_s
+        );
+        debug_assert!(
+            self.granularity_s > 0.0 && self.granularity_s.is_finite(),
+            "GenConfig.granularity_s must be positive and finite, got {}",
+            self.granularity_s
+        );
+        debug_assert!(
+            self.latency_ms >= 0.0 && self.latency_ms.is_finite(),
+            "GenConfig.latency_ms must be non-negative and finite, got {}",
+            self.latency_ms
+        );
+    }
+}
+
+/// Floor for generated bandwidth (Mbit/s) — far below every family's
+/// lowest legitimate output (hsdpa outages bottom out at 0.02).
+const MIN_BANDWIDTH_MBPS: f64 = 1e-3;
+/// Floor for generated segment duration (s) — far below the 30 ms CC
+/// interval, the shortest legitimate segment any family emits.
+const MIN_DURATION_S: f64 = 1e-3;
+
+/// Funnel for every generated segment: debug-assert the raw values are
+/// physical, and clamp them in release builds so no family can emit a
+/// degenerate entry (zero/negative bandwidth, zero duration, NaN) that
+/// downstream simulators — and the serving fleet — would have to defend
+/// against a second time. Legitimate outputs sit far above the floors,
+/// so the clamp is bit-transparent for every in-range trace.
+fn sane(seg: Segment) -> Segment {
+    debug_assert!(
+        seg.duration_s >= MIN_DURATION_S && seg.duration_s.is_finite(),
+        "degenerate segment duration {}",
+        seg.duration_s
+    );
+    debug_assert!(
+        seg.bandwidth_mbps >= MIN_BANDWIDTH_MBPS && seg.bandwidth_mbps.is_finite(),
+        "degenerate segment bandwidth {}",
+        seg.bandwidth_mbps
+    );
+    debug_assert!(
+        seg.latency_ms >= 0.0 && seg.latency_ms.is_finite(),
+        "degenerate segment latency {}",
+        seg.latency_ms
+    );
+    debug_assert!(
+        (0.0..=1.0).contains(&seg.loss_rate),
+        "degenerate segment loss rate {}",
+        seg.loss_rate
+    );
+    // not `clamp`: NaN must scrub down to the floor, not propagate
+    fn scrub(v: f64, floor: f64) -> f64 {
+        if v.is_finite() {
+            v.max(floor)
+        } else if v == f64::INFINITY {
+            f64::MAX
+        } else {
+            floor
+        }
+    }
+    Segment {
+        duration_s: scrub(seg.duration_s, MIN_DURATION_S),
+        bandwidth_mbps: scrub(seg.bandwidth_mbps, MIN_BANDWIDTH_MBPS),
+        latency_ms: scrub(seg.latency_ms, 0.0),
+        loss_rate: if seg.loss_rate.is_finite() { seg.loss_rate.clamp(0.0, 1.0) } else { 0.0 },
+    }
+}
+
 /// FCC-broadband-like trace: an AR(1) random walk in log-bandwidth around a
 /// per-trace mean drawn from 1.5–4 Mbit/s, clipped to 0.2–6 Mbit/s.
 pub fn fcc_like(seed: u64, cfg: &GenConfig) -> Trace {
+    cfg.check();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xfcc0_0000_0000_0000);
     let mean_log = rng.gen_range(1.5_f64..4.0).ln();
     let mut level = mean_log + rng.gen_range(-0.15..0.15);
@@ -52,7 +129,7 @@ pub fn fcc_like(seed: u64, cfg: &GenConfig) -> Trace {
         // slow mean reversion + small innovation: calm fixed-line behaviour
         level += 0.2 * (mean_log - level) + rng.gen_range(-0.08..0.08);
         let bw = level.exp().clamp(0.2, 6.0);
-        segments.push(Segment::bw(cfg.granularity_s, bw, cfg.latency_ms));
+        segments.push(sane(Segment::bw(cfg.granularity_s, bw, cfg.latency_ms)));
     }
     Trace::new(format!("fcc-like-{seed}"), segments)
 }
@@ -63,6 +140,7 @@ pub fn fcc_like(seed: u64, cfg: &GenConfig) -> Trace {
 /// `Outage` (0.03–0.15 Mbit/s, e.g. tunnels). Dwell times are geometric;
 /// within a state the bandwidth jitters multiplicatively each segment.
 pub fn hsdpa_like(seed: u64, cfg: &GenConfig) -> Trace {
+    cfg.check();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x3600_0000_0000_0000);
     #[derive(Clone, Copy, PartialEq)]
     enum State {
@@ -100,7 +178,7 @@ pub fn hsdpa_like(seed: u64, cfg: &GenConfig) -> Trace {
         }
         let jitter = rng.gen_range(0.6_f64..1.5);
         let bw = (base * jitter).clamp(0.02, 6.0);
-        segments.push(Segment::bw(cfg.granularity_s, bw, cfg.latency_ms));
+        segments.push(sane(Segment::bw(cfg.granularity_s, bw, cfg.latency_ms)));
     }
     Trace::new(format!("hsdpa-like-{seed}"), segments)
 }
@@ -116,7 +194,7 @@ pub fn random_abr_trace(
 ) -> Trace {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xab00_0000_0000_0000);
     let segments = (0..n_segments)
-        .map(|_| Segment::bw(granularity_s, rng.gen_range(0.8..4.8), latency_ms))
+        .map(|_| sane(Segment::bw(granularity_s, rng.gen_range(0.8..4.8), latency_ms)))
         .collect();
     Trace::new(format!("random-abr-{seed}"), segments)
 }
@@ -126,11 +204,13 @@ pub fn random_abr_trace(
 pub fn random_cc_trace(seed: u64, n_intervals: usize) -> Trace {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xcc00_0000_0000_0000);
     let segments = (0..n_intervals)
-        .map(|_| Segment {
-            duration_s: 0.030,
-            bandwidth_mbps: rng.gen_range(6.0..24.0),
-            latency_ms: rng.gen_range(15.0..60.0),
-            loss_rate: rng.gen_range(0.0..0.10),
+        .map(|_| {
+            sane(Segment {
+                duration_s: 0.030,
+                bandwidth_mbps: rng.gen_range(6.0..24.0),
+                latency_ms: rng.gen_range(15.0..60.0),
+                loss_rate: rng.gen_range(0.0..0.10),
+            })
         })
         .collect();
     Trace::new(format!("random-cc-{seed}"), segments)
@@ -146,6 +226,7 @@ pub fn random_cc_trace(seed: u64, n_intervals: usize) -> Trace {
 /// fleet-scale evaluation stream hundreds of thousands of hostile traces
 /// without training (or storing) an adversary per trace.
 pub fn adversarial_like(seed: u64, cfg: &GenConfig) -> Trace {
+    cfg.check();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xadfe_0000_0000_0000);
     let n = (cfg.duration_s / cfg.granularity_s).ceil() as usize;
     let mut segments = Vec::with_capacity(n);
@@ -158,7 +239,7 @@ pub fn adversarial_like(seed: u64, cfg: &GenConfig) -> Trace {
                 break;
             }
             let jitter = rng.gen_range(0.92_f64..1.0);
-            segments.push(Segment::bw(cfg.granularity_s, high * jitter, cfg.latency_ms));
+            segments.push(sane(Segment::bw(cfg.granularity_s, high * jitter, cfg.latency_ms)));
         }
         // drop: 2–5 segments pinned to the bottom of the range
         let drop = rng.gen_range(2..=5usize);
@@ -167,7 +248,7 @@ pub fn adversarial_like(seed: u64, cfg: &GenConfig) -> Trace {
             if segments.len() >= n {
                 break;
             }
-            segments.push(Segment::bw(cfg.granularity_s, low, cfg.latency_ms));
+            segments.push(sane(Segment::bw(cfg.granularity_s, low, cfg.latency_ms)));
         }
     }
     Trace::new(format!("adversarial-like-{seed}"), segments)
@@ -357,6 +438,37 @@ mod tests {
         // the stream never ends (spot-check a far index works)
         let far = TraceStream::new(TraceFamily::FccLike, 0, cfg).nth_trace(250_000);
         far.validate();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "granularity_s")]
+    fn degenerate_config_asserts_in_debug() {
+        let cfg = GenConfig { duration_s: 320.0, granularity_s: 0.0, latency_ms: 40.0 };
+        fcc_like(0, &cfg);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn degenerate_segments_clamped_in_release() {
+        // release builds scrub instead of asserting: zero/negative/NaN
+        // inputs come out at the floors, never degenerate
+        let s = sane(Segment {
+            duration_s: 0.0,
+            bandwidth_mbps: -1.0,
+            latency_ms: f64::NAN,
+            loss_rate: 2.0,
+        });
+        assert!(s.duration_s >= MIN_DURATION_S);
+        assert!(s.bandwidth_mbps >= MIN_BANDWIDTH_MBPS);
+        assert!(s.latency_ms >= 0.0 && s.latency_ms.is_finite());
+        assert!((0.0..=1.0).contains(&s.loss_rate));
+    }
+
+    #[test]
+    fn sane_is_bit_transparent_for_physical_segments() {
+        let seg = Segment::bw(4.0, 2.5, 40.0);
+        assert_eq!(sane(seg), seg);
     }
 
     #[test]

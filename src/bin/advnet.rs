@@ -85,6 +85,9 @@ impl AbrPolicy for Proto {
             Proto::Mpc(p) => p.reset(),
         }
     }
+    fn clone_box(&self) -> Box<dyn AbrPolicy + Send> {
+        Box::new(self.clone())
+    }
 }
 
 fn parse<T: std::str::FromStr>(args: &[String], i: usize, default: T) -> T {

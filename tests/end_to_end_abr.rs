@@ -117,6 +117,7 @@ fn eq1_reward_vanishes_for_optimal_play() {
 
     // an "oracle" protocol that plays the DP-optimal schedule for the
     // constant-bandwidth trace we are about to feed
+    #[derive(Clone)]
     struct Oracle {
         schedule: Vec<usize>,
         i: usize,
@@ -132,6 +133,9 @@ fn eq1_reward_vanishes_for_optimal_play() {
         }
         fn reset(&mut self) {
             self.i = 0;
+        }
+        fn clone_box(&self) -> Box<dyn AbrPolicy + Send> {
+            Box::new(self.clone())
         }
     }
 
