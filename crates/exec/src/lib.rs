@@ -6,18 +6,30 @@
 //! still train bit-for-bit reproducibly, and lets the bench binaries replay
 //! trace sets in parallel while writing byte-identical CSVs.
 //!
-//! Two façades:
+//! All façades run on one process-wide **persistent worker pool**
+//! ([`WorkerPool`]): threads are spawned once, parked between fan-outs, and
+//! handed work by pointer — no per-call spawn, no per-call allocation in
+//! the pool itself (see the [`pool`] module docs for the cost model).
+//!
+//! The façades:
 //!
 //! * [`par_map`] — an order-preserving parallel map over an item list.
-//!   Workers pull items from a shared queue (so an expensive item does not
-//!   stall a fixed shard), tag every result with its input index, and the
-//!   merged output is sorted back into input order.
-//! * [`run_workers`] — fixed worker-per-slot execution for stateful jobs
-//!   (e.g. one cloned environment per worker). Results come back in worker
-//!   order `0..n`, with per-worker wall-clock in [`WorkerStats`].
+//!   Workers claim *chunks* of items from an atomic cursor (so an
+//!   expensive tail doesn't stall a fixed shard, without paying a
+//!   synchronized claim per item) and write results straight into their
+//!   input slots — the output is in input order by construction.
 //! * [`par_map_fold`] — [`par_map`] followed by an in-input-order fold on
 //!   the caller's thread; the order-sensitive-reduction primitive behind
-//!   `rl`'s parallel PPO gradient accumulation.
+//!   gradient-style accumulations.
+//! * [`par_chunks`] — chunked fan-out over **reusable caller-owned
+//!   buffers**: per-worker scratch slots plus per-chunk output buffers,
+//!   claimed via the same stealing cursor. This is the zero-allocation
+//!   fan-out behind `rl`'s parallel PPO gradients: the caller zeroes and
+//!   reuses its buffers across calls and merges chunks in index order.
+//! * [`run_workers`] / [`run_on_slots`] — fixed worker-per-slot execution
+//!   for stateful jobs (e.g. one cloned environment per worker). Results
+//!   come back in worker order `0..n`, with per-worker wall-clock in
+//!   [`WorkerStats`].
 //!
 //! Randomness is decorrelated across workers with [`split_seed`], a
 //! SplitMix64-style mixer: worker `w` seeds its own `StdRng` from
@@ -32,10 +44,16 @@
 //! (per item attempt) let `ADVNET_FAULT_PLAN` inject panics and stalls
 //! right where the retry machinery must absorb them.
 //!
-//! Built on `std::thread::scope` only — no runtime dependencies.
+//! Pure `std` — no runtime dependencies.
 
 #![warn(missing_docs)]
 
+pub mod pool;
+
+pub use pool::{on_pool_thread, WorkerPool};
+
+use pool::{chunk_len, record_claims, ChunkCursor};
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -98,6 +116,57 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// A `Vec` of optional values that pool participants fill (or drain) at
+/// disjoint indices. The unsafe cell is what lets workers write results
+/// directly into input order without a lock or a sort; exclusivity comes
+/// from the chunk/participant claim discipline of every caller.
+struct OptCells<T>(Vec<UnsafeCell<Option<T>>>);
+
+unsafe impl<T: Send> Sync for OptCells<T> {}
+
+impl<T> OptCells<T> {
+    fn filled(items: impl Iterator<Item = T>) -> OptCells<T> {
+        OptCells(items.map(|t| UnsafeCell::new(Some(t))).collect())
+    }
+
+    fn empty(n: usize) -> OptCells<T> {
+        OptCells((0..n).map(|_| UnsafeCell::new(None)).collect())
+    }
+
+    /// # Safety
+    /// The caller must hold the exclusive claim on index `i`.
+    unsafe fn take(&self, i: usize) -> Option<T> {
+        (*self.0[i].get()).take()
+    }
+
+    /// # Safety
+    /// The caller must hold the exclusive claim on index `i`.
+    unsafe fn put(&self, i: usize, v: T) {
+        *self.0[i].get() = Some(v);
+    }
+
+    fn into_values(self) -> impl Iterator<Item = Option<T>> {
+        self.0.into_iter().map(|c| c.into_inner())
+    }
+}
+
+/// A raw `*mut T` that participants offset by their claimed index;
+/// `Send` + `Sync` so a pool job can capture it. Exclusivity comes from
+/// the claim discipline (each participant/chunk index is claimed once).
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// # Safety
+    /// The caller must hold the exclusive claim on index `i` and `i` must
+    /// be in bounds of the underlying slice.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn at(&self, i: usize) -> &mut T {
+        &mut *self.0.add(i)
+    }
+}
+
 /// Per-worker execution record from one [`run_workers`] call.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WorkerStats {
@@ -127,6 +196,11 @@ pub struct WorkerRun<R> {
 /// seeds and nearby stream ids both map to uncorrelated outputs, unlike the
 /// `seed ^ stream` folk scheme where streams of seed `s` and seed `s ^ 1`
 /// collide pairwise.
+///
+/// ```
+/// // streams are decorrelated and asymmetric in (seed, stream)
+/// assert_ne!(exec::split_seed(2, 3), exec::split_seed(3, 2));
+/// ```
 pub fn split_seed(seed: u64, stream: u64) -> u64 {
     let mut z = seed.wrapping_add(stream.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -148,11 +222,18 @@ pub fn default_workers() -> usize {
 
 /// Parallel map preserving input order.
 ///
-/// Applies `f` to every item on up to `n_workers` threads and returns the
-/// outputs in input order. `f` receives `(input_index, item)`; use the
+/// Applies `f` to every item on up to `n_workers` pool threads and returns
+/// the outputs in input order. `f` receives `(input_index, item)`; use the
 /// index with [`split_seed`] when per-item randomness is needed. With
 /// `n_workers <= 1` (or one item) everything runs inline on the caller's
 /// thread — the serial path and the parallel path produce identical output.
+///
+/// Work is distributed in chunks of several items claimed from an atomic
+/// cursor: cheaper than a per-item claim, while still letting an idle
+/// worker steal the tail of a straggler's range (`exec.pool.steals`
+/// counts those). Each worker writes results directly into the output
+/// slot of the item's input index, so no post-hoc sort is needed and the
+/// merge cannot depend on scheduling.
 ///
 /// Panics in `f` propagate to the caller after all workers stop.
 pub fn par_map<T, U, F>(items: Vec<T>, n_workers: usize, f: F) -> Vec<U>
@@ -167,69 +248,50 @@ where
     if workers <= 1 {
         return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
-
-    // shared pull queue: an expensive item never stalls a fixed shard,
-    // and the index tag makes the merge scheduling-independent
-    let queue = Mutex::new(items.into_iter().enumerate());
-    let mut tagged: Vec<(usize, U)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let telem = telemetry::enabled();
-                    let mut wait_s = 0.0;
-                    let mut local: Vec<(usize, U)> = Vec::new();
-                    loop {
-                        // take the lock only to pull; run f outside it
-                        let next = if telem {
-                            let tq = Instant::now();
-                            let mut guard = queue.lock().expect("exec queue poisoned");
-                            wait_s += tq.elapsed().as_secs_f64();
-                            guard.next()
-                        } else {
-                            queue.lock().expect("exec queue poisoned").next()
-                        };
-                        match next {
-                            Some((i, item)) => local.push((i, f(i, item))),
-                            None => break,
-                        }
-                    }
-                    if telem {
-                        telemetry::observe("exec.queue.wait_s", wait_s);
-                    }
-                    local
-                })
-            })
-            .collect();
-        let mut all = Vec::with_capacity(n_items);
-        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for handle in handles {
-            match handle.join() {
-                Ok(local) => all.extend(local),
-                Err(e) => panic = Some(e),
+    let chunk = chunk_len(n_items, workers);
+    let n_chunks = n_items.div_ceil(chunk);
+    let inputs = OptCells::filled(items.into_iter());
+    let outputs: OptCells<U> = OptCells::empty(n_items);
+    let cursor = ChunkCursor::new(n_chunks, workers);
+    WorkerPool::global().run(workers, &|w| {
+        let (mut claimed, mut steals) = (0u64, 0u64);
+        while let Some((c, stolen)) = cursor.claim(w) {
+            claimed += 1;
+            steals += stolen as u64;
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n_items);
+            for i in lo..hi {
+                // SAFETY: chunk c is claimed exactly once, so index i is
+                // touched by exactly one participant.
+                let item = unsafe { inputs.take(i) }.expect("each item is taken once");
+                let out = f(i, item);
+                unsafe { outputs.put(i, out) };
             }
         }
-        if let Some(e) = panic {
-            std::panic::resume_unwind(e);
-        }
-        all
+        record_claims(claimed, steals);
     });
-    tagged.sort_unstable_by_key(|(i, _)| *i);
-    debug_assert_eq!(tagged.len(), n_items);
-    tagged.into_iter().map(|(_, u)| u).collect()
+    outputs.into_values().map(|o| o.expect("every chunk was drained")).collect()
 }
 
 /// Parallel map with a deterministic in-order fold — the gradient
-/// accumulation primitive behind `rl`'s parallel PPO minibatch updates.
+/// accumulation primitive behind order-sensitive reductions.
 ///
-/// `map` runs over the items on up to `n_workers` threads via [`par_map`];
-/// the per-item outputs are then folded into `init` **in input order** on
-/// the caller's thread. Floating-point reduction is order-sensitive, so
-/// folding in input order — never slot or completion order — makes the
-/// result a pure function of the inputs: the same bits come back for every
-/// worker count, including the inline `n_workers <= 1` path. This is how a
-/// minibatch split across workers produces gradients bit-identical to a
-/// serial sweep: workers map samples to per-sample gradient buffers, and
-/// the fold adds them in global sample order.
+/// `map` runs over the items on up to `n_workers` pool threads via
+/// [`par_map`]; the per-item outputs are then folded into `init` **in
+/// input order** on the caller's thread. Floating-point reduction is
+/// order-sensitive, so folding in input order — never slot or completion
+/// order — makes the result a pure function of the inputs: the same bits
+/// come back for every worker count, including the inline
+/// `n_workers <= 1` path.
+///
+/// ```
+/// // an order-sensitive float reduction: same bits at every worker count
+/// let items: Vec<f64> = (0..64).map(|i| (i as f64).sin() * 1e3f64.powi(i % 3)).collect();
+/// let sum = |workers| {
+///     exec::par_map_fold(items.clone(), workers, |_, x| x * 0.5, 0.0_f64, |acc, x| acc + x)
+/// };
+/// assert_eq!(sum(1).to_bits(), sum(4).to_bits());
+/// ```
 ///
 /// Registers the `exec.grad_accum` fault point once per call before the
 /// fold, so a plan like `panic@exec.grad_accum:1` crashes the merge step
@@ -248,6 +310,65 @@ where
         let _ = fault::check("exec.grad_accum");
     }
     mapped.into_iter().fold(init, fold)
+}
+
+/// Chunked fan-out over reusable caller-owned buffers: the
+/// zero-allocation sibling of [`par_map_fold`].
+///
+/// `slots` is per-worker scratch (forward caches, RNGs, …): participant
+/// `w` gets exclusive `&mut slots[w]` for the whole call. `chunks` is one
+/// reusable output buffer per work chunk; workers claim chunk indices
+/// from a stealing cursor and fill `f(chunk_idx, &mut chunks[chunk_idx],
+/// &mut slots[w])`. When the call returns, every chunk has been filled
+/// exactly once and the caller merges `chunks` **in index order** — which
+/// is what keeps order-sensitive (floating-point) merges bit-identical at
+/// every worker count.
+///
+/// Nothing is allocated here and nothing is cloned: buffers live across
+/// calls in the caller (zeroed or overwritten by `f`), which is what
+/// removes the per-sample `alloc + free` traffic that made the original
+/// fan-out slower than serial.
+///
+/// With one slot (or fewer than two chunks) everything runs inline on the
+/// caller's thread, bit-identical to the parallel path.
+///
+/// Panics in `f` propagate after all workers stop.
+pub fn par_chunks<S, C, F>(slots: &mut [S], chunks: &mut [C], f: F)
+where
+    S: Send,
+    C: Send,
+    F: Fn(usize, &mut C, &mut S) + Sync,
+{
+    let n_chunks = chunks.len();
+    if n_chunks == 0 {
+        return;
+    }
+    assert!(!slots.is_empty(), "par_chunks: at least one worker slot is required");
+    let workers = slots.len().min(n_chunks);
+    if workers <= 1 {
+        let slot = &mut slots[0];
+        for (c, chunk) in chunks.iter_mut().enumerate() {
+            f(c, chunk, slot);
+        }
+        return;
+    }
+    let slot_ptr = SendPtr(slots.as_mut_ptr());
+    let chunk_ptr = SendPtr(chunks.as_mut_ptr());
+    let cursor = ChunkCursor::new(n_chunks, workers);
+    WorkerPool::global().run(workers, &|w| {
+        // SAFETY: each participant index w runs exactly once per region,
+        // so slot w has a single exclusive borrower.
+        let slot = unsafe { slot_ptr.at(w) };
+        let (mut claimed, mut steals) = (0u64, 0u64);
+        while let Some((c, stolen)) = cursor.claim(w) {
+            claimed += 1;
+            steals += stolen as u64;
+            // SAFETY: chunk c is claimed exactly once across participants.
+            let chunk = unsafe { chunk_ptr.at(c) };
+            f(c, chunk, slot);
+        }
+        record_claims(claimed, steals);
+    });
 }
 
 /// Fault-isolated [`par_map`]: every job runs under `catch_unwind`, a
@@ -317,48 +438,38 @@ where
         }
         return Ok(out);
     }
-    let queue = Mutex::new(items.into_iter().enumerate());
-    let mut oks: Vec<(usize, U)> = Vec::with_capacity(n_items);
-    let mut first_err: Option<ExecError> = None;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local_ok: Vec<(usize, U)> = Vec::new();
-                    let mut local_err: Option<ExecError> = None;
-                    loop {
-                        let next = queue.lock().expect("exec queue poisoned").next();
-                        match next {
-                            Some((i, item)) => match run_one(i, item) {
-                                Ok(u) => local_ok.push((i, u)),
-                                Err(e) => {
-                                    local_err = Some(e);
-                                    break;
-                                }
-                            },
-                            None => break,
+    let chunk = chunk_len(n_items, workers);
+    let n_chunks = n_items.div_ceil(chunk);
+    let inputs = OptCells::filled(items.into_iter());
+    let outputs: OptCells<U> = OptCells::empty(n_items);
+    let cursor = ChunkCursor::new(n_chunks, workers);
+    let first_err: Mutex<Option<ExecError>> = Mutex::new(None);
+    WorkerPool::global().run(workers, &|w| {
+        'claims: while let Some((c, _stolen)) = cursor.claim(w) {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n_items);
+            for i in lo..hi {
+                // SAFETY: chunk c is claimed exactly once.
+                let item = unsafe { inputs.take(i) }.expect("each item is taken once");
+                match run_one(i, item) {
+                    Ok(u) => unsafe { outputs.put(i, u) },
+                    Err(e) => {
+                        let mut slot = first_err.lock().expect("exec error slot poisoned");
+                        if slot.as_ref().map(|p| e.index < p.index).unwrap_or(true) {
+                            *slot = Some(e);
                         }
+                        break 'claims;
                     }
-                    (local_ok, local_err)
-                })
-            })
-            .collect();
-        for handle in handles {
-            let (local_ok, local_err) = handle.join().expect("worker threads never unwind");
-            oks.extend(local_ok);
-            if let Some(e) = local_err {
-                if first_err.as_ref().map(|p| e.index < p.index).unwrap_or(true) {
-                    first_err = Some(e);
                 }
             }
         }
     });
-    if let Some(e) = first_err {
+    if let Some(e) = first_err.into_inner().expect("exec error slot poisoned") {
         return Err(e);
     }
-    oks.sort_unstable_by_key(|(i, _)| *i);
-    debug_assert_eq!(oks.len(), n_items);
-    Ok(oks.into_iter().map(|(_, u)| u).collect())
+    let out: Vec<U> = outputs.into_values().map(|o| o.expect("every chunk was drained")).collect();
+    debug_assert_eq!(out.len(), n_items);
+    Ok(out)
 }
 
 /// Per-slot utilization telemetry for one fan-out: every slot's wall time
@@ -376,14 +487,15 @@ fn record_slot_stats(stats: &[WorkerStats]) {
     }
 }
 
-/// Run `job(worker, &mut slots[worker])` once per slot, in parallel,
-/// returning results in slot order plus per-worker wall-clock stats.
+/// Run `job(worker, &mut slots[worker])` once per slot, in parallel on the
+/// pool, returning results in slot order plus per-worker wall-clock stats.
 ///
 /// The stateful sibling of [`run_workers`]: each worker gets exclusive
 /// `&mut` access to its own slot (a cloned environment, an RNG, carried
 /// observations…), which persists across calls. Used by
 /// `rl::Ppo::train_vec`, where slot `w` holds environment clone `w` and its
-/// `split_seed`-derived RNG stream.
+/// `split_seed`-derived RNG stream, and by the serving fleet, where slot
+/// `w` is a session shard.
 ///
 /// With one slot the job runs inline on the caller's thread.
 pub fn run_on_slots<S, R, F>(slots: &mut [S], job: F) -> WorkerRun<R>
@@ -393,7 +505,8 @@ where
     F: Fn(usize, &mut S) -> R + Sync,
 {
     let _span = telemetry::span!("exec.slots");
-    if slots.len() <= 1 {
+    let n = slots.len();
+    if n <= 1 {
         let t0 = Instant::now();
         let results: Vec<R> = slots.iter_mut().enumerate().map(|(w, slot)| job(w, slot)).collect();
         let stats: Vec<WorkerStats> = results
@@ -408,37 +521,19 @@ where
         record_slot_stats(&stats);
         return WorkerRun { results, stats };
     }
-    let outcomes: Vec<(R, f64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = slots
-            .iter_mut()
-            .enumerate()
-            .map(|(w, slot)| {
-                let job = &job;
-                scope.spawn(move || {
-                    let t0 = Instant::now();
-                    let result = job(w, slot);
-                    (result, t0.elapsed().as_secs_f64())
-                })
-            })
-            .collect();
-        let mut out = Vec::with_capacity(handles.len());
-        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for handle in handles {
-            match handle.join() {
-                Ok(v) => out.push(v),
-                Err(e) => panic = Some(e),
-            }
-        }
-        if let Some(e) = panic {
-            std::panic::resume_unwind(e);
-        }
-        out
+    let slot_ptr = SendPtr(slots.as_mut_ptr());
+    let outcomes: OptCells<(R, f64)> = OptCells::empty(n);
+    WorkerPool::global().run(n, &|w| {
+        let t0 = Instant::now();
+        // SAFETY: participant w runs exactly once; slot w is its exclusive
+        // property for the region.
+        let slot = unsafe { slot_ptr.at(w) };
+        let result = job(w, slot);
+        unsafe { outcomes.put(w, (result, t0.elapsed().as_secs_f64())) };
     });
-    let mut run = WorkerRun {
-        results: Vec::with_capacity(outcomes.len()),
-        stats: Vec::with_capacity(outcomes.len()),
-    };
-    for (w, (result, wall_s)) in outcomes.into_iter().enumerate() {
+    let mut run = WorkerRun { results: Vec::with_capacity(n), stats: Vec::with_capacity(n) };
+    for (w, outcome) in outcomes.into_values().enumerate() {
+        let (result, wall_s) = outcome.expect("every slot ran");
         run.results.push(result);
         run.stats.push(WorkerStats { worker: w, wall_s, attempts: 1 });
     }
@@ -535,13 +630,15 @@ impl Heartbeat<'_> {
 
 /// Fault-isolated, watchdog-supervised [`run_on_slots`].
 ///
-/// Each slot's job runs under `catch_unwind`; a panicked slot is rolled
-/// back to a clone taken before the attempt and retried up to
-/// `backoff.retries` extra times (pausing `backoff.delay(attempt)`
+/// Each slot's job runs under `catch_unwind` on a pool thread; a panicked
+/// slot is rolled back to a clone taken before the attempt and retried up
+/// to `backoff.retries` extra times (pausing `backoff.delay(attempt)`
 /// between attempts). The deterministic slot-order merge is unchanged,
 /// and a slot that exhausts its budget surfaces as a structured
 /// [`ExecError`] (lowest slot index wins when several fail) instead of
-/// poisoning the whole fan-out.
+/// poisoning the whole fan-out. A cancelled or panicked attempt never
+/// costs a pool thread: the unwind is caught on the worker, which simply
+/// claims the next piece of work (see `pool` module docs).
 ///
 /// When `watchdog` is `Some`, a monitor thread scans every slot's
 /// [`Heartbeat`] each `poll` and cancels any slot whose last beat is
@@ -549,7 +646,9 @@ impl Heartbeat<'_> {
 /// mid-[`stall_for`](Heartbeat::stall_for)) and re-runs under the same
 /// rollback path — so a stalled slot completes with the same merged
 /// result as a stall-free run, provided the job beats and is
-/// deterministic.
+/// deterministic. The monitor runs on a short-lived scoped thread of its
+/// own (one per call, not per attempt), so supervision works even when
+/// the slot jobs execute inline.
 ///
 /// Every attempt registers the `exec.worker.<w>` fault point:
 /// `panic@exec.worker.1:2` crashes slot 1's second attempt, and
@@ -573,7 +672,8 @@ where
 {
     let _span = telemetry::span!("exec.slots");
     let epoch = Instant::now();
-    let mons: Vec<SlotMon> = (0..slots.len()).map(|_| SlotMon::new()).collect();
+    let n = slots.len();
+    let mons: Vec<SlotMon> = (0..n).map(|_| SlotMon::new()).collect();
     let run_one = |w: usize, slot: &mut S, mon: &SlotMon| -> Result<(R, f64, usize), ExecError> {
         let t0 = Instant::now();
         let backup = if backoff.retries > 0 { Some(slot.clone()) } else { None };
@@ -619,7 +719,7 @@ where
             }
         }
     };
-    let inline = slots.len() <= 1 && watchdog.is_none();
+    let inline = n <= 1 && watchdog.is_none();
     let outcomes: Vec<Result<(R, f64, usize), ExecError>> = if inline {
         slots
             .iter_mut()
@@ -628,16 +728,9 @@ where
             .map(|(w, (slot, mon))| run_one(w, slot, mon))
             .collect()
     } else {
+        let slot_ptr = SendPtr(slots.as_mut_ptr());
+        let outs: OptCells<Result<(R, f64, usize), ExecError>> = OptCells::empty(n);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = slots
-                .iter_mut()
-                .zip(&mons)
-                .enumerate()
-                .map(|(w, (slot, mon))| {
-                    let run_one = &run_one;
-                    scope.spawn(move || run_one(w, slot, mon))
-                })
-                .collect();
             if let Some(cfg) = watchdog {
                 let mons = &mons;
                 scope.spawn(move || {
@@ -662,8 +755,14 @@ where
                     }
                 });
             }
-            handles.into_iter().map(|h| h.join().expect("worker threads never unwind")).collect()
-        })
+            WorkerPool::global().run(n, &|w| {
+                // SAFETY: participant w runs exactly once per region.
+                let slot = unsafe { slot_ptr.at(w) };
+                let out = run_one(w, slot, &mons[w]);
+                unsafe { outs.put(w, out) };
+            });
+        });
+        outs.into_values().map(|o| o.expect("every slot ran")).collect()
     };
     let mut run = WorkerRun {
         results: Vec::with_capacity(outcomes.len()),
@@ -694,8 +793,9 @@ where
     run_on_slots_watchdog(slots, backoff, None, |w, slot, _hb| job(w, slot))
 }
 
-/// Run `job(worker)` once per worker slot `0..n_workers`, in parallel,
-/// returning results in slot order plus per-worker wall-clock stats.
+/// Run `job(worker)` once per worker slot `0..n_workers`, in parallel on
+/// the pool, returning results in slot order plus per-worker wall-clock
+/// stats.
 ///
 /// This is the façade for stateful jobs that own a slot-indexed resource —
 /// e.g. rollout collection where worker `w` steps its own cloned
@@ -721,32 +821,16 @@ where
         record_slot_stats(&run.stats);
         return run;
     }
-    let mut run = WorkerRun { results: Vec::with_capacity(n), stats: Vec::with_capacity(n) };
-    let outcomes: Vec<(R, f64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n)
-            .map(|w| {
-                let job = &job;
-                scope.spawn(move || {
-                    let t0 = Instant::now();
-                    let result = job(w);
-                    (result, t0.elapsed().as_secs_f64())
-                })
-            })
-            .collect();
-        let mut out = Vec::with_capacity(n);
-        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for handle in handles {
-            match handle.join() {
-                Ok(v) => out.push(v),
-                Err(e) => panic = Some(e),
-            }
-        }
-        if let Some(e) = panic {
-            std::panic::resume_unwind(e);
-        }
-        out
+    let outcomes: OptCells<(R, f64)> = OptCells::empty(n);
+    WorkerPool::global().run(n, &|w| {
+        let t0 = Instant::now();
+        let result = job(w);
+        // SAFETY: participant w runs exactly once per region.
+        unsafe { outcomes.put(w, (result, t0.elapsed().as_secs_f64())) };
     });
-    for (w, (result, wall_s)) in outcomes.into_iter().enumerate() {
+    let mut run = WorkerRun { results: Vec::with_capacity(n), stats: Vec::with_capacity(n) };
+    for (w, outcome) in outcomes.into_values().enumerate() {
+        let (result, wall_s) = outcome.expect("every worker ran");
         run.results.push(result);
         run.stats.push(WorkerStats { worker: w, wall_s, attempts: 1 });
     }
@@ -809,6 +893,67 @@ mod tests {
         for workers in [2, 3, 4, 8] {
             assert_eq!(run(workers).to_bits(), serial.to_bits(), "{workers} workers");
         }
+    }
+
+    #[test]
+    fn par_map_fold_reused_pool_is_bit_identical_to_fresh() {
+        // The global pool's threads persist across calls; repeated calls
+        // (warm pool, reused threads) must keep producing the serial bits.
+        let items: Vec<f64> =
+            (0..150).map(|i| (i as f64 * 1.3).cos() * 10f64.powi(i % 5)).collect();
+        let run = |workers: usize| {
+            par_map_fold(items.clone(), workers, |_, x| x + 1.0e-9, 0.0_f64, |acc, x| acc + x)
+        };
+        let serial = run(1);
+        for round in 0..20 {
+            assert_eq!(run(4).to_bits(), serial.to_bits(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_fills_every_chunk_once() {
+        let mut slots = vec![0u64; 4];
+        let mut chunks = vec![0u64; 13];
+        par_chunks(&mut slots, &mut chunks, |c, chunk, slot| {
+            *chunk += (c as u64 + 1) * 10;
+            *slot += 1;
+        });
+        let expect: Vec<u64> = (0..13).map(|c| (c + 1) * 10).collect();
+        assert_eq!(chunks, expect, "each chunk filled exactly once");
+        assert_eq!(slots.iter().sum::<u64>(), 13, "every claim used a worker slot");
+    }
+
+    #[test]
+    fn par_chunks_results_independent_of_slot_count() {
+        // Chunk contents must be a pure function of the chunk index, never
+        // of which worker slot computed it or how many there were.
+        let fill = |n_slots: usize| {
+            let mut slots = vec![(); n_slots];
+            let mut chunks = vec![0.0f64; 9];
+            par_chunks(&mut slots, &mut chunks, |c, chunk, _slot| {
+                *chunk = (c as f64 * 0.37).sin() * 1e6;
+            });
+            chunks
+        };
+        let serial = fill(1);
+        for n_slots in [2, 3, 8] {
+            let par = fill(n_slots);
+            for (c, (a, b)) in par.iter().zip(serial.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{n_slots} slots, chunk {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_propagates_panics() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut slots = vec![(); 3];
+            let mut chunks = vec![0u32; 8];
+            par_chunks(&mut slots, &mut chunks, |c, _chunk, _slot| {
+                assert!(c != 5, "chunk 5 dies");
+            });
+        }));
+        assert!(result.is_err());
     }
 
     #[test]
@@ -981,6 +1126,39 @@ mod tests {
         assert_eq!(stalls.load(Ordering::SeqCst), 2, "slot 1 ran twice: stalled, then retried");
         assert_eq!(run.results, reference.results, "recovered run must merge identically");
         assert_eq!(slots, ref_slots, "slot state must match a stall-free run");
+    }
+
+    #[test]
+    fn watchdog_cancelled_slot_rejoins_the_pool_cleanly() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // One stalled-then-cancelled attempt must not wedge or leak the
+        // pool thread it ran on: follow-up fan-outs over the same slots
+        // complete with first-attempt stats and identical results.
+        let stalls = AtomicUsize::new(0);
+        let job = |w: usize, slot: &mut u64, hb: &Heartbeat| {
+            if w == 1 && stalls.fetch_add(1, Ordering::SeqCst) == 0 {
+                hb.stall_for(Duration::from_secs(10));
+            }
+            hb.beat();
+            *slot += 1;
+            w as u64 + *slot
+        };
+        let cfg = WatchdogConfig::with_timeout_ms(40);
+        let mut slots: Vec<u64> = vec![10, 20, 30];
+        let first =
+            run_on_slots_watchdog(&mut slots, &fault::Backoff::none(2), Some(&cfg), job).unwrap();
+        assert_eq!(first.results, vec![11, 22, 33]);
+        assert_eq!(first.stats[1].attempts, 2, "slot 1 was cancelled once, then re-run");
+        // The pool threads that absorbed the cancellation panic keep
+        // serving: re-run the same fan-out (now stall-free) twice.
+        for round in 0..2u64 {
+            let again =
+                run_on_slots_watchdog(&mut slots, &fault::Backoff::none(2), Some(&cfg), job)
+                    .unwrap();
+            let bump = round + 2;
+            assert_eq!(again.results, vec![10 + bump, 21 + bump, 32 + bump], "round {round}");
+            assert!(again.stats.iter().all(|s| s.attempts == 1), "round {round} stall-free");
+        }
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! Persistent worker pool: long-lived parked threads that work regions are
+//! posted to, replacing the per-call `std::thread::scope` spawns the engine
+//! started with.
+//!
+//! # Why a pool
+//!
+//! The PPO update phase fans a ~100-sample minibatch out to workers
+//! hundreds of times per second. Spawning OS threads per fan-out costs
+//! tens of microseconds each — comparable to the work itself for small
+//! minibatches — which is how the original engine measured parallel
+//! updates at *0.17×* serial speed. A pool spawns each worker thread once
+//! per process, parks it on a condvar between regions, and hands it work
+//! by pointer: posting a region costs one mutex round-trip and a wake-up
+//! instead of N spawns and N joins.
+//!
+//! # Execution model
+//!
+//! A **region** is a batch of `participants` job invocations
+//! `job(0), …, job(participants - 1)` that all run to completion before
+//! [`WorkerPool::run`] returns. One region is active at a time per pool;
+//! concurrent callers queue deterministically on the region slot (results
+//! never depend on the interleaving, because every region's merge is
+//! ordered by participant index, not completion time). Pool threads claim
+//! participant indices from the active region; a thread that finishes one
+//! participant claims the next unclaimed one, so a slow wake-up never
+//! strands work.
+//!
+//! Panics inside `job` are caught per participant and re-thrown on the
+//! caller's thread after the whole region drains — the lowest participant
+//! index wins when several panic, which keeps error reporting independent
+//! of scheduling.
+//!
+//! A `job` running *on* a pool thread (a nested fan-out) executes inline
+//! and sequentially on that thread instead of posting a region: the region
+//! slot is held by its own enclosing region, and waiting on it would
+//! deadlock. Inline execution produces identical results by the crate's
+//! determinism contract.
+//!
+//! # Telemetry
+//!
+//! * `exec.pool.spawned` — pool threads created (should plateau fast).
+//! * `exec.pool.threads` — current pool size (gauge).
+//! * `exec.pool.regions` — regions executed.
+//! * `exec.pool.occupancy` — participants per region / pool size
+//!   (histogram; 1.0 means the whole pool was used).
+//! * `exec.pool.steals` / `exec.pool.chunks` — chunk-claim accounting from
+//!   the chunked façades ([`crate::par_map`], [`crate::par_chunks`]): a
+//!   "steal" is a chunk claimed by a participant other than its home
+//!   `chunk % participants` slot.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+thread_local! {
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `true` on threads owned by a [`WorkerPool`]. Fan-outs started from a
+/// pool thread run inline (see the module docs on nested regions).
+pub fn on_pool_thread() -> bool {
+    IN_POOL_WORKER.with(|c| c.get())
+}
+
+/// Lifetime-erased pointer to a region's job closure. Sound because
+/// [`WorkerPool::run`] blocks until every participant has finished, so the
+/// borrowed closure outlives every dereference.
+#[derive(Clone, Copy)]
+struct RawJob(*const (dyn Fn(usize) + Sync + 'static));
+unsafe impl Send for RawJob {}
+
+/// One posted batch of work: `job(w)` for every `w < participants`.
+struct Region {
+    job: RawJob,
+    participants: usize,
+    /// Next unclaimed participant index.
+    next: usize,
+    /// Participants that have finished (ok or panicked).
+    finished: usize,
+    /// Caught panic payloads, tagged by participant index.
+    panics: Vec<(usize, Box<dyn Any + Send>)>,
+}
+
+struct PoolState {
+    region: Option<Region>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers park here while no region has unclaimed participants.
+    work_cv: Condvar,
+    /// Callers park here, both for the region slot and for completion.
+    done_cv: Condvar,
+}
+
+/// A persistent pool of worker threads (see the module docs).
+///
+/// All of this crate's façades run on one process-wide pool
+/// ([`WorkerPool::global`]); independent pools exist for tests and for
+/// callers that need isolation:
+///
+/// ```
+/// let pool = exec::WorkerPool::new();
+/// let hits = std::sync::atomic::AtomicUsize::new(0);
+/// pool.run(4, &|_worker| {
+///     hits.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+/// });
+/// assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 4);
+/// // threads persist, parked, for the next region
+/// assert_eq!(pool.threads(), 4);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkerPool {
+    /// An empty pool; threads are spawned on demand by [`WorkerPool::run`]
+    /// and live until the pool is dropped.
+    pub fn new() -> WorkerPool {
+        WorkerPool {
+            shared: Arc::new(Shared {
+                state: Mutex::new(PoolState { region: None, shutdown: false }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+            }),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The process-wide pool every façade in this crate runs on. Grows to
+    /// the largest worker count ever requested and never shrinks (parked
+    /// threads cost only their stacks).
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(WorkerPool::new)
+    }
+
+    /// Current number of pool threads (spawned so far, all parked or
+    /// working).
+    pub fn threads(&self) -> usize {
+        self.handles.lock().expect("pool handles lock poisoned").len()
+    }
+
+    fn ensure_threads(&self, want: usize) {
+        let mut handles = self.handles.lock().expect("pool handles lock poisoned");
+        while handles.len() < want {
+            let shared = Arc::clone(&self.shared);
+            let idx = handles.len();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("exec-pool-{idx}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn exec pool worker"),
+            );
+            telemetry::counter_add("exec.pool.spawned", 1);
+        }
+        if telemetry::enabled() {
+            telemetry::gauge_set("exec.pool.threads", handles.len() as f64);
+        }
+    }
+
+    /// Execute `job(0), …, job(participants - 1)` concurrently on pool
+    /// threads and return once all have finished.
+    ///
+    /// Each participant index runs exactly once. With `participants <= 1`,
+    /// or when called from a pool thread (nested region), the jobs run
+    /// inline and sequentially on the calling thread — same results, by
+    /// the determinism contract. A panic in any `job` resurfaces on the
+    /// caller's thread after the region drains; when several participants
+    /// panic, the lowest index's payload is re-thrown.
+    pub fn run(&self, participants: usize, job: &(dyn Fn(usize) + Sync)) {
+        if participants == 0 {
+            return;
+        }
+        if participants == 1 || on_pool_thread() {
+            for w in 0..participants {
+                job(w);
+            }
+            return;
+        }
+        self.ensure_threads(participants);
+        if telemetry::enabled() {
+            telemetry::counter_add("exec.pool.regions", 1);
+            let size = self.threads().max(1);
+            telemetry::observe("exec.pool.occupancy", participants as f64 / size as f64);
+        }
+        // SAFETY: this frame blocks until `finished == participants`, so
+        // the erased borrow never outlives the closure it points to.
+        let raw: RawJob = RawJob(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(job)
+        });
+        let mut st = self.shared.state.lock().expect("pool state lock poisoned");
+        while st.region.is_some() {
+            st = self.shared.done_cv.wait(st).expect("pool state lock poisoned");
+        }
+        st.region =
+            Some(Region { job: raw, participants, next: 0, finished: 0, panics: Vec::new() });
+        self.shared.work_cv.notify_all();
+        while st.region.as_ref().map(|r| r.finished < r.participants).unwrap_or(false) {
+            st = self.shared.done_cv.wait(st).expect("pool state lock poisoned");
+        }
+        let region = st.region.take().expect("region is owned by this caller until taken");
+        // Free the region slot for any queued caller.
+        self.shared.done_cv.notify_all();
+        drop(st);
+        let mut panics = region.panics;
+        if !panics.is_empty() {
+            panics.sort_by_key(|(w, _)| *w);
+            let (_, payload) = panics.swap_remove(0);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state lock poisoned");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        let handles =
+            std::mem::take(&mut *self.handles.lock().expect("pool handles lock poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    IN_POOL_WORKER.with(|c| c.set(true));
+    let mut st = shared.state.lock().expect("pool state lock poisoned");
+    loop {
+        if st.shutdown {
+            return;
+        }
+        let claim = st.region.as_mut().and_then(|r| {
+            (r.next < r.participants).then(|| {
+                let w = r.next;
+                r.next += 1;
+                (w, r.job)
+            })
+        });
+        match claim {
+            Some((w, job)) => {
+                drop(st);
+                // SAFETY: `run` keeps the closure alive until the region
+                // drains; participant w was claimed exactly once above.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                    (*job.0)(w)
+                }));
+                st = shared.state.lock().expect("pool state lock poisoned");
+                let r = st.region.as_mut().expect("region outlives its participants");
+                if let Err(payload) = result {
+                    r.panics.push((w, payload));
+                }
+                r.finished += 1;
+                if r.finished >= r.participants {
+                    shared.done_cv.notify_all();
+                }
+            }
+            None => {
+                st = shared.work_cv.wait(st).expect("pool state lock poisoned");
+            }
+        }
+    }
+}
+
+/// Pick the per-claim chunk length for `n_items` spread over `workers`:
+/// roughly four chunks per worker, so stragglers can be stolen without
+/// paying a claim per item.
+pub(crate) fn chunk_len(n_items: usize, workers: usize) -> usize {
+    n_items.div_ceil(workers.max(1) * 4).max(1)
+}
+
+/// Shared claim cursor + steal accounting for chunked work distribution.
+pub(crate) struct ChunkCursor {
+    next: AtomicUsize,
+    n_chunks: usize,
+    workers: usize,
+}
+
+impl ChunkCursor {
+    pub(crate) fn new(n_chunks: usize, workers: usize) -> ChunkCursor {
+        ChunkCursor { next: AtomicUsize::new(0), n_chunks, workers }
+    }
+
+    /// Claim the next chunk for participant `w`; returns the chunk index
+    /// and whether it was a steal (claimed off the participant's home
+    /// stride `chunk % workers == w`).
+    pub(crate) fn claim(&self, w: usize) -> Option<(usize, bool)> {
+        let c = self.next.fetch_add(1, Ordering::Relaxed);
+        (c < self.n_chunks).then_some((c, c % self.workers != w))
+    }
+}
+
+/// Record per-participant chunk/steal counts once per region (instead of
+/// one atomic per chunk).
+pub(crate) fn record_claims(claimed: u64, steals: u64) {
+    if claimed > 0 && telemetry::enabled() {
+        telemetry::counter_add("exec.pool.chunks", claimed);
+        if steals > 0 {
+            telemetry::counter_add("exec.pool.steals", steals);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_executes_every_participant_once() {
+        let pool = WorkerPool::new();
+        for participants in [1usize, 2, 5, 9] {
+            let counts: Vec<AtomicUsize> = (0..participants).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(participants, &|w| {
+                counts[w].fetch_add(1, Ordering::SeqCst);
+            });
+            for (w, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::SeqCst), 1, "participant {w}");
+            }
+        }
+        // grew once to the max requested width, never per call
+        assert_eq!(pool.threads(), 9);
+    }
+
+    #[test]
+    fn threads_are_reused_across_regions() {
+        let pool = WorkerPool::new();
+        pool.run(4, &|_| {});
+        let after_first = pool.threads();
+        for _ in 0..50 {
+            pool.run(4, &|_| {});
+        }
+        assert_eq!(pool.threads(), after_first, "regions must not spawn new threads");
+    }
+
+    #[test]
+    fn panicked_region_leaves_pool_usable() {
+        let pool = WorkerPool::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(3, &|w| {
+                assert!(w != 1, "participant 1 dies");
+            });
+        }));
+        assert!(caught.is_err(), "the panic must propagate to the caller");
+        let threads = pool.threads();
+        // the surviving threads accept the next region
+        let sum = AtomicUsize::new(0);
+        pool.run(3, &|w| {
+            sum.fetch_add(w + 1, Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 6);
+        assert_eq!(pool.threads(), threads, "a caught panic must not cost a thread");
+    }
+
+    #[test]
+    fn lowest_participant_panic_wins() {
+        let pool = WorkerPool::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(4, &|w| {
+                if w >= 2 {
+                    // both high participants panic; the re-thrown payload
+                    // must be the lower index's, independent of timing
+                    std::thread::sleep(std::time::Duration::from_millis((4 - w) as u64));
+                    panic!("participant {w} died");
+                }
+            });
+        }));
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert_eq!(msg, "participant 2 died");
+    }
+
+    #[test]
+    fn nested_regions_run_inline() {
+        let pool = WorkerPool::global();
+        let total = AtomicUsize::new(0);
+        pool.run(2, &|_| {
+            // a fan-out from a pool thread must not deadlock the region slot
+            WorkerPool::global().run(3, &|inner| {
+                total.fetch_add(inner + 1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 2 * (1 + 2 + 3));
+    }
+
+    #[test]
+    fn chunk_cursor_claims_each_chunk_once() {
+        let cur = ChunkCursor::new(10, 3);
+        let mut seen = [false; 10];
+        while let Some((c, _steal)) = cur.claim(0) {
+            assert!(!seen[c], "chunk {c} claimed twice");
+            seen[c] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(cur.claim(1), None);
+    }
+
+    #[test]
+    fn chunk_len_targets_four_chunks_per_worker() {
+        assert_eq!(chunk_len(96, 4), 6);
+        assert_eq!(chunk_len(3, 8), 1);
+        assert_eq!(chunk_len(0, 4), 1);
+        assert_eq!(chunk_len(100, 1), 25);
+    }
+}

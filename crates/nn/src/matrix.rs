@@ -6,6 +6,36 @@
 //! programming errors, not runtime conditions.
 
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Cache-blocking tile sizes `(samples, weight_rows, k_columns)` for the
+/// batched kernels, chosen once per process.
+///
+/// Defaults (64 samples × 64 rows, 256 k-columns) keep one tile's working
+/// set — a sample block of activations plus a block of weight rows — in
+/// L1/L2 for the layer widths this repo trains (tens of units, batches of
+/// 32–96), while degenerating to the untiled loops when shapes are smaller
+/// than one tile. Overridable for experiments via `NN_TILE_S`,
+/// `NN_TILE_R`, `NN_TILE_K` (values are clamped to ≥ 1; read once, so set
+/// them before first use).
+///
+/// Tiling never changes results: every output element is still computed
+/// by one complete sequential k-chain (forward) or one complete
+/// ascending-r chain (backward); tiles only reorder *which elements* are
+/// computed when, never the additions inside any one element.
+fn kernel_tiles() -> (usize, usize, usize) {
+    static TILES: OnceLock<(usize, usize, usize)> = OnceLock::new();
+    *TILES.get_or_init(|| {
+        let read = |name: &str, default: usize| {
+            std::env::var(name)
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(default)
+        };
+        (read("NN_TILE_S", 64), read("NN_TILE_R", 64), read("NN_TILE_K", 256))
+    })
+}
 
 /// Dense `rows × cols` matrix of `f64`, row-major.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -123,6 +153,13 @@ impl Matrix {
     /// operations within any one element — the kernel-level speedup
     /// batching exists to unlock, unavailable to the one-sample-at-a-time
     /// path.
+    ///
+    /// The loop nest is **cache-blocked**: samples and weight rows are
+    /// walked in tiles (see `NN_TILE_S`/`NN_TILE_R`/`NN_TILE_K`) so one tile's activations
+    /// and weight rows stay cache-resident while they are combined.
+    /// Tiling only changes the order in which output *elements* are
+    /// produced; each element's k-chain is untouched, so results remain
+    /// bit-identical for every tile size.
     pub fn matmul_nt_into(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(x.cols, self.cols, "matmul_nt: input width mismatch");
         assert_eq!(out.rows, x.rows, "matmul_nt: output rows mismatch");
@@ -130,14 +167,33 @@ impl Matrix {
         if telemetry::enabled() {
             telemetry::counter_add("nn.flops", (2 * x.rows * self.rows * self.cols) as u64);
         }
+        let (tile_s, tile_r, _) = kernel_tiles();
+        let mut s0 = 0;
+        while s0 < x.rows {
+            let s1 = (s0 + tile_s).min(x.rows);
+            let mut r0 = 0;
+            while r0 < self.rows {
+                let r1 = (r0 + tile_r).min(self.rows);
+                self.nt_block(x, out, s0, s1, r0, r1);
+                r0 = r1;
+            }
+            s0 = s1;
+        }
+    }
+
+    /// One `samples × weight-rows` tile of [`Matrix::matmul_nt_into`]:
+    /// `out[s][r] = self.row(r) · x.row(s)` for `s` in `s0..s1`, `r` in
+    /// `r0..r1`, with the 8-then-4-wide interleaved accumulators of the
+    /// original kernel. Every element is one sequential k-chain.
+    fn nt_block(&self, x: &Matrix, out: &mut Matrix, s0: usize, s1: usize, r0: usize, r1: usize) {
         let n = self.cols;
-        let mut s = 0;
-        while s + 8 <= x.rows {
+        let mut s = s0;
+        while s + 8 <= s1 {
             let xs: [&[f64]; 8] = std::array::from_fn(|j| {
                 let base = (s + j) * n;
                 &x.data[base..base + n]
             });
-            for r in 0..self.rows {
+            for r in r0..r1 {
                 let w = &self.data[r * n..(r + 1) * n];
                 let mut acc = [0.0f64; 8];
                 for k in 0..n {
@@ -152,14 +208,14 @@ impl Matrix {
             }
             s += 8;
         }
-        while s + 4 <= x.rows {
+        while s + 4 <= s1 {
             // pre-sliced to a common length so the inner indexing is
             // bounds-check free
             let x0 = &x.data[s * n..s * n + n];
             let x1 = &x.data[(s + 1) * n..(s + 1) * n + n];
             let x2 = &x.data[(s + 2) * n..(s + 2) * n + n];
             let x3 = &x.data[(s + 3) * n..(s + 3) * n + n];
-            for r in 0..self.rows {
+            for r in r0..r1 {
                 let w = &self.data[r * n..(r + 1) * n];
                 let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
                 for k in 0..n {
@@ -176,10 +232,17 @@ impl Matrix {
             }
             s += 4;
         }
-        while s < x.rows {
-            // remainder rows run the per-sample kernel itself
-            let row = &mut out.data[s * out.cols..(s + 1) * out.cols];
-            self.matvec_into(&x.data[s * n..(s + 1) * n], row);
+        while s < s1 {
+            // remainder rows run the per-sample kernel's exact dot product
+            let xrow = &x.data[s * n..(s + 1) * n];
+            for r in r0..r1 {
+                let w = &self.data[r * n..(r + 1) * n];
+                let mut acc = 0.0;
+                for (wk, xk) in w.iter().zip(xrow.iter()) {
+                    acc += wk * xk;
+                }
+                out.set(s, r, acc);
+            }
             s += 1;
         }
     }
@@ -194,6 +257,14 @@ impl Matrix {
     /// interleaved samples have a nonzero gradient for an output neuron
     /// (the common case for tanh nets), the four updates share one pass
     /// over the weight row.
+    ///
+    /// The loop nest is **cache-blocked** over samples and weight
+    /// *columns* (`k`): a k-tile of every weight row is reused across the
+    /// sample block before moving on (see `NN_TILE_S`/`NN_TILE_R`/`NN_TILE_K`). The
+    /// ascending-`r` addition chain into each output element is replayed
+    /// completely inside its k-tile, so results stay bit-identical for
+    /// every tile size. (Blocking over `r` would split those chains and
+    /// change the bits, so `r` is never tiled here.)
     pub fn matmul_t_add_into(&self, d: &Matrix, out: &mut Matrix) {
         assert_eq!(d.cols, self.rows, "matmul_t: gradient width mismatch");
         assert_eq!(out.rows, d.rows, "matmul_t: output rows mismatch");
@@ -201,24 +272,51 @@ impl Matrix {
         if telemetry::enabled() {
             telemetry::counter_add("nn.flops", (2 * d.rows * self.rows * self.cols) as u64);
         }
+        let (tile_s, _, tile_k) = kernel_tiles();
+        let mut s0 = 0;
+        while s0 < d.rows {
+            let s1 = (s0 + tile_s).min(d.rows);
+            let mut k0 = 0;
+            while k0 < self.cols {
+                let k1 = (k0 + tile_k).min(self.cols);
+                self.t_add_block(d, out, s0, s1, k0, k1);
+                k0 = k1;
+            }
+            s0 = s1;
+        }
+    }
+
+    /// One `samples × k-columns` tile of [`Matrix::matmul_t_add_into`]:
+    /// `out[s][k] += Σ_r d[s][r] * self[r][k]` for `s` in `s0..s1`, `k`
+    /// in `k0..k1`, replaying [`Matrix::matvec_t_add`]'s ascending-`r`
+    /// additions (including its zero-gradient skips) within the tile.
+    fn t_add_block(
+        &self,
+        d: &Matrix,
+        out: &mut Matrix,
+        s0: usize,
+        s1: usize,
+        k0: usize,
+        k1: usize,
+    ) {
         let n = self.cols;
-        let mut s = 0;
-        while s + 4 <= d.rows {
-            let base = s * n;
-            let block = &mut out.data[base..base + 4 * n];
+        let mut s = s0;
+        while s + 4 <= s1 {
+            let block = &mut out.data[s * n..(s + 4) * n];
             let (o0, rest) = block.split_at_mut(n);
             let (o1, rest) = rest.split_at_mut(n);
             let (o2, o3) = rest.split_at_mut(n);
+            let (o0, o1) = (&mut o0[k0..k1], &mut o1[k0..k1]);
+            let (o2, o3) = (&mut o2[k0..k1], &mut o3[k0..k1]);
             let d0 = &d.data[s * d.cols..(s + 1) * d.cols];
             let d1 = &d.data[(s + 1) * d.cols..(s + 2) * d.cols];
             let d2 = &d.data[(s + 2) * d.cols..(s + 3) * d.cols];
             let d3 = &d.data[(s + 3) * d.cols..(s + 4) * d.cols];
             for r in 0..self.rows {
-                let w = &self.data[r * n..(r + 1) * n];
+                let w = &self.data[r * n + k0..r * n + k1];
                 let (y0, y1, y2, y3) = (d0[r], d1[r], d2[r], d3[r]);
                 if y0 != 0.0 && y1 != 0.0 && y2 != 0.0 && y3 != 0.0 {
-                    for k in 0..n {
-                        let wk = w[k];
+                    for (k, &wk) in w.iter().enumerate() {
                         o0[k] += y0 * wk;
                         o1[k] += y1 * wk;
                         o2[k] += y2 * wk;
@@ -227,38 +325,38 @@ impl Matrix {
                 } else {
                     // per-sample zero skips, exactly as matvec_t_add
                     if y0 != 0.0 {
-                        for k in 0..n {
-                            o0[k] += y0 * w[k];
+                        for (o, &wk) in o0.iter_mut().zip(w.iter()) {
+                            *o += y0 * wk;
                         }
                     }
                     if y1 != 0.0 {
-                        for k in 0..n {
-                            o1[k] += y1 * w[k];
+                        for (o, &wk) in o1.iter_mut().zip(w.iter()) {
+                            *o += y1 * wk;
                         }
                     }
                     if y2 != 0.0 {
-                        for k in 0..n {
-                            o2[k] += y2 * w[k];
+                        for (o, &wk) in o2.iter_mut().zip(w.iter()) {
+                            *o += y2 * wk;
                         }
                     }
                     if y3 != 0.0 {
-                        for k in 0..n {
-                            o3[k] += y3 * w[k];
+                        for (o, &wk) in o3.iter_mut().zip(w.iter()) {
+                            *o += y3 * wk;
                         }
                     }
                 }
             }
             s += 4;
         }
-        while s < d.rows {
-            let row = &mut out.data[s * n..(s + 1) * n];
+        while s < s1 {
+            let row = &mut out.data[s * n + k0..s * n + k1];
             let drow = &d.data[s * d.cols..(s + 1) * d.cols];
             // remainder rows run the per-sample kernel's exact loop
             for (r, yr) in drow.iter().enumerate() {
                 if *yr == 0.0 {
                     continue;
                 }
-                let w = &self.data[r * n..(r + 1) * n];
+                let w = &self.data[r * n + k0..r * n + k1];
                 for (o, wk) in row.iter_mut().zip(w.iter()) {
                     *o += yr * wk;
                 }
@@ -401,6 +499,97 @@ mod tests {
                 assert_eq!(out.row(s), per.as_slice(), "batch {batch} row {s}");
             }
         }
+    }
+
+    #[test]
+    fn nt_block_tiling_is_bit_identical_at_any_tile_size() {
+        // Drive the private block helper with deliberately awkward tile
+        // bounds (including sizes indivisible by the 8/4 interleave) and
+        // check against the per-sample kernel. This covers what env-var
+        // overrides of NN_TILE_S/NN_TILE_R would exercise, without racing
+        // on process-global state.
+        let m = Matrix::from_fn(11, 9, |r, c| ((r * 7 + c) as f64 * 0.31).sin());
+        let x = Matrix::from_fn(23, 9, |r, c| ((r * 13 + c) as f64 * 0.53).cos());
+        for (tile_s, tile_r) in [(1, 1), (3, 2), (5, 11), (8, 4), (64, 64)] {
+            let mut out = Matrix::zeros(23, 11);
+            let mut s0 = 0;
+            while s0 < x.rows {
+                let s1 = (s0 + tile_s).min(x.rows);
+                let mut r0 = 0;
+                while r0 < m.rows {
+                    let r1 = (r0 + tile_r).min(m.rows);
+                    m.nt_block(&x, &mut out, s0, s1, r0, r1);
+                    r0 = r1;
+                }
+                s0 = s1;
+            }
+            for s in 0..x.rows {
+                let mut per = vec![0.0; 11];
+                m.matvec_into(x.row(s), &mut per);
+                assert_eq!(out.row(s), per.as_slice(), "tiles ({tile_s},{tile_r}) row {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn t_add_block_tiling_is_bit_identical_at_any_tile_size() {
+        let m = Matrix::from_fn(7, 13, |r, c| ((r * 5 + c) as f64 * 0.71).sin());
+        let d = Matrix::from_fn(18, 7, |r, c| {
+            if (r + c) % 3 == 0 {
+                0.0
+            } else {
+                ((r * 11 + c) as f64 * 0.91).cos()
+            }
+        });
+        let mut reference = Matrix::from_fn(18, 13, |r, c| (r + c) as f64 * 0.01);
+        let seed = reference.clone();
+        for s in 0..d.rows {
+            m.matvec_t_add(d.row(s), reference.row_mut(s));
+        }
+        for (tile_s, tile_k) in [(1, 1), (3, 5), (4, 13), (7, 2), (64, 256)] {
+            let mut out = seed.clone();
+            let mut s0 = 0;
+            while s0 < d.rows {
+                let s1 = (s0 + tile_s).min(d.rows);
+                let mut k0 = 0;
+                while k0 < m.cols {
+                    let k1 = (k0 + tile_k).min(m.cols);
+                    m.t_add_block(&d, &mut out, s0, s1, k0, k1);
+                    k0 = k1;
+                }
+                s0 = s1;
+            }
+            assert_eq!(out, reference, "tiles ({tile_s},{tile_k})");
+        }
+    }
+
+    #[test]
+    fn tiled_kernels_cross_tile_boundaries_bit_identically() {
+        // Shapes larger than the default 64×64×256 tiles, so the public
+        // kernels actually take multi-tile paths.
+        let m = Matrix::from_fn(70, 300, |r, c| ((r * 3 + c) as f64 * 0.17).sin());
+        let x = Matrix::from_fn(70, 300, |r, c| ((r * 7 + c) as f64 * 0.29).cos());
+        let mut out = Matrix::zeros(70, 70);
+        m.matmul_nt_into(&x, &mut out);
+        for s in 0..70 {
+            let mut per = vec![0.0; 70];
+            m.matvec_into(x.row(s), &mut per);
+            assert_eq!(out.row(s), per.as_slice(), "forward row {s}");
+        }
+        let d = Matrix::from_fn(70, 70, |r, c| {
+            if (r * c) % 5 == 0 {
+                0.0
+            } else {
+                ((r + 2 * c) as f64 * 0.41).sin()
+            }
+        });
+        let mut back = Matrix::zeros(70, 300);
+        let mut back_ref = Matrix::zeros(70, 300);
+        m.matmul_t_add_into(&d, &mut back);
+        for s in 0..70 {
+            m.matvec_t_add(d.row(s), back_ref.row_mut(s));
+        }
+        assert_eq!(back, back_ref);
     }
 
     #[test]

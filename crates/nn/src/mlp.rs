@@ -169,6 +169,21 @@ impl Mlp {
     ///
     /// Bit-identical to calling [`Mlp::forward`] per row — see
     /// [`Mlp::forward_batch_cached`] for the determinism argument.
+    ///
+    /// ```
+    /// use nn::{Activation, Matrix, Mlp};
+    /// use rand::SeedableRng;
+    ///
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let net = Mlp::new(&[3, 8, 2], Activation::Tanh, &mut rng);
+    /// let x = Matrix::from_fn(5, 3, |s, c| (s * 3 + c) as f64 * 0.1);
+    /// let y = net.forward_batch(&x);
+    /// assert_eq!((y.rows(), y.cols()), (5, 2));
+    /// // every batched row matches the per-sample path, bit for bit
+    /// for s in 0..5 {
+    ///     assert_eq!(y.row(s), net.forward(x.row(s)).as_slice());
+    /// }
+    /// ```
     pub fn forward_batch(&self, x: &Matrix) -> Matrix {
         let mut cache = self.new_batch_cache(x.rows());
         self.forward_batch_cached(x, &mut cache)
@@ -225,6 +240,23 @@ impl Mlp {
     /// the stored activations ([`Activation::derivative_from_output`]),
     /// which produces the same bits as the serial z-based form without
     /// recomputing transcendentals.
+    ///
+    /// ```
+    /// use nn::{Activation, Matrix, Mlp, MlpGrads};
+    /// use rand::SeedableRng;
+    ///
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let net = Mlp::new(&[3, 8, 2], Activation::Tanh, &mut rng);
+    /// let x = Matrix::from_fn(4, 3, |s, c| (s + c) as f64 * 0.2);
+    ///
+    /// // forward with a reusable cache, then push a loss gradient back
+    /// let mut cache = net.new_batch_cache(4);
+    /// let y = net.forward_batch_cached(&x, &mut cache);
+    /// let dl = Matrix::from_fn(4, 2, |s, c| y.get(s, c) - 0.5); // d/dy of ½Σ(y-0.5)²
+    /// let mut grads = MlpGrads::zeros_like(&net);
+    /// net.grads_batch(&cache, &dl, &mut grads);
+    /// assert!(grads.sq_norm() > 0.0);
+    /// ```
     pub fn grads_batch(&self, cache: &BatchCache, dl_dout: &Matrix, grads: &mut MlpGrads) {
         let batch = dl_dout.rows();
         assert_eq!(dl_dout.cols(), self.output_dim(), "batch gradient dimension mismatch");

@@ -1,0 +1,85 @@
+//! The parallel gradient fan-out must *reuse* its per-sample scratch
+//! buffers: allocation happens on first use and then stops (the persistent
+//! pool + reused buffers are what make `grad_workers > 1` pay — see
+//! docs/PERF.md §4). `Ppo::grad_scratch_allocs` counts every per-sample
+//! gradient buffer ever allocated, so a flat counter across further
+//! training proves steady-state reuse.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rl::{Action, ActionSpace, Env, Ppo, PpoConfig, Step};
+
+#[derive(Clone)]
+struct Walk {
+    pos: f64,
+    t: usize,
+}
+
+impl Env for Walk {
+    fn obs_dim(&self) -> usize {
+        2
+    }
+    fn action_space(&self) -> ActionSpace {
+        ActionSpace::Continuous { low: vec![-2.0], high: vec![2.0] }
+    }
+    fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        self.t = 0;
+        self.pos = rng.gen_range(-1.0..1.0);
+        vec![self.pos, 0.0]
+    }
+    fn step(&mut self, action: &Action, rng: &mut StdRng) -> Step {
+        let a = self.action_space().clip(action.vector())[0];
+        let reward = -(a - self.pos) * (a - self.pos);
+        self.t += 1;
+        self.pos = (self.pos + rng.gen_range(-0.3..0.3)).clamp(-1.0, 1.0);
+        Step { obs: vec![self.pos, self.t as f64 / 8.0], reward, done: self.t >= 8 }
+    }
+}
+
+fn parallel_trainer() -> Ppo {
+    let cfg = PpoConfig {
+        n_steps: 64,
+        minibatch_size: 32,
+        epochs: 2,
+        seed: 5,
+        grad_workers: 4,
+        ..PpoConfig::default()
+    };
+    Ppo::new_gaussian(2, 1, &[4], 0.5, cfg)
+}
+
+#[test]
+fn grad_scratch_is_reused_across_updates() {
+    let mut ppo = parallel_trainer();
+    let mut env = Walk { pos: 0.0, t: 0 };
+    assert_eq!(ppo.grad_scratch_allocs(), 0, "no scratch before the first update");
+
+    // First iteration: buffers are allocated once, lazily.
+    ppo.try_train_vec(&mut env, 64).unwrap();
+    let after_first = ppo.grad_scratch_allocs();
+    assert!(after_first > 0, "the parallel path must have run");
+
+    // Every later update reuses them: the counter must not move again.
+    ppo.try_train_vec(&mut env, 3 * 64).unwrap();
+    assert_eq!(
+        ppo.grad_scratch_allocs(),
+        after_first,
+        "steady-state updates must not allocate new per-sample gradient buffers"
+    );
+}
+
+#[test]
+fn serial_paths_never_touch_grad_scratch() {
+    let cfg = PpoConfig {
+        n_steps: 64,
+        minibatch_size: 32,
+        epochs: 2,
+        seed: 5,
+        grad_workers: 1,
+        ..PpoConfig::default()
+    };
+    let mut ppo = Ppo::new_gaussian(2, 1, &[4], 0.5, cfg);
+    let mut env = Walk { pos: 0.0, t: 0 };
+    ppo.try_train_vec(&mut env, 2 * 64).unwrap();
+    assert_eq!(ppo.grad_scratch_allocs(), 0, "batched path must not build parallel scratch");
+}

@@ -17,7 +17,11 @@
 //!    (taken every `snapshot_ticks` ticks) and re-executes
 //!    deterministically under the configured [`fault::Backoff`] budget.
 //!    Sessions are pure functions of `(policy, trace)`, so a replayed
-//!    window reproduces the undisturbed results bit for bit.
+//!    window reproduces the undisturbed results bit for bit. Shard jobs
+//!    run on [`exec`]'s persistent [`exec::WorkerPool`] (threads parked
+//!    between fleet windows, not respawned per window); a cancelled
+//!    shard's unwind is caught on its pool worker, which simply rejoins
+//!    the pool — supervision never costs a thread.
 //! 3. **A session** — quarantine. Observations and policy outputs are
 //!    validated every tick (see [`crate::quarantine`]); on violation
 //!    the session is quarantined, a per-session [`abr::BufferBased`]

@@ -4,6 +4,7 @@
 //! ```text
 //! telemetry-report <manifest.json>
 //! telemetry-report --diff <reference.json> <candidate.json> [--warn-pct <p>] [--fail]
+//! telemetry-report --exec-table <BENCH_exec.json>
 //! ```
 //!
 //! The diff aggregates span wall time per phase group (the first
@@ -28,7 +29,7 @@ const MIN_GATE_SECONDS: f64 = 1e-3;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: telemetry-report <manifest.json>\n       telemetry-report --diff <reference.json> <candidate.json> [--warn-pct <p>] [--fail]"
+        "usage: telemetry-report <manifest.json>\n       telemetry-report --diff <reference.json> <candidate.json> [--warn-pct <p>] [--fail]\n       telemetry-report --exec-table <BENCH_exec.json>"
     );
     ExitCode::from(2)
 }
@@ -321,6 +322,65 @@ fn diff(ref_path: &str, cand_path: &str, warn_pct: f64, fail: bool) -> Result<Ex
     Ok(ExitCode::SUCCESS)
 }
 
+/// Render `results/BENCH_exec.json` (the core-scaling sweep written by
+/// the `exec_perf` bench) as a GitHub-flavored markdown table, for the CI
+/// perf-gate job summary. Plain JSON, no checksum envelope — the bench
+/// report is a measurement log, not a sealed manifest.
+fn exec_table(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = serde_json::from_str::<Value>(text.trim_end())
+        .map_err(|e| format!("{path}: parse: {e}"))?;
+    let str_of = |k: &str| doc.get(k).and_then(|v| v.as_str()).unwrap_or("?").to_string();
+    let host_par = field_f64(&doc, "host_parallelism");
+    println!("### exec core-scaling sweep");
+    println!();
+    println!(
+        "host `{}` — host_parallelism {}, commit `{}`, averaged over {} iterations of {} steps",
+        str_of("hostname"),
+        host_par,
+        str_of("commit"),
+        field_f64(&doc, "iterations_averaged"),
+        field_f64(&doc, "n_steps"),
+    );
+    println!();
+    let rows = |k: &str| doc.get(k).and_then(|v| v.as_array()).unwrap_or_default();
+    let update = rows("update_fanout");
+    if !update.is_empty() {
+        println!("| grad_workers | update s/iter | speedup vs 1 |");
+        println!("|---:|---:|---:|");
+        for r in update {
+            println!(
+                "| {} | {:.4} | {:.2}× |",
+                field_f64(r, "grad_workers"),
+                field_f64(r, "update_wall_s"),
+                field_f64(r, "speedup_vs_one"),
+            );
+        }
+        println!();
+    }
+    let rollout = rows("rows");
+    if !rollout.is_empty() {
+        println!("| n_envs | rollout steps/s | speedup vs serial |");
+        println!("|---:|---:|---:|");
+        for r in rollout {
+            println!(
+                "| {} | {:.0} | {:.2}× |",
+                field_f64(r, "n_envs"),
+                field_f64(r, "steps_per_s"),
+                field_f64(r, "speedup_vs_serial"),
+            );
+        }
+        println!();
+    }
+    if host_par <= 1.0 {
+        println!(
+            "_single-core host: parallel rows cannot beat serial here; \
+             the speedup column is informational only_"
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run = |r: Result<(), String>| match r {
@@ -359,6 +419,10 @@ fn main() -> ExitCode {
                     ExitCode::from(2)
                 }
             }
+        }
+        Some("--exec-table") => {
+            let Some(p) = args.get(1).filter(|_| args.len() == 2) else { return usage() };
+            run(exec_table(p))
         }
         Some(path) if !path.starts_with('-') && args.len() == 1 => run(render(path)),
         _ => usage(),
