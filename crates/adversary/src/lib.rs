@@ -19,6 +19,10 @@
 //! * [`cc_env`] — adversary vs. congestion control (30 ms control over
 //!   bandwidth/latency/loss in the Table 1 ranges; reward `1 − U − L −
 //!   0.01·S`).
+//! * [`cross_env`] — the multi-flow variant: the link is honest and the
+//!   adversary instead drives a cross-traffic sender's rate schedule at a
+//!   shared bottleneck, rewarded for throughput/delay damage to the victim
+//!   flow net of a rate cost.
 //! * [`train`] — PPO adversary construction with the paper's architectures
 //!   (32×16 for ABR, a single 4-neuron layer for CC).
 //! * [`trace_gen`] — rolling a trained adversary into reproducible traces,
@@ -31,6 +35,7 @@
 
 pub mod abr_env;
 pub mod cc_env;
+pub mod cross_env;
 pub mod report;
 pub mod robustify;
 pub mod trace_based;
@@ -39,6 +44,7 @@ pub mod train;
 
 pub use abr_env::{AbrAdversaryConfig, AbrAdversaryEnv, ChunkNetwork};
 pub use cc_env::{CcActionSpace, CcAdversaryConfig, CcAdversaryEnv, CcTrace};
+pub use cross_env::{CrossTrace, CrossTrafficConfig, CrossTrafficEnv, CROSS_FLOW, VICTIM_FLOW};
 pub use report::{qoe_cdf, RatioSummary};
 pub use robustify::{
     robustify_pensieve, robustify_variants, try_robustify_pensieve, try_robustify_variants,
@@ -51,6 +57,6 @@ pub use trace_gen::{
     replay_cc_schedule, try_abr_traces_to_corpus, try_generate_abr_traces_with, AbrTrace,
 };
 pub use train::{
-    train_abr_adversary, train_cc_adversary, try_train_abr_adversary, try_train_cc_adversary,
-    AdversaryTrainConfig,
+    train_abr_adversary, train_cc_adversary, train_cross_adversary, try_train_abr_adversary,
+    try_train_cc_adversary, try_train_cross_adversary, AdversaryTrainConfig,
 };

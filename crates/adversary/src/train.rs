@@ -3,6 +3,7 @@
 
 use crate::abr_env::{AbrAdversaryEnv, OBS_DIM};
 use crate::cc_env::CcAdversaryEnv;
+use crate::cross_env::CrossTrafficEnv;
 use abr::AbrPolicy;
 use rl::{Checkpointer, Ppo, PpoConfig, TrainError, TrainReport};
 use std::path::PathBuf;
@@ -93,6 +94,29 @@ pub fn try_train_cc_adversary(
     cfg: &AdversaryTrainConfig,
 ) -> Result<(Ppo, Vec<TrainReport>), TrainError> {
     let mut ppo = Ppo::new_gaussian(2, 3, &[4], cfg.init_std, cfg.ppo.clone());
+    let reports = run_training(&mut ppo, env, cfg)?;
+    Ok((ppo, reports))
+}
+
+/// Train a cross-traffic adversary (the multi-flow variant: the policy
+/// drives a competing sender's rate at a shared bottleneck). Same tiny
+/// 4-neuron architecture as the single-flow CC adversary — the attack
+/// surface is one scalar rate, not a rich observation space.
+pub fn train_cross_adversary(
+    env: &mut CrossTrafficEnv,
+    cfg: &AdversaryTrainConfig,
+) -> (Ppo, Vec<TrainReport>) {
+    try_train_cross_adversary(env, cfg)
+        .unwrap_or_else(|e| panic!("cross-traffic adversary training failed: {e}"))
+}
+
+/// Fallible [`train_cross_adversary`], with the same crash-safe checkpoint
+/// wiring as [`try_train_abr_adversary`].
+pub fn try_train_cross_adversary(
+    env: &mut CrossTrafficEnv,
+    cfg: &AdversaryTrainConfig,
+) -> Result<(Ppo, Vec<TrainReport>), TrainError> {
+    let mut ppo = Ppo::new_gaussian(3, 1, &[4], cfg.init_std, cfg.ppo.clone());
     let reports = run_training(&mut ppo, env, cfg)?;
     Ok((ppo, reports))
 }

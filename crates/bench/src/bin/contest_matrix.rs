@@ -1,0 +1,236 @@
+//! Contest matrix: protocol × protocol × queueing-discipline grid at a
+//! shared bottleneck.
+//!
+//! The single-sender paper setup cannot ask "who wins when BBR meets Cubic
+//! at a drop-tail queue?" — the multi-flow simulator can. This binary runs
+//! every unordered protocol pair (with repetition, so `bbr+bbr` measures
+//! intra-protocol fairness) plus one all-protocols "mix" cell, under each
+//! requested AQM, and reports per-flow throughput shares and the Jain
+//! fairness index per cell.
+//!
+//! Run: `cargo run -p adv-bench --release --bin contest_matrix`.
+//! Writes `results/contest_matrix.csv` (one row per flow per cell).
+//!
+//! Knobs (env):
+//! * `CONTEST_PROTOCOLS` — comma list from bbr/cubic/reno/copa/vivace
+//!   (default `bbr,cubic,copa`).
+//! * `CONTEST_QDISCS` — comma list from droptail/red/dctcp (default all).
+//! * `CONTEST_SECS` — measured seconds per cell after a 5 s warmup
+//!   (default 30).
+//! * `CONTEST_SEED` — simulator seed (default 7).
+//! * `CONTEST_BW_MBPS` / `CONTEST_LAT_MS` — bottleneck link (default
+//!   24 Mbit/s, 20 ms).
+//!
+//! Each cell is a cached [`Pipeline`] unit: a killed run resumes
+//! byte-identically from `results/cache/units/`.
+
+use adv_bench::pipeline::{Pipeline, UnitKey};
+use adv_bench::{banner, results_dir, Scale};
+use cc::{Bbr, Copa, Cubic, Reno, Vivace};
+use netsim::{jain_index, CongestionControl, LinkParams, MultiFlowSim, QdiscKind, SimConfig, SEC};
+use serde::{Deserialize, Serialize};
+
+fn make_cc(name: &str) -> Box<dyn CongestionControl> {
+    match name {
+        "bbr" => Box::new(Bbr::new()),
+        "cubic" => Box::new(Cubic::new()),
+        "reno" => Box::new(Reno::new()),
+        "copa" => Box::new(Copa::new()),
+        "vivace" => Box::new(Vivace::new()),
+        other => {
+            eprintln!("unknown protocol {other:?} (expected bbr|cubic|reno|copa|vivace)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    match std::env::var(name) {
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("{name}={v:?} is not a number");
+            std::process::exit(2);
+        }),
+        Err(_) => default,
+    }
+}
+
+fn env_list(name: &str, default: &str) -> Vec<String> {
+    std::env::var(name)
+        .unwrap_or_else(|_| default.to_string())
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// What one flow achieved in one contest cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ContestFlow {
+    key: u64,
+    protocol: String,
+    throughput_mbps: f64,
+    avg_rtt_ms: f64,
+    avg_queue_delay_ms: f64,
+    /// Fraction of the *achieved aggregate* this flow took.
+    share: f64,
+    /// Fraction of the *link capacity* this flow delivered.
+    utilization: f64,
+}
+
+/// One (cell, qdisc) grid entry: the flows, their fairness, and the
+/// bottleneck's drop/mark counters over the whole run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ContestCell {
+    qdisc: String,
+    cell: String,
+    flows: Vec<ContestFlow>,
+    jain: f64,
+    drops: u64,
+    ecn_marks: u64,
+}
+
+struct Knobs {
+    secs: u64,
+    seed: u64,
+    bw_mbps: f64,
+    lat_ms: f64,
+}
+
+fn run_cell(protocols: &[String], qdisc: QdiscKind, k: &Knobs) -> ContestCell {
+    let params = LinkParams::new(k.bw_mbps, k.lat_ms, 0.0);
+    let cfg = SimConfig { seed: k.seed, ..SimConfig::default() };
+    let mut sim = MultiFlowSim::with_qdisc(params, cfg, qdisc.build());
+    for (i, p) in protocols.iter().enumerate() {
+        sim.add_flow(i as u64, make_cc(p));
+    }
+    sim.run_for(5 * SEC); // warmup: let windows open before measuring
+    let stats = sim.run_for(k.secs * SEC);
+
+    let total: f64 = stats.iter().map(|(_, s)| s.throughput_mbps).sum();
+    let tputs: Vec<f64> = stats.iter().map(|(_, s)| s.throughput_mbps).collect();
+    let flows = stats
+        .iter()
+        .map(|(key, s)| ContestFlow {
+            key: *key,
+            protocol: protocols[*key as usize].clone(),
+            throughput_mbps: s.throughput_mbps,
+            avg_rtt_ms: s.avg_rtt_ms,
+            avg_queue_delay_ms: s.avg_queue_delay_ms,
+            share: if total > 0.0 { s.throughput_mbps / total } else { 0.0 },
+            utilization: s.utilization,
+        })
+        .collect();
+    ContestCell {
+        qdisc: qdisc.label().to_string(),
+        cell: protocols.join("+"),
+        flows,
+        jain: jain_index(&tputs),
+        drops: sim.total_drops(),
+        ecn_marks: sim.total_ecn_marks(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let protocols = env_list("CONTEST_PROTOCOLS", "bbr,cubic,copa");
+    let qdiscs: Vec<QdiscKind> = env_list("CONTEST_QDISCS", "droptail,red,dctcp")
+        .iter()
+        .map(|s| {
+            QdiscKind::parse(s).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let knobs = Knobs {
+        secs: env_f64("CONTEST_SECS", 30.0) as u64,
+        seed: env_f64("CONTEST_SEED", 7.0) as u64,
+        bw_mbps: env_f64("CONTEST_BW_MBPS", 24.0),
+        lat_ms: env_f64("CONTEST_LAT_MS", 20.0),
+    };
+    for p in &protocols {
+        drop(make_cc(p)); // fail fast on typos before spending sim time
+    }
+
+    banner(&format!(
+        "Contest matrix — {{{}}} × {{{}}} at {} Mbit/s / {} ms",
+        protocols.join(","),
+        qdiscs.iter().map(|q| q.label()).collect::<Vec<_>>().join(","),
+        knobs.bw_mbps,
+        knobs.lat_ms,
+    ));
+    let mut pipe = Pipeline::new("contest_matrix", scale);
+
+    // the grid: unordered pairs with repetition, then the all-in mix cell
+    let mut cells: Vec<Vec<String>> = Vec::new();
+    for i in 0..protocols.len() {
+        for j in i..protocols.len() {
+            cells.push(vec![protocols[i].clone(), protocols[j].clone()]);
+        }
+    }
+    if protocols.len() > 2 {
+        cells.push(protocols.clone());
+    }
+
+    let mut results: Vec<ContestCell> = Vec::new();
+    for qdisc in &qdiscs {
+        for cell in &cells {
+            let label = format!("{}@{}", cell.join("+"), qdisc.label());
+            let key = UnitKey::of(
+                &(cell.clone(), qdisc.label()),
+                "contest_matrix",
+                &(knobs.secs, knobs.seed, knobs.bw_mbps, knobs.lat_ms),
+            );
+            let result = Pipeline::require(
+                pipe.unit(&label, &key, || run_cell(cell, *qdisc, &knobs)),
+                "contest cell",
+            );
+            results.push(result);
+        }
+    }
+
+    println!(
+        "\n{:>8} {:>24} {:>8} {:>8} {:>10} {:>8}",
+        "qdisc", "cell", "flow", "share", "tput_mbps", "jain"
+    );
+    let mut csv = String::from(
+        "qdisc,cell,flow,protocol,throughput_mbps,share,utilization,\
+         avg_rtt_ms,avg_queue_delay_ms,jain,drops,ecn_marks\n",
+    );
+    let mut jain_sum = 0.0;
+    for cell in &results {
+        jain_sum += cell.jain;
+        for f in &cell.flows {
+            println!(
+                "{:>8} {:>24} {:>8} {:>8.3} {:>10.2} {:>8.3}",
+                cell.qdisc, cell.cell, f.protocol, f.share, f.throughput_mbps, cell.jain
+            );
+            csv.push_str(&format!(
+                "{},{},{},{},{:.4},{:.4},{:.4},{:.3},{:.3},{:.4},{},{}\n",
+                cell.qdisc,
+                cell.cell,
+                f.key,
+                f.protocol,
+                f.throughput_mbps,
+                f.share,
+                f.utilization,
+                f.avg_rtt_ms,
+                f.avg_queue_delay_ms,
+                cell.jain,
+                cell.drops,
+                cell.ecn_marks,
+            ));
+        }
+    }
+    let mean_jain = if results.is_empty() { 0.0 } else { jain_sum / results.len() as f64 };
+    telemetry::gauge_set("netsim.contest.jain", mean_jain);
+    println!("\nmean Jain fairness across {} cells: {mean_jain:.3}", results.len());
+
+    let path = results_dir().join("contest_matrix.csv");
+    if let Err(e) = std::fs::write(&path, csv) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    pipe.finish();
+    println!("wrote {}", path.display());
+}

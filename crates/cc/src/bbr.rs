@@ -21,7 +21,7 @@
 //! adversary suddenly varies bandwidth and latency").
 
 use crate::filters::WindowedMax;
-use netsim::{AckEvent, CongestionControl};
+use netsim::{AckEvent, BitsPerSec, Bytes, CongestionControl, Nanosecs};
 
 /// High gain used in Startup/Drain: 2/ln(2).
 pub const HIGH_GAIN: f64 = 2.885;
@@ -71,7 +71,7 @@ pub struct Bbr {
     rt_prop_stamp_s: f64,
     /// Packet-timed round counting.
     round_count: u64,
-    next_round_delivered: u64,
+    next_round_delivered: Bytes,
     round_start: bool,
     /// Startup full-pipe detection.
     full_bw_bps: f64,
@@ -101,7 +101,7 @@ impl Bbr {
             rt_prop_est_s: f64::INFINITY,
             rt_prop_stamp_s: 0.0,
             round_count: 0,
-            next_round_delivered: 0,
+            next_round_delivered: Bytes::ZERO,
             round_start: false,
             full_bw_bps: 0.0,
             full_bw_count: 0,
@@ -160,7 +160,7 @@ impl Bbr {
 
     fn update_round(&mut self, ack: &AckEvent) {
         if ack.delivered_at_send >= self.next_round_delivered {
-            self.next_round_delivered = ack.delivered_bytes;
+            self.next_round_delivered = ack.delivered;
             self.round_count += 1;
             self.round_start = true;
         } else {
@@ -185,7 +185,7 @@ impl Bbr {
     }
 
     fn advance_machine(&mut self, ack: &AckEvent) {
-        let now = ack.now_s;
+        let now = ack.now_s();
         match self.state {
             BbrState::Startup => {
                 self.pacing_gain = HIGH_GAIN;
@@ -220,7 +220,7 @@ impl Bbr {
             BbrState::ProbeRtt { since, prior_probe_bw_phase } => {
                 self.pacing_gain = 1.0;
                 self.cwnd_gain = 1.0;
-                self.probe_rtt_min_s = self.probe_rtt_min_s.min(ack.rtt_s);
+                self.probe_rtt_min_s = self.probe_rtt_min_s.min(ack.rtt_s());
                 if now - since >= PROBE_RTT_DURATION_S {
                     // refresh the RTprop estimate with the episode's floor
                     // so the staleness clock restarts (Linux BBR's
@@ -261,34 +261,34 @@ impl CongestionControl for Bbr {
     }
 
     fn on_ack(&mut self, ack: &AckEvent) {
-        self.inflight_bytes = ack.inflight_bytes;
+        self.inflight_bytes = ack.inflight_bytes();
         self.update_round(ack);
         // BtlBw: windowed max over rounds
-        self.btl_bw.update(self.round_count as f64, ack.delivery_rate_bps);
+        self.btl_bw.update(self.round_count as f64, ack.delivery_rate_bps());
         // RTprop: running min; matching the floor refreshes the stamp
-        if ack.rtt_s <= self.rt_prop_est_s {
-            self.rt_prop_est_s = ack.rtt_s;
-            self.rt_prop_stamp_s = ack.now_s;
+        if ack.rtt_s() <= self.rt_prop_est_s {
+            self.rt_prop_est_s = ack.rtt_s();
+            self.rt_prop_stamp_s = ack.now_s();
         }
         self.advance_machine(ack);
     }
 
-    fn on_loss(&mut self, _lost: usize, _now_s: f64) {
+    fn on_loss(&mut self, _lost: usize, _now: Nanosecs) {
         // BBRv1 ignores individual losses by design (its loss-agnosticism
         // is exactly why the paper's Table 1 adversary cannot beat it with
         // loss alone and must attack the probing instead).
     }
 
-    fn on_rto(&mut self, now_s: f64) {
+    fn on_rto(&mut self, now: Nanosecs) {
         // conservative restart: forget the model, back to Startup
         self.full_bw_bps = 0.0;
         self.full_bw_count = 0;
         self.filled_pipe = false;
-        self.enter(now_s, BbrState::Startup);
+        self.enter(now.as_secs_f64(), BbrState::Startup);
     }
 
-    fn pacing_rate_bps(&self) -> f64 {
-        PACING_MARGIN * self.pacing_gain * self.btl_bw_bps()
+    fn pacing_rate(&self) -> BitsPerSec {
+        BitsPerSec::from_bps(PACING_MARGIN * self.pacing_gain * self.btl_bw_bps())
     }
 
     fn cwnd_packets(&self) -> f64 {
@@ -390,15 +390,15 @@ mod tests {
             // standing queue keeps RTT samples above it (as on real links),
             // so the RTprop sample ages and ProbeRTT must fire
             let rtt = if now < 0.5 { 0.05 } else { 0.053 + 0.002 * (now * 3.0).sin().abs() };
-            let ack = netsim::AckEvent {
-                now_s: now,
-                rtt_s: rtt,
-                delivery_rate_bps: 12e6,
-                newly_acked_bytes: 1500,
-                inflight_bytes: 50_000,
-                delivered_bytes: delivered,
-                delivered_at_send: delivered.saturating_sub(20_000),
-            };
+            let ack = netsim::AckEvent::from_raw(
+                now,
+                rtt,
+                12e6,
+                1500,
+                50_000,
+                delivered,
+                delivered.saturating_sub(20_000),
+            );
             bbr.on_ack(&ack);
         }
         for &(_, name) in bbr.transitions() {
@@ -424,15 +424,15 @@ mod tests {
         while now < 8.0 {
             now += 0.02;
             delivered += 30_000;
-            bbr.on_ack(&netsim::AckEvent {
-                now_s: now,
-                rtt_s: 0.05,
-                delivery_rate_bps: 12e6,
-                newly_acked_bytes: 1500,
-                inflight_bytes: 40_000,
-                delivered_bytes: delivered,
-                delivered_at_send: delivered.saturating_sub(20_000),
-            });
+            bbr.on_ack(&netsim::AckEvent::from_raw(
+                now,
+                0.05,
+                12e6,
+                1500,
+                40_000,
+                delivered,
+                delivered.saturating_sub(20_000),
+            ));
             if matches!(bbr.state(), BbrState::ProbeBw { .. }) {
                 seen_gains.insert((bbr.pacing_gain * 100.0) as i64);
             }
@@ -453,7 +453,7 @@ mod tests {
     fn rto_resets_to_startup() {
         let mut bbr = Bbr::new();
         bbr.enter(1.0, BbrState::ProbeBw { phase: 0, since: 1.0 });
-        bbr.on_rto(2.0);
+        bbr.on_rto(Nanosecs::from_secs_f64(2.0));
         assert_eq!(bbr.state(), BbrState::Startup);
     }
 

@@ -13,7 +13,7 @@
 //!   persists across RTTs.
 
 use crate::filters::WindowedMin;
-use netsim::{AckEvent, CongestionControl};
+use netsim::{AckEvent, BitsPerSec, CongestionControl, Nanosecs};
 
 const MSS: f64 = 1500.0;
 
@@ -78,8 +78,8 @@ impl CongestionControl for Copa {
     }
 
     fn on_ack(&mut self, ack: &AckEvent) {
-        self.srtt_s = 0.875 * self.srtt_s + 0.125 * ack.rtt_s;
-        self.rtt_min.update(ack.now_s, ack.rtt_s);
+        self.srtt_s = 0.875 * self.srtt_s + 0.125 * ack.rtt_s();
+        self.rtt_min.update(ack.now_s(), ack.rtt_s());
         // standing window tracks ~srtt/2 of history
         self.rtt_standing = {
             let mut w = WindowedMin::new((self.srtt_s / 2.0).max(0.01));
@@ -88,7 +88,7 @@ impl CongestionControl for Copa {
             std::mem::swap(&mut w, &mut self.rtt_standing);
             w
         };
-        self.rtt_standing.update(ack.now_s, ack.rtt_s);
+        self.rtt_standing.update(ack.now_s(), ack.rtt_s());
 
         let d_q = self.queueing_delay_s();
         let standing = self.rtt_standing.get().unwrap_or(self.srtt_s).max(1e-4);
@@ -100,16 +100,16 @@ impl CongestionControl for Copa {
         let new_direction = if current_pps < target_pps { 1.0 } else { -1.0 };
         if new_direction == self.direction {
             // velocity doubles each RTT the direction persists
-            if ack.now_s - self.direction_since > self.srtt_s {
+            if ack.now_s() - self.direction_since > self.srtt_s {
                 self.steady_rtts += 1.0;
-                self.direction_since = ack.now_s;
+                self.direction_since = ack.now_s();
                 if self.steady_rtts >= 3.0 {
                     self.velocity = (self.velocity * 2.0).min(self.cwnd.max(1.0));
                 }
             }
         } else {
             self.direction = new_direction;
-            self.direction_since = ack.now_s;
+            self.direction_since = ack.now_s();
             self.velocity = 1.0;
             self.steady_rtts = 0.0;
         }
@@ -117,22 +117,22 @@ impl CongestionControl for Copa {
         self.cwnd = self.cwnd.max(2.0);
     }
 
-    fn on_loss(&mut self, _lost: usize, _now_s: f64) {
+    fn on_loss(&mut self, _lost: usize, _now: Nanosecs) {
         // Copa v1 reacts to loss only via its delay signal (a drop implies a
         // full queue, which the standing RTT already reflects); its TCP
         // mode is out of scope here.
     }
 
-    fn on_rto(&mut self, _now_s: f64) {
+    fn on_rto(&mut self, _now: Nanosecs) {
         self.cwnd = 2.0;
         self.velocity = 1.0;
         self.steady_rtts = 0.0;
     }
 
-    fn pacing_rate_bps(&self) -> f64 {
+    fn pacing_rate(&self) -> BitsPerSec {
         // pace the window over the standing RTT with modest headroom
         let standing = self.rtt_standing.get().unwrap_or(self.srtt_s).max(1e-4);
-        2.0 * self.cwnd * MSS * 8.0 / standing
+        BitsPerSec::from_bps(2.0 * self.cwnd * MSS * 8.0 / standing)
     }
 
     fn cwnd_packets(&self) -> f64 {
@@ -197,15 +197,7 @@ mod tests {
         c.rtt_min.update(0.0, 0.02);
         c.rtt_standing.update(0.0, 0.2);
         c.cwnd = 1000.0;
-        c.on_ack(&AckEvent {
-            now_s: 1.0,
-            rtt_s: 0.2,
-            delivery_rate_bps: 1e6,
-            newly_acked_bytes: 1500,
-            inflight_bytes: 0,
-            delivered_bytes: 0,
-            delivered_at_send: 0,
-        });
+        c.on_ack(&AckEvent::from_raw(1.0, 0.2, 1e6, 1500, 0, 0, 0));
         assert_eq!(c.direction, -1.0);
         assert_eq!(c.velocity, 1.0);
     }
@@ -214,7 +206,7 @@ mod tests {
     fn rto_collapses_window() {
         let mut c = Copa::new();
         c.cwnd = 100.0;
-        c.on_rto(1.0);
+        c.on_rto(Nanosecs::from_secs_f64(1.0));
         assert_eq!(c.cwnd(), 2.0);
     }
 }

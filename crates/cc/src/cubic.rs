@@ -5,7 +5,7 @@
 //! weakness to packet loss even as low as 1 %" — reproduced by the
 //! benchmark ablations.
 
-use netsim::{AckEvent, CongestionControl};
+use netsim::{AckEvent, BitsPerSec, CongestionControl, Nanosecs};
 
 const MSS: f64 = 1500.0;
 /// Cubic's scaling constant (Linux default).
@@ -76,14 +76,24 @@ impl CongestionControl for Cubic {
     }
 
     fn on_ack(&mut self, ack: &AckEvent) {
-        self.srtt_s =
-            if self.srtt_s == 0.0 { ack.rtt_s } else { 0.875 * self.srtt_s + 0.125 * ack.rtt_s };
+        self.srtt_s = if self.srtt_s == 0.0 {
+            ack.rtt_s()
+        } else {
+            0.875 * self.srtt_s + 0.125 * ack.rtt_s()
+        };
+        // RFC 3168-style ECN response: a Congestion-Experienced echo is
+        // treated as a loss signal (window reduction), but nothing was
+        // actually dropped. The once-per-RTT guard in `reduce` absorbs
+        // the per-ACK mark bursts DCTCP-style thresholds produce.
+        if ack.ecn {
+            self.reduce(ack.now_s());
+        }
         if self.in_slow_start() {
             self.cwnd += 1.0;
             return;
         }
-        let epoch = *self.epoch_start.get_or_insert(ack.now_s);
-        let t = ack.now_s - epoch;
+        let epoch = *self.epoch_start.get_or_insert(ack.now_s());
+        let t = ack.now_s() - epoch;
         let target = C * (t - self.k).powi(3) + self.w_max;
         if target > self.cwnd {
             // approach the cubic target one segment-fraction per ACK
@@ -94,21 +104,21 @@ impl CongestionControl for Cubic {
         }
     }
 
-    fn on_loss(&mut self, _lost: usize, now_s: f64) {
-        self.reduce(now_s);
+    fn on_loss(&mut self, _lost: usize, now: Nanosecs) {
+        self.reduce(now.as_secs_f64());
     }
 
-    fn on_rto(&mut self, now_s: f64) {
+    fn on_rto(&mut self, now: Nanosecs) {
         self.ssthresh = (self.cwnd * 0.5).max(2.0);
         self.cwnd = 2.0;
         self.epoch_start = None;
         self.w_max = 0.0;
-        self.recovery_until_s = now_s + self.srtt_s;
+        self.recovery_until_s = now.as_secs_f64() + self.srtt_s;
     }
 
-    fn pacing_rate_bps(&self) -> f64 {
+    fn pacing_rate(&self) -> BitsPerSec {
         // pace at 1.2× the window rate so pacing never throttles below cwnd
-        1.2 * self.cwnd * MSS * 8.0 / self.srtt_s.max(1e-3)
+        BitsPerSec::from_bps(1.2 * self.cwnd * MSS * 8.0 / self.srtt_s.max(1e-3))
     }
 
     fn cwnd_packets(&self) -> f64 {
@@ -122,15 +132,11 @@ mod tests {
     use netsim::{FlowSim, LinkParams, SimConfig, SEC};
 
     fn ack(now_s: f64, rtt_s: f64) -> AckEvent {
-        AckEvent {
-            now_s,
-            rtt_s,
-            delivery_rate_bps: 10e6,
-            newly_acked_bytes: 1500,
-            inflight_bytes: 15_000,
-            delivered_bytes: 0,
-            delivered_at_send: 0,
-        }
+        AckEvent::from_raw(now_s, rtt_s, 10e6, 1500, 15_000, 0, 0)
+    }
+
+    fn loss(c: &mut Cubic, now_s: f64) {
+        c.on_loss(1, Nanosecs::from_secs_f64(now_s));
     }
 
     #[test]
@@ -148,7 +154,7 @@ mod tests {
         let mut c = Cubic::new();
         c.ssthresh = 5.0; // force CA
         c.cwnd = 100.0;
-        c.on_loss(1, 1.0);
+        loss(&mut c, 1.0);
         assert!((c.cwnd() - 70.0).abs() < 1e-9);
     }
 
@@ -158,10 +164,10 @@ mod tests {
         c.cwnd = 100.0;
         c.ssthresh = 5.0;
         c.srtt_s = 0.1;
-        c.on_loss(1, 1.0);
-        c.on_loss(1, 1.05); // within the same RTT: ignored
+        loss(&mut c, 1.0);
+        loss(&mut c, 1.05); // within the same RTT: ignored
         assert!((c.cwnd() - 70.0).abs() < 1e-9);
-        c.on_loss(1, 1.2);
+        loss(&mut c, 1.2);
         assert!((c.cwnd() - 49.0).abs() < 1e-9);
     }
 
@@ -184,10 +190,27 @@ mod tests {
     }
 
     #[test]
+    fn ecn_mark_reduces_once_per_rtt() {
+        let mut c = Cubic::new();
+        c.ssthresh = 5.0; // force CA
+        c.cwnd = 100.0;
+        c.srtt_s = 0.1;
+        let mut marked = ack(1.0, 0.05);
+        marked.ecn = true;
+        c.on_ack(&marked);
+        let after_first = c.cwnd();
+        assert!(after_first < 75.0, "ECN echo must shrink the window: {after_first}");
+        let mut again = ack(1.01, 0.05);
+        again.ecn = true;
+        c.on_ack(&again); // same RTT: reduction suppressed (growth only)
+        assert!(c.cwnd() >= after_first, "{} vs {after_first}", c.cwnd());
+    }
+
+    #[test]
     fn rto_collapses_window() {
         let mut c = Cubic::new();
         c.cwnd = 64.0;
-        c.on_rto(1.0);
+        c.on_rto(Nanosecs::from_secs_f64(1.0));
         assert_eq!(c.cwnd(), 2.0);
         assert_eq!(c.ssthresh, 32.0);
     }

@@ -1,6 +1,6 @@
 //! TCP Reno (AIMD): the classic loss-based baseline.
 
-use netsim::{AckEvent, CongestionControl};
+use netsim::{AckEvent, BitsPerSec, CongestionControl, Nanosecs};
 
 const MSS: f64 = 1500.0;
 
@@ -32,6 +32,17 @@ impl Reno {
     pub fn in_slow_start(&self) -> bool {
         self.cwnd < self.ssthresh
     }
+
+    /// Halve the window, at most once per RTT (shared by duplicate-ACK
+    /// loss and RFC 3168 ECN response).
+    fn reduce(&mut self, now_s: f64) {
+        if now_s < self.recovery_until_s {
+            return;
+        }
+        self.cwnd = (self.cwnd / 2.0).max(2.0);
+        self.ssthresh = self.cwnd;
+        self.recovery_until_s = now_s + self.srtt_s;
+    }
 }
 
 impl CongestionControl for Reno {
@@ -40,7 +51,11 @@ impl CongestionControl for Reno {
     }
 
     fn on_ack(&mut self, ack: &AckEvent) {
-        self.srtt_s = 0.875 * self.srtt_s + 0.125 * ack.rtt_s;
+        self.srtt_s = 0.875 * self.srtt_s + 0.125 * ack.rtt_s();
+        // RFC 3168: an ECN echo halves the window like a loss, once per RTT
+        if ack.ecn {
+            self.reduce(ack.now_s());
+        }
         if self.in_slow_start() {
             self.cwnd += 1.0;
         } else {
@@ -48,23 +63,18 @@ impl CongestionControl for Reno {
         }
     }
 
-    fn on_loss(&mut self, _lost: usize, now_s: f64) {
-        if now_s < self.recovery_until_s {
-            return;
-        }
-        self.cwnd = (self.cwnd / 2.0).max(2.0);
-        self.ssthresh = self.cwnd;
-        self.recovery_until_s = now_s + self.srtt_s;
+    fn on_loss(&mut self, _lost: usize, now: Nanosecs) {
+        self.reduce(now.as_secs_f64());
     }
 
-    fn on_rto(&mut self, now_s: f64) {
+    fn on_rto(&mut self, now: Nanosecs) {
         self.ssthresh = (self.cwnd / 2.0).max(2.0);
         self.cwnd = 2.0;
-        self.recovery_until_s = now_s + self.srtt_s;
+        self.recovery_until_s = now.as_secs_f64() + self.srtt_s;
     }
 
-    fn pacing_rate_bps(&self) -> f64 {
-        1.2 * self.cwnd * MSS * 8.0 / self.srtt_s.max(1e-3)
+    fn pacing_rate(&self) -> BitsPerSec {
+        BitsPerSec::from_bps(1.2 * self.cwnd * MSS * 8.0 / self.srtt_s.max(1e-3))
     }
 
     fn cwnd_packets(&self) -> f64 {
@@ -78,15 +88,7 @@ mod tests {
     use netsim::{FlowSim, LinkParams, SimConfig, SEC};
 
     fn ack(now_s: f64) -> AckEvent {
-        AckEvent {
-            now_s,
-            rtt_s: 0.05,
-            delivery_rate_bps: 10e6,
-            newly_acked_bytes: 1500,
-            inflight_bytes: 15_000,
-            delivered_bytes: 0,
-            delivered_at_send: 0,
-        }
+        AckEvent::from_raw(now_s, 0.05, 10e6, 1500, 15_000, 0, 0)
     }
 
     #[test]
@@ -105,9 +107,20 @@ mod tests {
     fn multiplicative_decrease() {
         let mut r = Reno::new();
         r.cwnd = 40.0;
-        r.on_loss(1, 1.0);
+        r.on_loss(1, Nanosecs::from_secs_f64(1.0));
         assert_eq!(r.cwnd(), 20.0);
         assert_eq!(r.ssthresh, 20.0);
+    }
+
+    #[test]
+    fn ecn_mark_halves_window() {
+        let mut r = Reno::new();
+        r.ssthresh = 5.0;
+        r.cwnd = 40.0;
+        let mut marked = ack(1.0);
+        marked.ecn = true;
+        r.on_ack(&marked);
+        assert!(r.cwnd() < 21.0, "ECN echo must halve: {}", r.cwnd());
     }
 
     #[test]

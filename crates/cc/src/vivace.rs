@@ -13,7 +13,7 @@
 //! and the rate follows the empirical utility gradient with a
 //! confidence-amplified step (simplified from the paper's dual-ε scheme).
 
-use netsim::{AckEvent, CongestionControl};
+use netsim::{AckEvent, BitsPerSec, CongestionControl, Nanosecs};
 
 const MSS: f64 = 1500.0;
 
@@ -180,35 +180,35 @@ impl CongestionControl for Vivace {
     }
 
     fn on_ack(&mut self, ack: &AckEvent) {
-        self.srtt_s = 0.875 * self.srtt_s + 0.125 * ack.rtt_s;
+        self.srtt_s = 0.875 * self.srtt_s + 0.125 * ack.rtt_s();
         if self.current.acks == 0 && self.current.start_s == 0.0 {
-            self.current.start_s = ack.now_s - self.mi_duration().min(ack.now_s);
+            self.current.start_s = ack.now_s() - self.mi_duration().min(ack.now_s());
         }
-        self.current.acked_bytes += ack.newly_acked_bytes as f64;
+        self.current.acked_bytes += ack.newly_acked_bytes() as f64;
         self.current.acks += 1;
         if self.current.first_rtt.is_none() {
-            self.current.first_rtt = Some(ack.rtt_s);
+            self.current.first_rtt = Some(ack.rtt_s());
         }
-        self.current.last_rtt = ack.rtt_s;
-        if ack.now_s - self.current.start_s >= self.mi_duration() {
-            self.finish_interval(ack.now_s);
+        self.current.last_rtt = ack.rtt_s();
+        if ack.now_s() - self.current.start_s >= self.mi_duration() {
+            self.finish_interval(ack.now_s());
         }
     }
 
-    fn on_loss(&mut self, lost: usize, _now_s: f64) {
+    fn on_loss(&mut self, lost: usize, _now: Nanosecs) {
         self.current.losses += lost as f64;
     }
 
-    fn on_rto(&mut self, now_s: f64) {
+    fn on_rto(&mut self, now: Nanosecs) {
         // heavy event: halve the rate and restart the probing cycle
         self.rate_mbps = (self.rate_mbps / 2.0).max(0.1);
         self.phase = Phase::ProbeUp;
         self.up_utility = None;
-        self.current = Interval { start_s: now_s, ..Interval::default() };
+        self.current = Interval { start_s: now.as_secs_f64(), ..Interval::default() };
     }
 
-    fn pacing_rate_bps(&self) -> f64 {
-        self.rate_mbps * self.probe_multiplier() * 1e6
+    fn pacing_rate(&self) -> BitsPerSec {
+        BitsPerSec::from_bps(self.rate_mbps * self.probe_multiplier() * 1e6)
     }
 
     fn cwnd_packets(&self) -> f64 {
@@ -269,7 +269,7 @@ mod tests {
     fn rto_halves_rate() {
         let mut v = Vivace::new();
         v.rate_mbps = 8.0;
-        v.on_rto(1.0);
+        v.on_rto(Nanosecs::from_secs_f64(1.0));
         assert_eq!(v.rate_mbps(), 4.0);
     }
 
@@ -282,16 +282,16 @@ mod tests {
         let mut now = 0.0;
         for _ in 0..600 {
             now += 0.01;
-            let goodput_bytes = v.pacing_rate_bps() / 8.0 * 0.01;
-            v.on_ack(&AckEvent {
-                now_s: now,
-                rtt_s: 0.05,
-                delivery_rate_bps: v.pacing_rate_bps(),
-                newly_acked_bytes: goodput_bytes as usize,
-                inflight_bytes: 30_000,
-                delivered_bytes: 0,
-                delivered_at_send: 0,
-            });
+            let goodput_bytes = v.pacing_rate().bps() / 8.0 * 0.01;
+            v.on_ack(&AckEvent::from_raw(
+                now,
+                0.05,
+                v.pacing_rate().bps(),
+                goodput_bytes as usize,
+                30_000,
+                0,
+                0,
+            ));
         }
         assert!(v.rate_mbps() > 2.0 * r0, "rate should grow from {r0} (now {})", v.rate_mbps());
     }

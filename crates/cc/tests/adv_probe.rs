@@ -1,6 +1,8 @@
 // Diagnostic: track BBR internals while replaying adversary-like conditions.
 use cc::Bbr;
-use netsim::{AckEvent, CongestionControl, FlowSim, LinkParams, SimConfig, MS};
+use netsim::{
+    AckEvent, BitsPerSec, CongestionControl, FlowSim, LinkParams, Nanosecs, SimConfig, MS,
+};
 use std::sync::{Arc, Mutex};
 
 struct Spy {
@@ -14,24 +16,24 @@ impl CongestionControl for Spy {
     }
     fn on_ack(&mut self, ack: &AckEvent) {
         self.inner.on_ack(ack);
-        if ack.now_s - self.last_log > 0.5 {
-            self.last_log = ack.now_s;
+        if ack.now_s() - self.last_log > 0.5 {
+            self.last_log = ack.now_s();
             self.log.lock().unwrap().push(format!(
                 "t={:5.2} state={:?} btlbw={:6.2}Mbps rtprop={:.0}ms pacing={:6.2}Mbps cwnd={:5.1} rate_sample={:6.2}",
-                ack.now_s, self.inner.state(), self.inner.btl_bw_bps()/1e6,
-                self.inner.rt_prop_s()*1e3, self.inner.pacing_rate_bps()/1e6,
-                self.inner.cwnd_packets(), ack.delivery_rate_bps/1e6));
+                ack.now_s(), self.inner.state(), self.inner.btl_bw_bps()/1e6,
+                self.inner.rt_prop_s()*1e3, self.inner.pacing_rate().bps()/1e6,
+                self.inner.cwnd_packets(), ack.delivery_rate_bps()/1e6));
         }
     }
-    fn on_loss(&mut self, l: usize, t: f64) {
+    fn on_loss(&mut self, l: usize, t: Nanosecs) {
         self.inner.on_loss(l, t)
     }
-    fn on_rto(&mut self, t: f64) {
-        self.log.lock().unwrap().push(format!("t={t:5.2} RTO"));
+    fn on_rto(&mut self, t: Nanosecs) {
+        self.log.lock().unwrap().push(format!("t={:5.2} RTO", t.as_secs_f64()));
         self.inner.on_rto(t)
     }
-    fn pacing_rate_bps(&self) -> f64 {
-        self.inner.pacing_rate_bps()
+    fn pacing_rate(&self) -> BitsPerSec {
+        self.inner.pacing_rate()
     }
     fn cwnd_packets(&self) -> f64 {
         self.inner.cwnd_packets()

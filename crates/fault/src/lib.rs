@@ -29,6 +29,16 @@
 //! exact semantics of the legacy `ADVNET_FAULT_ITER` hook across a
 //! resume, where the iteration counter continues but hit counts restart.
 //!
+//! The full inventory of registered points (and which subsystem absorbs
+//! each injection) is the DESIGN.md §10 fault matrix. It spans training
+//! (`ppo.*`, `nn.grads*`, `ckpt.*`), execution (`exec.item`,
+//! `exec.worker.<slot>`, `exec.grad_accum`), the bench pipeline
+//! (`bench.unit`, `cache.*`, `traces.load`), the packet simulator
+//! (`netsim.event` — per event pop; `netsim.enqueue` — per bottleneck
+//! admission, where `corrupt` force-drops the packet), the serving fleet
+//! (`serve.obs`, `serve.policy`, `serve.shard.<id>`) and the arena pool
+//! (`pool.read`/`pool.write`).
+//!
 //! Two plan-wide settings may appear as `key=value` entries:
 //! `stall_ms=<ms>` (duration of injected stalls, default 60000) and
 //! `seed=<u64>` (reserved for randomized plans; recorded so a campaign

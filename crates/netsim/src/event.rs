@@ -1,5 +1,12 @@
-//! The event queue: a binary heap keyed by `(time, sequence)` so that
-//! simultaneous events fire in a deterministic insertion order.
+//! Event queues for the simulators.
+//!
+//! [`EventQueue`] is the legacy single-flow queue: a binary heap keyed by
+//! `(time, insertion id)` so that simultaneous events fire in insertion
+//! order. [`FlowEventQueue`] is the multi-flow engine's queue, keyed by
+//! `(time, flow id, per-flow sequence)` — the tie-break depends only on
+//! which flow an event belongs to and that flow's own event count, never
+//! on global insertion order, so N-flow runs are invariant under flow
+//! registration order (DESIGN.md §16).
 
 use crate::Time;
 use std::cmp::Reverse;
@@ -75,6 +82,49 @@ impl EventQueue {
     }
 }
 
+/// The multi-flow event queue: a binary heap keyed by
+/// `(time, flow id, per-flow sequence)`.
+///
+/// Callers assign each flow a monotone event-sequence counter and pass it
+/// on push; ties at the same instant break by flow id, then by that
+/// counter. Because neither key component depends on global insertion
+/// order, the pop order of any event set is a pure function of the set
+/// itself — the determinism contract the multi-flow proptest suite pins.
+#[derive(Debug, Default)]
+pub struct FlowEventQueue {
+    heap: BinaryHeap<Reverse<(Time, u64, u64, EventKindOrd)>>,
+}
+
+impl FlowEventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `kind` for `flow` at absolute time `at`; `seq` is the
+    /// flow's own monotone event counter (the caller increments it).
+    pub fn push(&mut self, at: Time, flow: u64, seq: u64, kind: EventKind) {
+        self.heap.push(Reverse((at, flow, seq, EventKindOrd(kind))));
+    }
+
+    /// Pop the earliest event: `(time, flow, kind)`.
+    pub fn pop(&mut self) -> Option<(Time, u64, EventKind)> {
+        self.heap.pop().map(|Reverse((t, flow, _, k))| (t, flow, k.0))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse((t, _, _, _))| *t)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +162,39 @@ mod tests {
         q.push(7, EventKind::SendReady);
         assert_eq!(q.peek_time(), Some(7));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn flow_queue_orders_by_time_then_flow_then_seq() {
+        let mut q = FlowEventQueue::new();
+        q.push(5, 2, 0, EventKind::SendReady);
+        q.push(5, 1, 1, EventKind::ServiceComplete);
+        q.push(5, 1, 0, EventKind::SendReady);
+        q.push(3, 9, 7, EventKind::SendReady);
+        let order: Vec<(Time, u64)> =
+            (0..4).map(|_| q.pop().map(|(t, f, _)| (t, f)).unwrap()).collect();
+        assert_eq!(order, vec![(3, 9), (5, 1), (5, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn flow_queue_pop_order_is_insertion_order_independent() {
+        // every permutation of the same event set pops identically
+        let events: Vec<(Time, u64, u64)> =
+            vec![(10, 0, 0), (10, 1, 0), (10, 0, 1), (4, 2, 0), (10, 2, 1), (4, 0, 2)];
+        let pop_all = |order: &[usize]| {
+            let mut q = FlowEventQueue::new();
+            for &i in order {
+                let (t, f, s) = events[i];
+                q.push(t, f, s, EventKind::SendReady);
+            }
+            let mut out = Vec::new();
+            while let Some((t, f, _)) = q.pop() {
+                out.push((t, f));
+            }
+            out
+        };
+        let baseline = pop_all(&[0, 1, 2, 3, 4, 5]);
+        assert_eq!(baseline, pop_all(&[5, 4, 3, 2, 1, 0]));
+        assert_eq!(baseline, pop_all(&[2, 0, 5, 1, 3, 4]));
     }
 }

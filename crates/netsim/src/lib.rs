@@ -4,8 +4,10 @@
 //! The paper's congestion-control experiments run BBR through Mahimahi with
 //! an adversary adjusting (bandwidth, latency, loss) every 30 ms. Mahimahi
 //! is a Linux network-namespace tool we cannot (and should not) depend on;
-//! this crate reimplements the relevant piece: a single flow crossing a
-//! single bottleneck whose parameters change at interval boundaries.
+//! this crate reimplements the relevant piece — and extends it to N flows
+//! contending for one bottleneck, which the single-sender paper setup
+//! cannot express (fairness attacks, AQM/ECN regimes, adversarial cross
+//! traffic).
 //!
 //! The authors note their Mahimahi traces "are not usually identical when
 //! played multiple times"; this simulator is seeded and fully
@@ -15,20 +17,33 @@
 //! Architecture (per the networking guides: event-driven state machine, no
 //! async, integer timestamps):
 //!
-//! * [`Time`] — integer nanoseconds.
+//! * [`Time`] — integer nanoseconds; [`units`] adds the typed
+//!   [`Bytes`]/[`Nanosecs`]/[`BitsPerSec`] newtypes used at the
+//!   [`CongestionControl`] boundary.
 //! * [`LinkParams`] — the adversary-controlled knobs.
 //! * [`CongestionControl`] — the protocol interface (`cc` crate implements
-//!   BBR/Cubic/Reno against it).
-//! * [`FlowSim`] — the event loop: paced sends, a drop-tail bottleneck
-//!   queue, iid loss, propagation delay, ACK clocking, duplicate-ACK loss
-//!   detection and RTO.
+//!   BBR/Cubic/Copa/Vivace/Reno against it).
+//! * [`MultiFlowSim`] — the multi-flow engine: per-flow senders, a shared
+//!   bottleneck with a pluggable [`QDisc`] (drop-tail, RED, DCTCP-style
+//!   ECN), deterministic `(time, flow, seq)` event ordering.
+//! * [`FlowSim`] — the legacy single-flow API, a thin wrapper over a
+//!   1-flow [`MultiFlowSim`], bit-identical to the pre-rewrite engine
+//!   (kept verbatim in [`mod@reference`] as the equivalence oracle).
 
 pub mod event;
 pub mod link;
+pub mod multi;
+pub mod qdisc;
+#[doc(hidden)]
+pub mod reference;
 pub mod sim;
+pub mod units;
 
 pub use link::LinkParams;
-pub use sim::{AckEvent, CongestionControl, FlowSim, IntervalStats, SimConfig};
+pub use multi::{jain_index, MultiFlowSim, RateHandle, SharedRateCc};
+pub use qdisc::{DctcpEcn, DropTail, QDisc, QdiscKind, Red, Verdict};
+pub use sim::{AckEvent, CongestionControl, FixedRateCc, FlowSim, IntervalStats, SimConfig};
+pub use units::{BitsPerSec, Bytes, Nanosecs};
 
 /// Simulation timestamps in integer nanoseconds (wrap-free for > 500 years).
 pub type Time = u64;

@@ -1,7 +1,8 @@
 //! The bottleneck link: a drop-tail queue served at a configurable rate,
 //! with propagation delay and iid random loss.
 
-use crate::{Time, MS, MTU_BYTES, SEC};
+use crate::units::{BitsPerSec, Bytes};
+use crate::{Time, MS, MTU_BYTES};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -25,15 +26,49 @@ impl LinkParams {
         p
     }
 
+    /// Result-typed construction: reject non-finite or out-of-range values
+    /// at the boundary instead of panicking deep inside the event loop.
+    pub fn try_new(bandwidth_mbps: f64, latency_ms: f64, loss_rate: f64) -> Result<Self, String> {
+        let p = LinkParams { bandwidth_mbps, latency_ms, loss_rate };
+        p.try_validate()?;
+        Ok(p)
+    }
+
+    /// Fallible [`LinkParams::validate`] for callers that handle bad input
+    /// (config files, adversary action decoding, CLI knobs).
+    pub fn try_validate(&self) -> Result<(), String> {
+        if !self.bandwidth_mbps.is_finite() {
+            return Err(format!("bandwidth must be finite: {}", self.bandwidth_mbps));
+        }
+        if self.bandwidth_mbps <= 0.0 {
+            return Err(format!("bandwidth must be positive: {}", self.bandwidth_mbps));
+        }
+        if !self.latency_ms.is_finite() {
+            return Err(format!("latency must be finite: {}", self.latency_ms));
+        }
+        if self.latency_ms < 0.0 {
+            return Err(format!("latency must be non-negative: {}", self.latency_ms));
+        }
+        if !(0.0..=1.0).contains(&self.loss_rate) {
+            return Err(format!("loss outside [0,1]: {}", self.loss_rate));
+        }
+        Ok(())
+    }
+
     pub fn validate(&self) {
-        assert!(self.bandwidth_mbps > 0.0, "bandwidth must be positive");
-        assert!(self.latency_ms >= 0.0, "latency must be non-negative");
-        assert!((0.0..=1.0).contains(&self.loss_rate), "loss outside [0,1]");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+
+    /// Bottleneck bandwidth as a typed rate.
+    pub fn bandwidth(&self) -> BitsPerSec {
+        BitsPerSec::from_mbps(self.bandwidth_mbps)
     }
 
     /// Serialization time of `bytes` at this bandwidth.
     pub fn serialization_time(&self, bytes: usize) -> Time {
-        ((bytes as f64 * 8.0 / (self.bandwidth_mbps * 1e6)) * SEC as f64).round() as Time
+        self.bandwidth().time_to_send(Bytes::new(bytes as u64)).get()
     }
 
     /// One-way propagation delay as [`Time`].
@@ -50,6 +85,8 @@ impl LinkParams {
 /// A packet in flight through the simulator.
 #[derive(Debug, Clone, Copy)]
 pub struct Packet {
+    /// Owning flow (0 for the single-flow legacy API).
+    pub flow: u64,
     pub seq: u64,
     pub size_bytes: usize,
     /// When the sender transmitted it.
@@ -57,6 +94,9 @@ pub struct Packet {
     /// Receiver's cumulative delivered-byte count when this packet was
     /// sent — the basis of BBR-style delivery-rate samples.
     pub delivered_at_send: u64,
+    /// Congestion Experienced mark set by an ECN-capable queue discipline;
+    /// echoed to the sender on the ACK.
+    pub ecn: bool,
 }
 
 /// The drop-tail bottleneck queue.
@@ -119,7 +159,7 @@ mod tests {
     use super::*;
 
     fn pkt(seq: u64) -> Packet {
-        Packet { seq, size_bytes: MTU_BYTES, sent_at: 0, delivered_at_send: 0 }
+        Packet { flow: 0, seq, size_bytes: MTU_BYTES, sent_at: 0, delivered_at_send: 0, ecn: false }
     }
 
     #[test]
@@ -165,5 +205,26 @@ mod tests {
     #[should_panic(expected = "loss outside")]
     fn params_validated() {
         LinkParams::new(10.0, 10.0, 1.5);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_values() {
+        assert!(LinkParams::try_new(12.0, 20.0, 0.0).is_ok());
+        assert!(LinkParams::try_new(0.0, 20.0, 0.0).is_err(), "zero bandwidth");
+        assert!(LinkParams::try_new(-3.0, 20.0, 0.0).is_err(), "negative bandwidth");
+        assert!(LinkParams::try_new(f64::NAN, 20.0, 0.0).is_err(), "NaN bandwidth");
+        assert!(LinkParams::try_new(f64::INFINITY, 20.0, 0.0).is_err(), "infinite bandwidth");
+        assert!(LinkParams::try_new(12.0, -1.0, 0.0).is_err(), "negative latency");
+        assert!(LinkParams::try_new(12.0, f64::INFINITY, 0.0).is_err(), "infinite latency");
+        assert!(LinkParams::try_new(12.0, 20.0, 1.5).is_err(), "loss > 1");
+        assert!(LinkParams::try_new(12.0, 20.0, f64::NAN).is_err(), "NaN loss");
+        let err = LinkParams::try_new(12.0, 20.0, 2.0).unwrap_err();
+        assert!(err.contains("loss outside"), "{err}");
+    }
+
+    #[test]
+    fn typed_bandwidth_matches_raw_field() {
+        let p = LinkParams::new(17.5, 20.0, 0.0);
+        assert_eq!(p.bandwidth().bps(), 17.5 * 1e6);
     }
 }

@@ -1,39 +1,108 @@
-//! The single-flow event loop: paced sending, bottleneck queueing, loss,
-//! ACK clocking, duplicate-ACK loss detection, and RTO.
+//! The congestion-control interface and the legacy single-flow API.
+//!
+//! [`CongestionControl`] and [`AckEvent`] now speak typed units
+//! ([`Bytes`], [`Nanosecs`], [`BitsPerSec`]) instead of loose `f64`s; the
+//! `*_s`/`*_bps` accessor methods return exactly the values the old field
+//! accesses did (same `f64` conversions), so protocol arithmetic is
+//! untouched by the migration.
+//!
+//! [`FlowSim`] — the original single-flow simulator API — is a thin
+//! wrapper over a 1-flow [`MultiFlowSim`]
+//! with the drop-tail qdisc. The equivalence contract: its trajectories
+//! are bit-identical to the pre-rewrite engine, which survives verbatim
+//! as [`reference::RefFlowSim`](crate::reference::RefFlowSim) and is
+//! property-tested against this wrapper for all five CC protocols in
+//! `crates/cc/tests/single_flow_equivalence.rs`.
 
-use crate::event::{EventKind, EventQueue};
-use crate::link::{LinkParams, Packet, Queue};
-use crate::{to_secs, Time, MTU_BYTES, SEC};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use crate::link::LinkParams;
+use crate::multi::MultiFlowSim;
+use crate::units::{BitsPerSec, Bytes, Nanosecs};
+use crate::{Time, MTU_BYTES};
 
 /// Everything a congestion-control algorithm learns from one ACK.
 #[derive(Debug, Clone, Copy)]
 pub struct AckEvent {
-    /// Simulation time of the ACK's arrival at the sender, seconds.
-    pub now_s: f64,
-    /// Round-trip time of the acked packet, seconds.
-    pub rtt_s: f64,
-    /// BBR-style delivery-rate sample in bits/s: bytes delivered between
-    /// this packet's send and its ACK, over that wall-clock span.
-    pub delivery_rate_bps: f64,
+    /// Simulation time of the ACK's arrival at the sender.
+    pub now: Nanosecs,
+    /// Round-trip time of the acked packet.
+    pub rtt: Nanosecs,
+    /// BBR-style delivery-rate sample: bytes delivered between this
+    /// packet's send and its ACK, over that wall-clock span.
+    pub delivery_rate: BitsPerSec,
     /// Bytes newly acknowledged by this ACK.
-    pub newly_acked_bytes: usize,
+    pub newly_acked: Bytes,
     /// Bytes still in flight after this ACK.
-    pub inflight_bytes: usize,
+    pub inflight: Bytes,
     /// Sender's cumulative acknowledged-byte counter (Linux
     /// `tp->delivered`), used for round tracking.
-    pub delivered_bytes: u64,
+    pub delivered: Bytes,
     /// Cumulative delivered bytes when the acked packet was sent (for
     /// round tracking).
-    pub delivered_at_send: u64,
+    pub delivered_at_send: Bytes,
+    /// ECN Congestion-Experienced echo: the acked packet was marked by an
+    /// ECN-capable queue discipline. Always `false` under drop-tail.
+    pub ecn: bool,
+}
+
+impl AckEvent {
+    /// Build from the raw `f64`/integer values the old struct carried
+    /// (positional order matches the old field order; `ecn` = false).
+    /// Mostly useful in protocol unit tests.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw(
+        now_s: f64,
+        rtt_s: f64,
+        delivery_rate_bps: f64,
+        newly_acked_bytes: usize,
+        inflight_bytes: usize,
+        delivered_bytes: u64,
+        delivered_at_send: u64,
+    ) -> AckEvent {
+        AckEvent {
+            now: Nanosecs::from_secs_f64(now_s),
+            rtt: Nanosecs::from_secs_f64(rtt_s),
+            delivery_rate: BitsPerSec::from_bps(delivery_rate_bps),
+            newly_acked: Bytes::new(newly_acked_bytes as u64),
+            inflight: Bytes::new(inflight_bytes as u64),
+            delivered: Bytes::new(delivered_bytes),
+            delivered_at_send: Bytes::new(delivered_at_send),
+            ecn: false,
+        }
+    }
+
+    /// Arrival time in seconds (what the old `now_s` field held).
+    #[inline]
+    pub fn now_s(&self) -> f64 {
+        self.now.as_secs_f64()
+    }
+
+    /// RTT in seconds (what the old `rtt_s` field held).
+    #[inline]
+    pub fn rtt_s(&self) -> f64 {
+        self.rtt.as_secs_f64()
+    }
+
+    /// Delivery-rate sample in bits/s.
+    #[inline]
+    pub fn delivery_rate_bps(&self) -> f64 {
+        self.delivery_rate.bps()
+    }
+
+    #[inline]
+    pub fn newly_acked_bytes(&self) -> usize {
+        self.newly_acked.as_usize()
+    }
+
+    #[inline]
+    pub fn inflight_bytes(&self) -> usize {
+        self.inflight.as_usize()
+    }
 }
 
 /// A congestion-control algorithm as the simulator drives it.
 ///
 /// Implementations are pure state machines: the simulator calls the `on_*`
-/// notifications and consults [`CongestionControl::pacing_rate_bps`] /
+/// notifications and consults [`CongestionControl::pacing_rate`] /
 /// [`CongestionControl::cwnd_packets`] before each transmission. `Send` is
 /// a supertrait so simulators (and the adversary environments that own
 /// them) can move across `exec` rollout worker threads.
@@ -45,13 +114,13 @@ pub trait CongestionControl: Send {
     fn on_ack(&mut self, ack: &AckEvent);
 
     /// `lost` packets were declared lost via duplicate-ACK detection.
-    fn on_loss(&mut self, lost: usize, now_s: f64);
+    fn on_loss(&mut self, lost: usize, now: Nanosecs);
 
     /// Retransmission timeout fired: everything in flight was lost.
-    fn on_rto(&mut self, now_s: f64);
+    fn on_rto(&mut self, now: Nanosecs);
 
-    /// Current pacing rate in bits/s.
-    fn pacing_rate_bps(&self) -> f64;
+    /// Current pacing rate.
+    fn pacing_rate(&self) -> BitsPerSec;
 
     /// Current congestion window in packets.
     fn cwnd_packets(&self) -> f64;
@@ -82,6 +151,50 @@ impl Default for SimConfig {
     }
 }
 
+impl SimConfig {
+    /// Result-typed construction: reject degenerate queue/packet sizes and
+    /// non-finite timeouts at the boundary.
+    pub fn try_new(
+        queue_capacity_bytes: usize,
+        packet_bytes: usize,
+        seed: u64,
+        min_rto_s: f64,
+    ) -> Result<SimConfig, String> {
+        let cfg = SimConfig { queue_capacity_bytes, packet_bytes, seed, min_rto_s };
+        cfg.try_validate()?;
+        Ok(cfg)
+    }
+
+    /// Fallible validation for callers that handle bad input.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.packet_bytes == 0 {
+            return Err("packet size must be positive".to_string());
+        }
+        if self.queue_capacity_bytes < self.packet_bytes {
+            return Err(format!(
+                "queue capacity {} smaller than one packet ({})",
+                self.queue_capacity_bytes, self.packet_bytes
+            ));
+        }
+        if self.queue_capacity_bytes < MTU_BYTES {
+            return Err(format!(
+                "queue must hold at least one MTU ({MTU_BYTES} B): {}",
+                self.queue_capacity_bytes
+            ));
+        }
+        if !self.min_rto_s.is_finite() || self.min_rto_s <= 0.0 {
+            return Err(format!("min RTO must be finite and positive: {}", self.min_rto_s));
+        }
+        Ok(())
+    }
+
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+}
+
 /// Per-interval link statistics — the adversary's observations.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct IntervalStats {
@@ -104,328 +217,65 @@ pub struct IntervalStats {
     pub packets_lost_overflow: u64,
 }
 
-/// The single-flow, single-bottleneck simulator.
+/// The single-flow, single-bottleneck simulator: a 1-flow
+/// [`MultiFlowSim`] behind the original API.
 pub struct FlowSim {
-    now: Time,
-    events: EventQueue,
-    params: LinkParams,
-    queue: Queue,
-    serving: Option<Packet>,
-    cc: Box<dyn CongestionControl>,
-    cfg: SimConfig,
-    rng: StdRng,
-
-    next_seq: u64,
-    outstanding: BTreeMap<u64, Packet>,
-    inflight_bytes: usize,
-    /// Receiver's cumulative delivered bytes (interval statistics).
-    delivered_bytes: u64,
-    /// Sender's cumulative acknowledged bytes (BBR-style rate samples and
-    /// round tracking, mirroring Linux's `tp->delivered`).
-    acked_bytes: u64,
-    next_send_time: Time,
-    send_scheduled: bool,
-    srtt_s: f64,
-    last_progress: Time,
-    rto_armed_at: Time,
-    /// Latest scheduled ACK arrival; the return path is FIFO, so ACKs never
-    /// overtake each other even when the propagation delay drops between
-    /// two deliveries (otherwise a latency decrease would masquerade as
-    /// packet reordering and trip spurious loss detection).
-    last_ack_arrival: Time,
-
-    // interval accumulators (reset by `run_for`)
-    acc: Accumulators,
-}
-
-#[derive(Debug, Default, Clone, Copy)]
-struct Accumulators {
-    delivered_bytes: u64,
-    packets_delivered: u64,
-    packets_sent: u64,
-    lost_random: u64,
-    lost_overflow: u64,
-    rtt_sum_s: f64,
-    rtt_samples: u64,
-    sojourn_sum_s: f64,
-    sojourn_samples: u64,
+    inner: MultiFlowSim,
 }
 
 impl FlowSim {
     pub fn new(cc: Box<dyn CongestionControl>, params: LinkParams, cfg: SimConfig) -> Self {
-        params.validate();
-        let mut sim = FlowSim {
-            now: 0,
-            events: EventQueue::new(),
-            queue: Queue::new(cfg.queue_capacity_bytes),
-            serving: None,
-            cc,
-            rng: StdRng::seed_from_u64(cfg.seed),
-            cfg,
-            params,
-            next_seq: 0,
-            outstanding: BTreeMap::new(),
-            inflight_bytes: 0,
-            delivered_bytes: 0,
-            acked_bytes: 0,
-            next_send_time: 0,
-            send_scheduled: false,
-            srtt_s: 0.0,
-            last_progress: 0,
-            rto_armed_at: 0,
-            last_ack_arrival: 0,
-            acc: Accumulators::default(),
-        };
-        sim.schedule_send();
-        sim
+        let mut inner = MultiFlowSim::new(params, cfg);
+        inner.add_flow(0, cc);
+        FlowSim { inner }
     }
 
     pub fn now(&self) -> Time {
-        self.now
+        self.inner.now()
     }
 
     pub fn params(&self) -> LinkParams {
-        self.params
+        self.inner.params()
     }
 
     /// Smoothed RTT estimate in seconds (0 before the first ACK).
     pub fn srtt_s(&self) -> f64 {
-        self.srtt_s
+        self.inner.flow_srtt_s(0)
     }
 
     /// Bytes currently unacknowledged.
     pub fn inflight_bytes(&self) -> usize {
-        self.inflight_bytes
+        self.inner.flow_inflight_bytes(0)
     }
 
     /// Instantaneous queue backlog in bytes.
     pub fn queue_bytes(&self) -> usize {
-        self.queue.bytes()
+        self.inner.queue_bytes()
     }
 
     /// Instantaneous queuing delay in ms: backlog divided by the current
     /// drain rate — one of the two adversary inputs in the paper.
     pub fn queue_delay_ms(&self) -> f64 {
-        self.queue.bytes() as f64 * 8.0 / (self.params.bandwidth_mbps * 1e6) * 1e3
+        self.inner.queue_delay_ms()
     }
 
     /// Change the link parameters (takes effect for future serializations,
     /// propagations, and loss draws; the packet currently being serialized
     /// keeps its scheduled completion, as in any event-based emulator).
     pub fn set_link(&mut self, params: LinkParams) {
-        params.validate();
-        self.params = params;
+        self.inner.set_link(params);
     }
 
     /// Access the congestion controller (for inspection in tests/benches).
     pub fn cc(&self) -> &dyn CongestionControl {
-        self.cc.as_ref()
+        self.inner.cc(0)
     }
 
     /// Advance the simulation by `dt` and return what happened.
     pub fn run_for(&mut self, dt: Time) -> IntervalStats {
-        let end = self.now + dt;
-        self.acc = Accumulators::default();
-        while let Some(t) = self.events.peek_time() {
-            if t > end {
-                break;
-            }
-            let (t, kind) = self.events.pop().expect("peeked event exists");
-            debug_assert!(t >= self.now, "time must not go backwards");
-            self.now = t;
-            self.handle(kind);
-        }
-        self.now = end;
-        let dt_s = to_secs(dt);
-        let capacity = self.params.bandwidth_mbps * 1e6 / 8.0 * dt_s;
-        let a = self.acc;
-        IntervalStats {
-            duration_s: dt_s,
-            delivered_bytes: a.delivered_bytes,
-            capacity_bytes: capacity,
-            utilization: (a.delivered_bytes as f64 / capacity.max(1.0)).min(1.0),
-            throughput_mbps: a.delivered_bytes as f64 * 8.0 / dt_s.max(1e-9) / 1e6,
-            avg_rtt_ms: if a.rtt_samples > 0 {
-                a.rtt_sum_s / a.rtt_samples as f64 * 1e3
-            } else {
-                0.0
-            },
-            avg_queue_delay_ms: if a.sojourn_samples > 0 {
-                a.sojourn_sum_s / a.sojourn_samples as f64 * 1e3
-            } else {
-                0.0
-            },
-            packets_sent: a.packets_sent,
-            packets_delivered: a.packets_delivered,
-            packets_lost_random: a.lost_random,
-            packets_lost_overflow: a.lost_overflow,
-        }
-    }
-
-    fn handle(&mut self, kind: EventKind) {
-        match kind {
-            EventKind::SendReady => {
-                self.send_scheduled = false;
-                self.try_send();
-            }
-            EventKind::ServiceComplete => self.service_complete(),
-            EventKind::AckArrival { seq, delivered } => self.ack_arrival(seq, delivered),
-            EventKind::RtoCheck { armed_at } => self.rto_check(armed_at),
-        }
-    }
-
-    /// Schedule a SendReady if sending is currently allowed and none is
-    /// pending.
-    fn schedule_send(&mut self) {
-        if self.send_scheduled {
-            return;
-        }
-        if (self.outstanding.len() as f64) < self.cc.cwnd_packets() {
-            let at = self.next_send_time.max(self.now);
-            self.events.push(at, EventKind::SendReady);
-            self.send_scheduled = true;
-        }
-    }
-
-    fn try_send(&mut self) {
-        if (self.outstanding.len() as f64) >= self.cc.cwnd_packets() {
-            return; // cwnd-limited: ACKs will restart sending
-        }
-        let size = self.cfg.packet_bytes;
-        let pkt = Packet {
-            seq: self.next_seq,
-            size_bytes: size,
-            sent_at: self.now,
-            delivered_at_send: self.acked_bytes,
-        };
-        self.next_seq += 1;
-        self.outstanding.insert(pkt.seq, pkt);
-        self.inflight_bytes += size;
-        self.acc.packets_sent += 1;
-        self.arm_rto();
-
-        // iid random loss at link ingress
-        if self.rng.gen::<f64>() < self.params.loss_rate {
-            self.acc.lost_random += 1;
-        } else if self.queue.push(pkt) {
-            if self.serving.is_none() {
-                self.start_service();
-            }
-        } else {
-            self.acc.lost_overflow += 1;
-        }
-
-        // pace the next transmission
-        let pacing = self.cc.pacing_rate_bps().max(1e3);
-        let gap = (size as f64 * 8.0 / pacing * SEC as f64).round() as Time;
-        self.next_send_time = self.now + gap.max(1);
-        self.schedule_send();
-    }
-
-    fn start_service(&mut self) {
-        debug_assert!(self.serving.is_none());
-        if let Some(pkt) = self.queue.pop() {
-            let done = self.now + self.params.serialization_time(pkt.size_bytes);
-            self.serving = Some(pkt);
-            self.events.push(done, EventKind::ServiceComplete);
-        }
-    }
-
-    fn service_complete(&mut self) {
-        let pkt = self.serving.take().expect("service completion without a packet");
-        // delivered to the receiver after propagation; the ACK crosses back
-        // after another propagation delay
-        self.delivered_bytes += pkt.size_bytes as u64;
-        self.acc.delivered_bytes += pkt.size_bytes as u64;
-        self.acc.packets_delivered += 1;
-        self.acc.sojourn_sum_s += to_secs(self.now - pkt.sent_at);
-        self.acc.sojourn_samples += 1;
-        let ack_at = (self.now + 2 * self.params.propagation()).max(self.last_ack_arrival + 1);
-        self.last_ack_arrival = ack_at;
-        self.events
-            .push(ack_at, EventKind::AckArrival { seq: pkt.seq, delivered: self.delivered_bytes });
-        if !self.queue.is_empty() {
-            self.start_service();
-        }
-    }
-
-    fn ack_arrival(&mut self, seq: u64, _delivered: u64) {
-        let Some(pkt) = self.outstanding.remove(&seq) else {
-            return; // already declared lost via dup-ACK or RTO
-        };
-        self.inflight_bytes = self.inflight_bytes.saturating_sub(pkt.size_bytes);
-        self.acked_bytes += pkt.size_bytes as u64;
-        self.last_progress = self.now;
-
-        let rtt_s = to_secs(self.now - pkt.sent_at);
-        self.srtt_s = if self.srtt_s == 0.0 { rtt_s } else { 0.875 * self.srtt_s + 0.125 * rtt_s };
-        self.acc.rtt_sum_s += rtt_s;
-        self.acc.rtt_samples += 1;
-
-        // loss detection on each ACK:
-        // (a) duplicate-ACK style: anything more than 3 packets older than
-        //     this ACK is gone;
-        // (b) RACK-style time threshold: anything sent more than
-        //     srtt × 1.5 before the packet this ACK confirms must have been
-        //     lost (packets are delivered in order by the FIFO bottleneck).
-        let rack_cutoff = pkt.sent_at.saturating_sub((0.5 * self.srtt_s * SEC as f64) as Time);
-        let lost: Vec<u64> = self
-            .outstanding
-            .iter()
-            .filter(|(s, p)| **s < seq.saturating_sub(3) || (**s < seq && p.sent_at < rack_cutoff))
-            .map(|(s, _)| *s)
-            .collect();
-        for s in &lost {
-            if let Some(p) = self.outstanding.remove(s) {
-                self.inflight_bytes = self.inflight_bytes.saturating_sub(p.size_bytes);
-            }
-        }
-
-        let span_s = to_secs(self.now - pkt.sent_at).max(1e-9);
-        let ack = AckEvent {
-            now_s: to_secs(self.now),
-            rtt_s,
-            delivery_rate_bps: (self.acked_bytes - pkt.delivered_at_send) as f64 * 8.0 / span_s,
-            newly_acked_bytes: pkt.size_bytes,
-            inflight_bytes: self.inflight_bytes,
-            delivered_bytes: self.acked_bytes,
-            delivered_at_send: pkt.delivered_at_send,
-        };
-        self.cc.on_ack(&ack);
-        if !lost.is_empty() {
-            self.cc.on_loss(lost.len(), to_secs(self.now));
-        }
-        self.arm_rto();
-        self.schedule_send();
-    }
-
-    fn rto_duration(&self) -> Time {
-        let rto_s = (4.0 * self.srtt_s).max(self.cfg.min_rto_s);
-        (rto_s * SEC as f64) as Time
-    }
-
-    fn arm_rto(&mut self) {
-        if self.outstanding.is_empty() {
-            return;
-        }
-        self.rto_armed_at = self.now;
-        self.events
-            .push(self.now + self.rto_duration(), EventKind::RtoCheck { armed_at: self.now });
-    }
-
-    fn rto_check(&mut self, armed_at: Time) {
-        if armed_at != self.rto_armed_at {
-            return; // a newer arming superseded this timer
-        }
-        if self.outstanding.is_empty() || self.last_progress > armed_at {
-            return; // progress since arming
-        }
-        // timeout: everything outstanding is presumed lost
-        self.outstanding.clear();
-        self.inflight_bytes = 0;
-        self.cc.on_rto(to_secs(self.now));
-        self.next_send_time = self.now;
-        self.schedule_send();
+        let stats = self.inner.run_for(dt);
+        debug_assert_eq!(stats.len(), 1);
+        stats.into_iter().next().expect("wrapper owns exactly one flow").1
     }
 }
 
@@ -444,10 +294,10 @@ impl CongestionControl for FixedRateCc {
         "fixed"
     }
     fn on_ack(&mut self, _ack: &AckEvent) {}
-    fn on_loss(&mut self, _lost: usize, _now_s: f64) {}
-    fn on_rto(&mut self, _now_s: f64) {}
-    fn pacing_rate_bps(&self) -> f64 {
-        self.rate_bps
+    fn on_loss(&mut self, _lost: usize, _now: Nanosecs) {}
+    fn on_rto(&mut self, _now: Nanosecs) {}
+    fn pacing_rate(&self) -> BitsPerSec {
+        BitsPerSec::from_bps(self.rate_bps)
     }
     fn cwnd_packets(&self) -> f64 {
         self.cwnd
@@ -457,6 +307,7 @@ impl CongestionControl for FixedRateCc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{MTU_BYTES, SEC};
 
     fn sim(rate_mbps: f64, cwnd: f64, params: LinkParams, seed: u64) -> FlowSim {
         FlowSim::new(
@@ -523,41 +374,6 @@ mod tests {
         let stats = s.run_for(10 * SEC);
         let loss = stats.packets_lost_random as f64 / stats.packets_sent as f64;
         assert!((loss - 0.10).abs() < 0.02, "measured loss {loss}");
-    }
-
-    #[test]
-    fn delivery_rate_samples_near_bottleneck() {
-        struct Probe {
-            inner: FixedRateCc,
-            samples: Vec<f64>,
-        }
-        impl CongestionControl for Probe {
-            fn name(&self) -> &str {
-                "probe"
-            }
-            fn on_ack(&mut self, ack: &AckEvent) {
-                self.samples.push(ack.delivery_rate_bps);
-            }
-            fn on_loss(&mut self, _: usize, _: f64) {}
-            fn on_rto(&mut self, _: f64) {}
-            fn pacing_rate_bps(&self) -> f64 {
-                self.inner.pacing_rate_bps()
-            }
-            fn cwnd_packets(&self) -> f64 {
-                self.inner.cwnd_packets()
-            }
-        }
-        let params = LinkParams::new(12.0, 20.0, 0.0);
-        // overdriven sender: delivery-rate samples must reveal the true
-        // bottleneck bandwidth (the basis of BBR)
-        let mut s = FlowSim::new(
-            Box::new(Probe { inner: FixedRateCc { rate_bps: 20e6, cwnd: 1e9 }, samples: vec![] }),
-            params,
-            SimConfig::default(),
-        );
-        s.run_for(3 * SEC);
-        // can't reach into the box; rebuild with measurement instead
-        // (covered by the utilization assertions elsewhere)
     }
 
     #[test]
@@ -674,5 +490,29 @@ mod tests {
         let stats = s.run_for(4 * SEC);
         assert!(stats.utilization < 1.0);
         assert!(stats.packets_lost_random > 0);
+    }
+
+    #[test]
+    fn sim_config_try_new_rejects_bad_values() {
+        assert!(SimConfig::try_new(150_000, 1500, 0, 0.25).is_ok());
+        assert!(SimConfig::try_new(150_000, 0, 0, 0.25).is_err(), "zero packet");
+        assert!(SimConfig::try_new(1000, 1500, 0, 0.25).is_err(), "queue < packet");
+        assert!(SimConfig::try_new(1400, 1400, 0, 0.25).is_err(), "queue < MTU");
+        assert!(SimConfig::try_new(150_000, 1500, 0, 0.0).is_err(), "zero RTO");
+        assert!(SimConfig::try_new(150_000, 1500, 0, f64::NAN).is_err(), "NaN RTO");
+        assert!(SimConfig::try_new(150_000, 1500, 0, f64::INFINITY).is_err(), "inf RTO");
+    }
+
+    #[test]
+    fn ack_event_accessors_match_raw_values() {
+        let ack = AckEvent::from_raw(2.5, 0.04, 12e6, 1500, 4500, 90_000, 60_000);
+        assert_eq!(ack.now_s(), 2.5);
+        assert_eq!(ack.rtt_s(), 0.04);
+        assert_eq!(ack.delivery_rate_bps(), 12e6);
+        assert_eq!(ack.newly_acked_bytes(), 1500);
+        assert_eq!(ack.inflight_bytes(), 4500);
+        assert_eq!(ack.delivered.get(), 90_000);
+        assert_eq!(ack.delivered_at_send.get(), 60_000);
+        assert!(!ack.ecn);
     }
 }

@@ -13,7 +13,10 @@
 //! * a truncated checkpoint file surfaces as `TrainError::Corrupt`
 //!   through the adversary entry point instead of silently restarting;
 //! * vectorized CC adversary training (per-worker decorrelated simulator
-//!   seeds) is reproducible run to run.
+//!   seeds) is reproducible run to run;
+//! * the simulator's own fault points (`netsim.enqueue`: corrupt = forced
+//!   bottleneck drop; `netsim.event`: panic = crash mid-event-loop) reach
+//!   the packet level and leave no state behind after `fault::clear`.
 
 use abr::{BufferBased, Video};
 use adversary::{
@@ -169,6 +172,68 @@ fn nan_poisoned_batched_gradients_trip_the_guard() {
     assert!(reports.last().unwrap().policy_loss.is_finite());
     let probe = vec![0.0; rl::Env::obs_dim(&env)];
     assert!(ppo.policy.mode(&probe).vector().iter().all(|v| v.is_finite()));
+}
+
+/// Bit-exact signature of a short single-flow run (floats as bits).
+fn netsim_run_sig(plan: Option<&str>) -> Vec<u64> {
+    if let Some(p) = plan {
+        fault::install(fault::FaultPlan::parse(p).unwrap());
+    }
+    let mut sim = netsim::FlowSim::new(
+        Box::new(Bbr::new()),
+        netsim::LinkParams::new(12.0, 20.0, 0.0),
+        netsim::SimConfig::default(),
+    );
+    let mut out = Vec::new();
+    for _ in 0..20 {
+        let s = sim.run_for(100 * netsim::MS);
+        out.push(s.delivered_bytes);
+        out.push(s.packets_sent);
+        out.push(s.packets_lost_overflow);
+        out.push(s.utilization.to_bits());
+    }
+    fault::clear();
+    out
+}
+
+#[test]
+fn netsim_enqueue_corruption_forces_a_counted_drop() {
+    // DESIGN.md §10, row `netsim.enqueue`: `corrupt` force-drops one
+    // admission at the bottleneck, surfacing as a counted overflow loss in
+    // the interval stats — on an otherwise clean link where no genuine
+    // overflow occurs.
+    let _guard = FAULT_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let clean = netsim_run_sig(None);
+    let clean_drops: u64 = clean.chunks(4).map(|c| c[2]).sum();
+    assert_eq!(clean_drops, 0, "clean link must not overflow");
+
+    let faulted = netsim_run_sig(Some("corrupt@netsim.enqueue:40"));
+    let faulted_drops: u64 = faulted.chunks(4).map(|c| c[2]).sum();
+    assert_eq!(faulted_drops, 1, "exactly the one injected drop");
+    assert_ne!(clean, faulted, "the dropped packet must perturb the trajectory");
+}
+
+#[test]
+fn netsim_event_panic_crashes_the_run_and_leaves_no_residue() {
+    // DESIGN.md §10, row `netsim.event`: `panic` kills the simulation at
+    // the nth event pop (a crash mid-event-loop). A fresh run after
+    // `fault::clear` must match a never-faulted run bit for bit.
+    let _guard = FAULT_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let reference = netsim_run_sig(None);
+
+    fault::install(fault::FaultPlan::parse("panic@netsim.event:100").unwrap());
+    let crashed = std::panic::catch_unwind(|| {
+        let mut sim = netsim::FlowSim::new(
+            Box::new(Bbr::new()),
+            netsim::LinkParams::new(12.0, 20.0, 0.0),
+            netsim::SimConfig::default(),
+        );
+        sim.run_for(2 * netsim::SEC);
+    });
+    fault::clear();
+    assert!(crashed.is_err(), "the injected event-loop fault should have crashed the run");
+
+    assert_eq!(netsim_run_sig(None), reference, "no fault state may leak into later runs");
 }
 
 #[test]
